@@ -1,0 +1,61 @@
+// Example: writing a CUSTOM perturbation model — the extensibility pitch of
+// the paper (Sec. III-B step 3: "The user can also easily implement their
+// own perturbation model").
+//
+// The custom model here emulates a stuck-at-high SRAM cell: whatever the
+// neuron computes, the three most-significant mantissa bits of its FP32
+// representation read back as 1. A second custom model shows a
+// *conditional* perturbation that only corrupts activations above a
+// threshold (e.g. modeling faults that only manifest for large currents).
+//
+// Build & run:  ./build/examples/custom_error_model
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "models/trainer.hpp"
+#include "models/zoo.hpp"
+#include "util/bits.hpp"
+
+int main() {
+  using namespace pfi;
+
+  // --- Custom model 1: stuck-at-one mantissa bits ----------------------------
+  core::ErrorModel stuck_at_high{
+      "stuck_at_high_mantissa",
+      [](float v, const core::InjectionContext&) {
+        std::uint32_t bits = float_to_bits(v);
+        bits |= 0x00700000u;  // force mantissa bits 20..22 to 1
+        return bits_to_float(bits);
+      }};
+
+  // --- Custom model 2: conditional corruption --------------------------------
+  core::ErrorModel large_activation_only{
+      "corrupt_if_large",
+      [](float v, const core::InjectionContext& ctx) {
+        return v > 0.5f ? ctx.rng->uniform(-2.0f, 2.0f) : v;
+      }};
+
+  data::SyntheticDataset ds(data::cifar10_like());
+  Rng rng(1);
+  auto model = models::make_model("vgg19", {.num_classes = 10}, rng);
+  std::printf("training vgg19-mini...\n");
+  models::train_classifier(*model, ds,
+                           {.epochs = 3, .batches_per_epoch = 30,
+                            .batch_size = 16, .lr = 0.01f});
+
+  core::FaultInjector fi(model, {.input_shape = {3, 32, 32}, .batch_size = 1});
+  for (const auto& em : {stuck_at_high, large_activation_only}) {
+    core::CampaignConfig cfg;
+    cfg.trials = 300;
+    cfg.error_model = em;
+    cfg.seed = 5;
+    const auto r = core::run_classification_campaign(fi, ds, cfg);
+    const auto p = r.corruption_probability();
+    std::printf("%-28s -> %llu/%llu corruptions (%.2f%% [%.2f%%, %.2f%%])\n",
+                em.name.c_str(),
+                static_cast<unsigned long long>(r.corruptions),
+                static_cast<unsigned long long>(r.trials), 100.0 * p.value,
+                100.0 * p.lo, 100.0 * p.hi);
+  }
+  return 0;
+}

@@ -1,0 +1,203 @@
+// pfi_cli — run a fault-injection campaign from the command line, no C++
+// required. The closest analogue to `import pytorchfi; ...` scripting.
+//
+// Usage:
+//   pfi_cli [--model NAME] [--dataset cifar10|cifar100|imagenet]
+//           [--dtype fp32|fp16|int8] [--error MODEL] [--trials N]
+//           [--layer L] [--per-layer] [--epochs N] [--seed S]
+//           [--save PATH] [--load PATH] [--list-models]
+//
+// Error models: bitflip | bitflip:BIT | random | random:LO:HI | zero |
+//               const:V | noise:MAG
+//
+// Examples:
+//   pfi_cli --model resnet18 --dtype int8 --error bitflip --trials 2000
+//   pfi_cli --model vgg19 --dataset imagenet --error random:-100:100
+//   pfi_cli --model squeezenet --error const:10000 --layer 3
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "models/trainer.hpp"
+#include "models/zoo.hpp"
+
+namespace {
+
+using namespace pfi;
+
+struct CliOptions {
+  std::string model = "resnet18";
+  std::string dataset = "cifar10";
+  std::string dtype = "fp32";
+  std::string error = "random";
+  std::int64_t trials = 500;
+  std::int64_t layer = -1;
+  bool per_layer = false;
+  std::int64_t epochs = 3;
+  std::uint64_t seed = 1;
+  std::string save_path;
+  std::string load_path;
+};
+
+[[noreturn]] void usage_and_exit(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: pfi_cli [--model NAME] [--dataset cifar10|cifar100|"
+               "imagenet]\n"
+               "               [--dtype fp32|fp16|int8] [--error MODEL]"
+               " [--trials N]\n"
+               "               [--layer L] [--per-layer] [--epochs N]"
+               " [--seed S]\n"
+               "               [--save PATH] [--load PATH] [--list-models]\n"
+               "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
+               " zero | const:V | noise:MAG\n");
+  std::exit(msg == nullptr ? 0 : 2);
+}
+
+core::ErrorModel parse_error_model(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  std::vector<float> args;
+  for (std::size_t pos = colon; pos != std::string::npos;) {
+    const auto next = spec.find(':', pos + 1);
+    args.push_back(std::strtof(
+        spec.substr(pos + 1, next == std::string::npos ? next : next - pos - 1)
+            .c_str(),
+        nullptr));
+    pos = next;
+  }
+  if (head == "bitflip") {
+    return core::single_bit_flip(args.empty() ? -1
+                                              : static_cast<int>(args[0]));
+  }
+  if (head == "random") {
+    if (args.empty()) return core::random_value();
+    if (args.size() == 2) return core::random_value(args[0], args[1]);
+    usage_and_exit("random takes 0 or 2 arguments (random:LO:HI)");
+  }
+  if (head == "zero") return core::zero_value();
+  if (head == "const" && args.size() == 1) {
+    return core::constant_value(args[0]);
+  }
+  if (head == "noise" && args.size() == 1) {
+    return core::additive_noise(args[0]);
+  }
+  usage_and_exit(("unknown error model '" + spec + "'").c_str());
+}
+
+core::DType parse_dtype(const std::string& s) {
+  if (s == "fp32") return core::DType::kFloat32;
+  if (s == "fp16") return core::DType::kFloat16;
+  if (s == "int8") return core::DType::kInt8;
+  usage_and_exit(("unknown dtype '" + s + "'").c_str());
+}
+
+data::SyntheticSpec parse_dataset(const std::string& s) {
+  if (s == "cifar10") return data::cifar10_like();
+  if (s == "cifar100") return data::cifar100_like();
+  if (s == "imagenet") return data::imagenet_like();
+  usage_and_exit(("unknown dataset '" + s + "'").c_str());
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_and_exit("missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") usage_and_exit(nullptr);
+    else if (a == "--list-models") {
+      for (const auto& n : models::model_names()) std::printf("%s\n", n.c_str());
+      std::exit(0);
+    }
+    else if (a == "--model") opt.model = need_value(i);
+    else if (a == "--dataset") opt.dataset = need_value(i);
+    else if (a == "--dtype") opt.dtype = need_value(i);
+    else if (a == "--error") opt.error = need_value(i);
+    else if (a == "--trials") opt.trials = std::atoll(need_value(i));
+    else if (a == "--layer") opt.layer = std::atoll(need_value(i));
+    else if (a == "--per-layer") opt.per_layer = true;
+    else if (a == "--epochs") opt.epochs = std::atoll(need_value(i));
+    else if (a == "--seed") opt.seed = std::strtoull(need_value(i), nullptr, 10);
+    else if (a == "--save") opt.save_path = need_value(i);
+    else if (a == "--load") opt.load_path = need_value(i);
+    else usage_and_exit(("unknown flag '" + a + "'").c_str());
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse_args(argc, argv);
+  const auto spec = parse_dataset(opt.dataset);
+  data::SyntheticDataset ds(spec);
+
+  Rng rng(opt.seed);
+  auto model = models::make_model(
+      opt.model,
+      {.num_classes = spec.classes, .image_size = spec.height}, rng);
+
+  if (!opt.load_path.empty()) {
+    std::printf("loading weights from %s\n", opt.load_path.c_str());
+    nn::load_parameters(*model, opt.load_path);
+  } else {
+    std::printf("training %s on synthetic %s (%lld epochs)...\n",
+                opt.model.c_str(), opt.dataset.c_str(),
+                static_cast<long long>(opt.epochs));
+    const bool no_bn = opt.model == "alexnet" || opt.model == "vgg19" ||
+                       opt.model == "squeezenet";
+    models::train_classifier(*model, ds,
+                             {.epochs = opt.epochs,
+                              .batches_per_epoch = 40,
+                              .batch_size = 12,
+                              .lr = no_bn ? 0.003f : 0.05f,
+                              .seed = opt.seed});
+  }
+  if (!opt.save_path.empty()) {
+    nn::save_parameters(*model, opt.save_path);
+    std::printf("weights saved to %s\n", opt.save_path.c_str());
+  }
+
+  Rng eval_rng(opt.seed + 1);
+  const double acc = models::evaluate_accuracy(*model, ds, 8, 12, eval_rng);
+  std::printf("eval accuracy: %.1f%%\n", 100.0 * acc);
+
+  core::FiConfig fi_cfg{.input_shape = {spec.channels, spec.height, spec.width},
+                        .batch_size = 1};
+  fi_cfg.dtype = parse_dtype(opt.dtype);
+  core::FaultInjector fi(model, fi_cfg);
+  std::printf("instrumented %lld conv layers (%lld neurons)\n",
+              static_cast<long long>(fi.num_layers()),
+              static_cast<long long>(fi.total_neurons()));
+
+  core::CampaignConfig cfg;
+  cfg.trials = opt.trials;
+  cfg.error_model = parse_error_model(opt.error);
+  cfg.layer = opt.layer;
+  cfg.one_fault_per_layer = opt.per_layer;
+  cfg.injections_per_image = 4;
+  cfg.seed = opt.seed + 2;
+  std::printf("campaign: %lld trials, error model %s, dtype %s%s\n",
+              static_cast<long long>(opt.trials), cfg.error_model.name.c_str(),
+              opt.dtype.c_str(), opt.per_layer ? ", one fault per layer" : "");
+
+  const auto r = core::run_classification_campaign(fi, ds, cfg);
+  const auto p = r.corruption_probability();
+  std::printf("\nresults:\n");
+  std::printf("  injected trials      %llu\n",
+              static_cast<unsigned long long>(r.trials));
+  std::printf("  skipped (golden err) %llu\n",
+              static_cast<unsigned long long>(r.skipped));
+  std::printf("  corruptions          %llu\n",
+              static_cast<unsigned long long>(r.corruptions));
+  std::printf("  non-finite outputs   %llu\n",
+              static_cast<unsigned long long>(r.non_finite));
+  std::printf("  P(misclassification) %.4f%%  [99%% CI %.4f%%, %.4f%%]\n",
+              100.0 * p.value, 100.0 * p.lo, 100.0 * p.hi);
+  return 0;
+}

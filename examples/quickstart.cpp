@@ -1,0 +1,55 @@
+// Quickstart: the paper's "three lines of code" workflow (Sec. III-B).
+//
+//   1. build / load a model,
+//   2. initialize the fault injector (profiles the model),
+//   3. declare a perturbation and run.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/fault_injector.hpp"
+#include "models/zoo.hpp"
+
+int main() {
+  using namespace pfi;
+
+  // A model to perturb (any torchvision-style classifier from the zoo).
+  Rng rng(1);
+  auto model = models::make_model("resnet18", {.num_classes = 10}, rng);
+  model->eval();
+
+  // --- The three PyTorchFI steps -------------------------------------------
+  // (1) "import": link against pfi_core.
+  // (2) init: profiles the model with a dummy inference and learns every
+  //     convolution's output shape.
+  core::FaultInjector fi(model, {.input_shape = {3, 32, 32}, .batch_size = 1});
+
+  // (3) perturb: a single random-value neuron fault at a random location —
+  //     the paper's default error model.
+  Rng loc_rng(2);
+  const auto loc = fi.random_neuron_location(loc_rng);
+  fi.declare_neuron_fault(loc, core::random_value(-1.0f, 1.0f));
+  // --------------------------------------------------------------------------
+
+  std::printf("instrumented %lld conv layers, %lld neurons total\n",
+              static_cast<long long>(fi.num_layers()),
+              static_cast<long long>(fi.total_neurons()));
+  std::printf("fault: layer %lld, fmap %lld, position (%lld, %lld)\n",
+              static_cast<long long>(loc.layer), static_cast<long long>(loc.c),
+              static_cast<long long>(loc.h), static_cast<long long>(loc.w));
+
+  Rng data_rng(3);
+  const Tensor image = Tensor::rand({1, 3, 32, 32}, data_rng, -1.0f, 1.0f);
+
+  const Tensor faulty = fi.forward(image);
+  fi.clear();
+  const Tensor golden = fi.forward(image);
+
+  std::printf("golden Top-1: %lld   faulty Top-1: %lld   (%s)\n",
+              static_cast<long long>(golden.argmax()),
+              static_cast<long long>(faulty.argmax()),
+              golden.argmax() == faulty.argmax() ? "fault masked"
+                                                 : "output corrupted!");
+  std::printf("max |logit delta| = %.6f\n", golden.max_abs_diff(faulty));
+  return 0;
+}

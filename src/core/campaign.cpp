@@ -1,0 +1,181 @@
+#include "core/campaign.hpp"
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace pfi::core {
+
+namespace {
+
+/// True when any logit is NaN or infinite.
+bool has_non_finite(const Tensor& logits) {
+  for (const float v : logits.data()) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+bool is_corrupted(const Tensor& golden, const Tensor& faulty,
+                  std::int64_t row, CorruptionCriterion criterion) {
+  switch (criterion) {
+    case CorruptionCriterion::kTop1Mismatch: {
+      const auto g = nn::argmax_rows(golden);
+      const auto f = nn::argmax_rows(faulty);
+      if (g[static_cast<std::size_t>(row)] != f[static_cast<std::size_t>(row)])
+        return true;
+      // NaN logits make argmax meaningless; count them as corruptions, as
+      // the observable output is unusable.
+      return has_non_finite(faulty);
+    }
+    case CorruptionCriterion::kTop1NotInTop5: {
+      const auto g = nn::argmax_rows(golden);
+      return !nn::in_top_k(faulty, row, g[static_cast<std::size_t>(row)], 5) ||
+             has_non_finite(faulty);
+    }
+    case CorruptionCriterion::kNonFiniteOutput:
+      return has_non_finite(faulty);
+  }
+  PFI_CHECK(false) << "unreachable criterion";
+}
+
+}  // namespace
+
+CampaignResult run_classification_campaign(FaultInjector& fi,
+                                           const data::SyntheticDataset& ds,
+                                           const CampaignConfig& config) {
+  PFI_CHECK(config.trials > 0) << "campaign trials=" << config.trials;
+  PFI_CHECK(config.error_model.apply != nullptr)
+      << "campaign error model is unset";
+  PFI_CHECK(config.batch_size >= 1 &&
+            config.batch_size <= fi.config().batch_size)
+      << "campaign batch_size " << config.batch_size
+      << " exceeds injector batch size " << fi.config().batch_size;
+  PFI_CHECK(config.injections_per_image >= 1)
+      << "campaign injections_per_image " << config.injections_per_image;
+
+  Rng rng(config.seed);
+  fi.model().eval();
+  CampaignResult result;
+
+  while (result.trials < static_cast<std::uint64_t>(config.trials)) {
+    const auto batch = ds.sample_batch(config.batch_size, rng);
+
+    // Golden run (dtype emulation still active; faults are not).
+    fi.clear();
+    const Tensor golden = fi.forward(batch.images);
+    const auto golden_top1 = nn::argmax_rows(golden);
+
+    // The paper only injects into inferences that are correct to begin with.
+    std::vector<std::int64_t> eligible;
+    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+      if (golden_top1[i] == batch.labels[i]) {
+        eligible.push_back(static_cast<std::int64_t>(i));
+      } else {
+        ++result.skipped;
+      }
+    }
+    if (eligible.empty()) continue;
+
+    for (std::int64_t rep = 0; rep < config.injections_per_image; ++rep) {
+      NeuronLocation loc;
+      loc.batch = config.same_fault_across_batch
+                      ? kAllBatchElements
+                      : eligible[rng.next_below(eligible.size())];
+      if (config.one_fault_per_layer) {
+        for (std::int64_t l = 0; l < fi.num_layers(); ++l) {
+          NeuronLocation per = fi.random_neuron_location(rng, l);
+          per.batch = loc.batch;
+          fi.declare_neuron_fault(per, config.error_model);
+        }
+      } else {
+        const NeuronLocation drawn =
+            fi.random_neuron_location(rng, config.layer);
+        loc.layer = drawn.layer;
+        loc.c = drawn.c;
+        loc.h = drawn.h;
+        loc.w = drawn.w;
+        fi.declare_neuron_fault(loc, config.error_model);
+      }
+      const Tensor faulty = fi.forward(batch.images);
+      fi.clear();
+
+      if (has_non_finite(faulty)) ++result.non_finite;
+
+      // Score each eligible element the fault touched.
+      for (const std::int64_t row : eligible) {
+        if (loc.batch != kAllBatchElements && loc.batch != row) continue;
+        ++result.trials;
+        if (is_corrupted(golden, faulty, row, config.criterion)) {
+          ++result.corruptions;
+        }
+        if (result.trials >= static_cast<std::uint64_t>(config.trials)) break;
+      }
+      if (result.trials >= static_cast<std::uint64_t>(config.trials)) break;
+    }
+  }
+  return result;
+}
+
+CampaignResult run_weight_campaign(FaultInjector& fi,
+                                   const data::SyntheticDataset& ds,
+                                   const WeightCampaignConfig& config) {
+  PFI_CHECK(config.faults > 0) << "weight campaign faults=" << config.faults;
+  PFI_CHECK(config.images_per_fault > 0 &&
+            config.images_per_fault <= fi.config().batch_size)
+      << "weight campaign images_per_fault=" << config.images_per_fault
+      << " must be in [1, injector batch size " << fi.config().batch_size
+      << "]";
+  PFI_CHECK(config.error_model.apply != nullptr)
+      << "weight campaign error model is unset";
+
+  Rng rng(config.seed);
+  fi.model().eval();
+  CampaignResult result;
+
+  for (std::int64_t f = 0; f < config.faults; ++f) {
+    // Draw the evaluation images first and compute golden outcomes with
+    // pristine weights.
+    const auto batch = ds.sample_batch(config.images_per_fault, rng);
+    fi.clear();
+    const Tensor golden = fi.forward(batch.images).clone();
+    const auto golden_top1 = nn::argmax_rows(golden);
+
+    const WeightLocation loc = fi.random_weight_location(rng, config.layer);
+    fi.declare_weight_fault(loc, config.error_model);
+    const Tensor faulty = fi.forward(batch.images);
+
+    bool any_non_finite = false;
+    for (const float v : faulty.data()) any_non_finite |= !std::isfinite(v);
+    if (any_non_finite) ++result.non_finite;
+
+    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+      if (golden_top1[i] != batch.labels[i]) {
+        ++result.skipped;  // golden already wrong: not a valid experiment
+        continue;
+      }
+      ++result.trials;
+      if (is_corrupted(golden, faulty, static_cast<std::int64_t>(i),
+                       config.criterion)) {
+        ++result.corruptions;
+      }
+    }
+    fi.clear();  // restore the weight
+  }
+  return result;
+}
+
+std::vector<CampaignResult> run_per_layer_campaign(
+    FaultInjector& fi, const data::SyntheticDataset& ds,
+    CampaignConfig config) {
+  std::vector<CampaignResult> out;
+  out.reserve(static_cast<std::size_t>(fi.num_layers()));
+  for (std::int64_t layer = 0; layer < fi.num_layers(); ++layer) {
+    config.layer = layer;
+    config.seed += 1;  // decorrelate layers, keep determinism
+    out.push_back(run_classification_campaign(fi, ds, config));
+  }
+  return out;
+}
+
+}  // namespace pfi::core

@@ -1,0 +1,89 @@
+// Error-injection campaign runner — the methodology of the paper's Fig. 4
+// and Fig. 6 studies (Sec. IV-A, IV-C):
+//
+//   1. draw an input and run a golden (fault-free) inference;
+//   2. skip inputs the model misclassifies ("we only select images that are
+//      correctly classified by the model without perturbations");
+//   3. declare one fault at a random location, run the faulty inference;
+//   4. count an output corruption when the Top-1 class changes;
+//   5. report the corruption probability with its Wilson confidence interval.
+#pragma once
+
+#include "core/fault_injector.hpp"
+#include "data/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace pfi::core {
+
+/// What counts as an output corruption (paper Sec. IV-A lists these as
+/// alternative vulnerability criteria worth studying).
+enum class CorruptionCriterion {
+  kTop1Mismatch,     ///< faulty Top-1 != golden Top-1 (the paper's default)
+  kTop1NotInTop5,    ///< golden Top-1 absent from faulty Top-5
+  kNonFiniteOutput,  ///< any NaN/Inf logit
+};
+
+/// Campaign parameters.
+struct CampaignConfig {
+  std::int64_t trials = 1000;     ///< successful injection experiments
+  ErrorModel error_model;
+  std::int64_t layer = -1;        ///< -1: any layer, else restrict
+  CorruptionCriterion criterion = CorruptionCriterion::kTop1Mismatch;
+  std::uint64_t seed = 7;
+  /// Faults hit one random batch element (false) or the whole batch (true).
+  bool same_fault_across_batch = false;
+  std::int64_t batch_size = 1;
+  /// Number of independent injections performed per correctly-classified
+  /// image (amortizes the golden inference; each injection is still a
+  /// separate faulty inference at a fresh random location).
+  std::int64_t injections_per_image = 1;
+  /// When true, each trial arms one random fault in EVERY instrumented
+  /// layer (the Sec. IV-B / IV-D error model) instead of a single fault at
+  /// one random location. `layer` is ignored in this mode.
+  bool one_fault_per_layer = false;
+};
+
+/// Campaign outcome.
+struct CampaignResult {
+  std::uint64_t trials = 0;       ///< injections into correctly-classified runs
+  std::uint64_t skipped = 0;      ///< inputs skipped (golden run already wrong)
+  std::uint64_t corruptions = 0;  ///< criterion triggered
+  std::uint64_t non_finite = 0;   ///< faulty runs with NaN/Inf logits
+
+  /// Corruption probability with 99% Wilson interval (the paper's Fig. 4
+  /// error bars).
+  Proportion corruption_probability() const {
+    return wilson_interval(corruptions, std::max<std::uint64_t>(1, trials));
+  }
+};
+
+/// Run a neuron-injection campaign on a classification model.
+CampaignResult run_classification_campaign(FaultInjector& fi,
+                                           const data::SyntheticDataset& ds,
+                                           const CampaignConfig& config);
+
+/// Per-layer vulnerability: run one campaign per instrumented layer and
+/// return each layer's corruption probability (Fig. 6's measurement).
+std::vector<CampaignResult> run_per_layer_campaign(
+    FaultInjector& fi, const data::SyntheticDataset& ds,
+    CampaignConfig config);
+
+/// Weight-fault campaign: each trial perturbs ONE random conv weight
+/// (offline, paper Sec. III-B), evaluates `images_per_fault` inputs against
+/// their golden outcomes, then restores the weight. Unlike a neuron fault,
+/// a weight fault corrupts every inference until repaired, so one fault is
+/// scored against several inputs.
+struct WeightCampaignConfig {
+  std::int64_t faults = 200;            ///< distinct weight faults to draw
+  std::int64_t images_per_fault = 4;
+  ErrorModel error_model;
+  std::int64_t layer = -1;              ///< -1: any conv layer
+  CorruptionCriterion criterion = CorruptionCriterion::kTop1Mismatch;
+  std::uint64_t seed = 7;
+};
+
+CampaignResult run_weight_campaign(FaultInjector& fi,
+                                   const data::SyntheticDataset& ds,
+                                   const WeightCampaignConfig& config);
+
+}  // namespace pfi::core

@@ -1,0 +1,132 @@
+#include "core/error_models.hpp"
+
+#include <utility>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace pfi::core {
+
+std::string dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32: return "fp32";
+    case DType::kFloat16: return "fp16";
+    case DType::kInt8: return "int8";
+  }
+  PFI_CHECK(false) << "unreachable dtype";
+}
+
+ErrorModel random_value(float lo, float hi) {
+  PFI_CHECK(lo < hi) << "random_value range [" << lo << ", " << hi << ")";
+  return {"random_value[" + std::to_string(lo) + "," + std::to_string(hi) + "]",
+          [lo, hi](float, const InjectionContext& ctx) {
+            return ctx.rng->uniform(lo, hi);
+          }};
+}
+
+ErrorModel zero_value() {
+  return {"zero_value", [](float, const InjectionContext&) { return 0.0f; }};
+}
+
+ErrorModel constant_value(float v) {
+  return {"constant_value[" + std::to_string(v) + "]",
+          [v](float, const InjectionContext&) { return v; }};
+}
+
+ErrorModel single_bit_flip(int bit) {
+  PFI_CHECK(bit >= -1 && bit < kFloatBits) << "single_bit_flip bit=" << bit;
+  const std::string name =
+      bit < 0 ? "single_bit_flip[random]"
+              : "single_bit_flip[" + std::to_string(bit) + "]";
+  return {name, [bit](float v, const InjectionContext& ctx) {
+            switch (ctx.dtype) {
+              case DType::kFloat32: {
+                const int b = bit >= 0
+                                  ? bit
+                                  : static_cast<int>(ctx.rng->next_below(
+                                        kFloatBits));
+                return flip_float_bit(v, b);
+              }
+              case DType::kFloat16: {
+                const int b =
+                    bit >= 0 ? bit
+                             : static_cast<int>(ctx.rng->next_below(kHalfBits));
+                PFI_CHECK(b < kHalfBits)
+                    << "bit " << b << " out of range for fp16";
+                return flip_fp16_bit(v, b);
+              }
+              case DType::kInt8: {
+                const int b =
+                    bit >= 0 ? bit
+                             : static_cast<int>(ctx.rng->next_below(kInt8Bits));
+                PFI_CHECK(b < kInt8Bits)
+                    << "bit " << b << " out of range for int8";
+                return quant::flip_bit_int8(v, b, ctx.qparams);
+              }
+            }
+            PFI_CHECK(false) << "unreachable dtype";
+          }};
+}
+
+ErrorModel scale_value(float gain) {
+  return {"scale_value[" + std::to_string(gain) + "]",
+          [gain](float v, const InjectionContext&) { return gain * v; }};
+}
+
+ErrorModel multi_bit_flip(int bits) {
+  PFI_CHECK(bits >= 1 && bits <= kFloatBits) << "multi_bit_flip bits=" << bits;
+  return {"multi_bit_flip[" + std::to_string(bits) + "]",
+          [bits](float v, const InjectionContext& ctx) {
+            const int width = ctx.dtype == DType::kInt8
+                                  ? kInt8Bits
+                                  : ctx.dtype == DType::kFloat16 ? kHalfBits
+                                                                 : kFloatBits;
+            PFI_CHECK(bits <= width)
+                << "multi_bit_flip: " << bits << " bits exceed "
+                << dtype_name(ctx.dtype) << " width " << width;
+            // Choose `bits` distinct positions (partial Fisher-Yates).
+            int positions[kFloatBits];
+            for (int i = 0; i < width; ++i) positions[i] = i;
+            float out = v;
+            for (int i = 0; i < bits; ++i) {
+              const int j =
+                  i + static_cast<int>(ctx.rng->next_below(
+                          static_cast<std::uint64_t>(width - i)));
+              std::swap(positions[i], positions[j]);
+              switch (ctx.dtype) {
+                case DType::kFloat32:
+                  out = flip_float_bit(out, positions[i]);
+                  break;
+                case DType::kFloat16:
+                  out = flip_fp16_bit(out, positions[i]);
+                  break;
+                case DType::kInt8:
+                  out = quant::flip_bit_int8(out, positions[i], ctx.qparams);
+                  break;
+              }
+            }
+            return out;
+          }};
+}
+
+ErrorModel sign_flip() {
+  return {"sign_flip", [](float v, const InjectionContext&) { return -v; }};
+}
+
+ErrorModel saturate(float limit) {
+  PFI_CHECK(limit > 0.0f) << "saturate limit=" << limit;
+  return {"saturate[" + std::to_string(limit) + "]",
+          [limit](float v, const InjectionContext&) {
+            return v > limit ? limit : (v < -limit ? -limit : v);
+          }};
+}
+
+ErrorModel additive_noise(float magnitude) {
+  PFI_CHECK(magnitude > 0.0f) << "additive_noise magnitude=" << magnitude;
+  return {"additive_noise[" + std::to_string(magnitude) + "]",
+          [magnitude](float v, const InjectionContext& ctx) {
+            return v + ctx.rng->uniform(-magnitude, magnitude);
+          }};
+}
+
+}  // namespace pfi::core

@@ -1,0 +1,83 @@
+// Perturbation (error) models — the library of value transformations the
+// fault injector applies to neurons and weights.
+//
+// The paper ships "a default set of perturbation models for the user to
+// select from, such as a random value, a single bit flip, or zero value"
+// and lets users "easily implement their own perturbation model"
+// (Sec. III-B step 3). An ErrorModel here is exactly that: a named functor
+// from (current value, injection context) to corrupted value.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "quant/quant.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace pfi::core {
+
+/// Numeric representation the model's activations are treated as.
+/// Mirrors the paper's "model data type (e.g., FP32 or FP16)" init option,
+/// extended with INT8 for the Sec. IV-A quantized campaigns.
+enum class DType { kFloat32, kFloat16, kInt8 };
+
+/// String name of a dtype ("fp32" / "fp16" / "int8").
+std::string dtype_name(DType dtype);
+
+/// Context handed to an error model at injection time.
+struct InjectionContext {
+  std::int64_t layer = 0;       ///< instrumented layer index
+  std::int64_t flat_index = 0;  ///< flat position within the output tensor
+  DType dtype = DType::kFloat32;
+  /// Quantization parameters of the surrounding tensor (meaningful when
+  /// dtype == kInt8; calibrated per layer by the injector).
+  quant::QuantParams qparams;
+  Rng* rng = nullptr;  ///< non-owning; always set by the injector
+};
+
+/// A named perturbation model.
+struct ErrorModel {
+  std::string name;
+  std::function<float(float, const InjectionContext&)> apply;
+};
+
+// -- The paper's built-in model library ----------------------------------------
+
+/// Uniform random replacement in [lo, hi]. With defaults, this is the
+/// paper's default model: "a uniform, random value between [-1,1]"
+/// (Sec. III-C).
+ErrorModel random_value(float lo = -1.0f, float hi = 1.0f);
+
+/// Stuck-at-zero.
+ErrorModel zero_value();
+
+/// Replace with a fixed constant (e.g. the 10,000 used by the Fig. 7
+/// interpretability study).
+ErrorModel constant_value(float v);
+
+/// Single bit flip in the representation selected by the context dtype:
+/// FP32 -> one of 32 bits, FP16 -> one of 16, INT8 -> one of 8 flipped in
+/// the quantized domain. `bit` = -1 flips a uniformly random bit.
+ErrorModel single_bit_flip(int bit = -1);
+
+/// Multiply the value by a constant gain (a "scaling" perturbation).
+ErrorModel scale_value(float gain);
+
+/// Add uniform noise in [-magnitude, magnitude] (adversarial-style additive
+/// perturbation rather than replacement).
+ErrorModel additive_noise(float magnitude);
+
+/// Flip `bits` distinct random bits of the value's representation (in the
+/// context dtype) — a multi-bit upset within one word, e.g. an MBU from a
+/// single particle strike. `bits` must fit the dtype's width.
+ErrorModel multi_bit_flip(int bits);
+
+/// Flip the value's sign (dtype-independent); a common abstract model for
+/// datapath sign errors.
+ErrorModel sign_flip();
+
+/// Clamp-saturate to [-limit, limit] — a stuck-at-rail / saturation model.
+ErrorModel saturate(float limit);
+
+}  // namespace pfi::core

@@ -1,0 +1,367 @@
+#include "core/fault_injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/bits.hpp"
+
+namespace pfi::core {
+
+FaultInjector::FaultInjector(std::shared_ptr<nn::Module> model, FiConfig config)
+    : model_(std::move(model)), config_(std::move(config)), rng_(config_.seed) {
+  PFI_CHECK(model_ != nullptr) << "FaultInjector needs a model";
+  PFI_CHECK(config_.input_shape.size() == 3)
+      << "FiConfig.input_shape must be [C, H, W], got "
+      << shape_to_string(config_.input_shape);
+  PFI_CHECK(config_.batch_size > 0)
+      << "FiConfig.batch_size=" << config_.batch_size;
+
+  // Select instrumented layers: every convolution (the paper's target
+  // operation), plus Linear layers when requested.
+  for (nn::Module* m : model_->modules()) {
+    if (m->kind() == "Conv2d" ||
+        (config_.instrument_linear && m->kind() == "Linear")) {
+      layers_.push_back(m);
+    }
+  }
+  PFI_CHECK(!layers_.empty())
+      << "model has no instrumentable (Conv2d) layers";
+  faults_.resize(layers_.size());
+
+  // Install the hooks up front; each hook body starts with the O(1)
+  // emptiness check the paper's overhead argument rests on.
+  hook_handles_.reserve(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    hook_handles_.push_back(layers_[i]->register_forward_hook(
+        [this, i](nn::Module&, const Tensor&, Tensor& out) {
+          hook_body(static_cast<std::int64_t>(i), out);
+        }));
+  }
+
+  // Profiling dummy pass (paper Sec. III-B step 2): one inference on zeros
+  // to learn each instrumented layer's output shape.
+  const bool was_training = model_->is_training();
+  model_->eval();
+  Shape in_shape{config_.batch_size};
+  in_shape.insert(in_shape.end(), config_.input_shape.begin(),
+                  config_.input_shape.end());
+  (*model_)(Tensor(in_shape));
+  model_->train(was_training);
+
+  layer_shapes_.reserve(layers_.size());
+  for (nn::Module* m : layers_) {
+    const Shape& s = m->last_output_shape();
+    PFI_CHECK(!s.empty())
+        << "profiling pass did not reach layer '" << m->name()
+        << "' — is it connected to the model's forward path?";
+    layer_shapes_.push_back(s);
+    // Only 4-D fmaps participate in random neuron sampling (Linear outputs,
+    // when instrumented, are targeted explicitly by the caller).
+    if (s.size() == 4) total_neurons_ += s[1] * s[2] * s[3];
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  clear();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->remove_hook(hook_handles_[i]);
+  }
+}
+
+const Shape& FaultInjector::layer_shape(std::int64_t layer) const {
+  PFI_CHECK(layer >= 0 && layer < num_layers())
+      << "layer " << layer << " out of range; model has " << num_layers()
+      << " instrumented layers";
+  return layer_shapes_[static_cast<std::size_t>(layer)];
+}
+
+nn::Module& FaultInjector::layer(std::int64_t i) const {
+  PFI_CHECK(i >= 0 && i < num_layers())
+      << "layer " << i << " out of range; model has " << num_layers()
+      << " instrumented layers";
+  return *layers_[static_cast<std::size_t>(i)];
+}
+
+void FaultInjector::declare_neuron_fault(const NeuronLocation& loc,
+                                         ErrorModel model) {
+  const Shape& s = layer_shape(loc.layer);  // validates loc.layer
+  PFI_CHECK(s.size() == 4)
+      << "layer " << loc.layer << " output is " << shape_to_string(s)
+      << ", not a 4-D fmap; neuron coordinates do not apply";
+  PFI_CHECK(loc.batch == kAllBatchElements ||
+            (loc.batch >= 0 && loc.batch < s[0]))
+      << "batch index " << loc.batch << " out of range for layer "
+      << loc.layer << " with batch size " << s[0];
+  PFI_CHECK(loc.c >= 0 && loc.c < s[1])
+      << "feature map " << loc.c << " out of range for layer " << loc.layer
+      << " which has " << s[1] << " fmaps";
+  PFI_CHECK(loc.h >= 0 && loc.h < s[2] && loc.w >= 0 && loc.w < s[3])
+      << "position (" << loc.h << ", " << loc.w << ") out of range for layer "
+      << loc.layer << " fmap of size " << s[2] << "x" << s[3];
+  PFI_CHECK(model.apply != nullptr) << "error model '" << model.name
+                                    << "' has no apply function";
+  faults_[static_cast<std::size_t>(loc.layer)].push_back(
+      {loc, std::move(model), FaultScope::kNeuron});
+}
+
+void FaultInjector::declare_fmap_fault(std::int64_t layer, std::int64_t c,
+                                       std::int64_t batch, ErrorModel model) {
+  const Shape& s = layer_shape(layer);
+  PFI_CHECK(s.size() == 4) << "layer " << layer << " output is "
+                           << shape_to_string(s) << ", not a 4-D fmap";
+  PFI_CHECK(c >= 0 && c < s[1]) << "feature map " << c
+                                << " out of range for layer " << layer
+                                << " which has " << s[1] << " fmaps";
+  PFI_CHECK(batch == kAllBatchElements || (batch >= 0 && batch < s[0]))
+      << "batch index " << batch << " out of range for layer " << layer;
+  PFI_CHECK(model.apply != nullptr) << "error model '" << model.name
+                                    << "' has no apply function";
+  faults_[static_cast<std::size_t>(layer)].push_back(
+      {NeuronLocation{.layer = layer, .batch = batch, .c = c, .h = 0, .w = 0},
+       std::move(model), FaultScope::kFmap});
+}
+
+void FaultInjector::declare_layer_fault(std::int64_t layer, std::int64_t batch,
+                                        ErrorModel model) {
+  const Shape& s = layer_shape(layer);
+  PFI_CHECK(s.size() == 4) << "layer " << layer << " output is "
+                           << shape_to_string(s) << ", not a 4-D fmap";
+  PFI_CHECK(batch == kAllBatchElements || (batch >= 0 && batch < s[0]))
+      << "batch index " << batch << " out of range for layer " << layer;
+  PFI_CHECK(model.apply != nullptr) << "error model '" << model.name
+                                    << "' has no apply function";
+  faults_[static_cast<std::size_t>(layer)].push_back(
+      {NeuronLocation{.layer = layer, .batch = batch},
+       std::move(model), FaultScope::kLayer});
+}
+
+void FaultInjector::declare_weight_fault(const WeightLocation& loc,
+                                         const ErrorModel& model) {
+  nn::Module& m = layer(loc.layer);
+  PFI_CHECK(m.kind() == "Conv2d")
+      << "weight faults target Conv2d layers; layer " << loc.layer << " is "
+      << m.kind();
+  auto& conv = static_cast<nn::Conv2d&>(m);
+  Tensor& w = conv.weight().value;
+  PFI_CHECK(loc.out_c >= 0 && loc.out_c < w.size(0) && loc.in_c >= 0 &&
+            loc.in_c < w.size(1) && loc.kh >= 0 && loc.kh < w.size(2) &&
+            loc.kw >= 0 && loc.kw < w.size(3))
+      << "weight position (" << loc.out_c << ", " << loc.in_c << ", "
+      << loc.kh << ", " << loc.kw << ") out of range for layer " << loc.layer
+      << " weights " << w.to_string();
+  PFI_CHECK(model.apply != nullptr) << "error model '" << model.name
+                                    << "' has no apply function";
+
+  const std::int64_t flat = w.offset_of(loc.out_c, loc.in_c, loc.kh, loc.kw);
+  InjectionContext ctx;
+  ctx.layer = loc.layer;
+  ctx.flat_index = flat;
+  ctx.dtype = config_.dtype;
+  if (config_.dtype == DType::kInt8) ctx.qparams = quant::calibrate(w);
+  ctx.rng = &rng_;
+
+  // Offline corruption: mutate now, remember how to undo.
+  weight_undo_.push_back({&conv.weight(), flat, w[flat]});
+  w[flat] = model.apply(w[flat], ctx);
+  ++injections_;
+}
+
+NeuronLocation FaultInjector::random_neuron_location(Rng& rng,
+                                                     std::int64_t layer) const {
+  NeuronLocation loc;
+  if (layer < 0) {
+    // Weight the draw by layer size so every neuron in the network is
+    // equally likely — the sampling the paper's campaigns use
+    // ("a randomly selected neuron in the DNN", Sec. IV-A).
+    std::int64_t pick = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(total_neurons_)));
+    for (std::size_t i = 0; i < layer_shapes_.size(); ++i) {
+      const Shape& s = layer_shapes_[i];
+      if (s.size() != 4) continue;
+      const std::int64_t count = s[1] * s[2] * s[3];
+      if (pick < count) {
+        loc.layer = static_cast<std::int64_t>(i);
+        loc.c = pick / (s[2] * s[3]);
+        loc.h = (pick / s[3]) % s[2];
+        loc.w = pick % s[3];
+        return loc;
+      }
+      pick -= count;
+    }
+    PFI_CHECK(false) << "neuron sampling fell off the end (internal bug)";
+  }
+  const Shape& s = layer_shape(layer);
+  loc.layer = layer;
+  loc.c = rng.next_int(0, s[1] - 1);
+  loc.h = rng.next_int(0, s[2] - 1);
+  loc.w = rng.next_int(0, s[3] - 1);
+  return loc;
+}
+
+WeightLocation FaultInjector::random_weight_location(Rng& rng,
+                                                     std::int64_t layer) const {
+  std::int64_t chosen = layer;
+  if (chosen < 0) {
+    // Weighted by weight-tensor size.
+    std::int64_t total = 0;
+    for (nn::Module* m : layers_) {
+      if (m->kind() == "Conv2d") {
+        total += static_cast<nn::Conv2d*>(m)->weight().value.numel();
+      }
+    }
+    PFI_CHECK(total > 0) << "no conv weights to sample";
+    std::int64_t pick = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(total)));
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      if (layers_[i]->kind() != "Conv2d") continue;
+      const auto n = static_cast<nn::Conv2d*>(layers_[i])->weight().value.numel();
+      if (pick < n) {
+        chosen = static_cast<std::int64_t>(i);
+        break;
+      }
+      pick -= n;
+    }
+  }
+  nn::Module& m = this->layer(chosen);
+  PFI_CHECK(m.kind() == "Conv2d")
+      << "layer " << chosen << " is " << m.kind() << ", not Conv2d";
+  const Tensor& w = static_cast<nn::Conv2d&>(m).weight().value;
+  WeightLocation loc;
+  loc.layer = chosen;
+  loc.out_c = rng.next_int(0, w.size(0) - 1);
+  loc.in_c = rng.next_int(0, w.size(1) - 1);
+  loc.kh = rng.next_int(0, w.size(2) - 1);
+  loc.kw = rng.next_int(0, w.size(3) - 1);
+  return loc;
+}
+
+void FaultInjector::clear() {
+  for (auto& f : faults_) f.clear();
+  // Undo weight perturbations in reverse declaration order so overlapping
+  // faults restore the true golden value.
+  for (auto it = weight_undo_.rbegin(); it != weight_undo_.rend(); ++it) {
+    it->param->value[it->flat] = it->original;
+  }
+  weight_undo_.clear();
+}
+
+Tensor FaultInjector::forward(const Tensor& input) {
+  PFI_CHECK(input.dim() ==
+            static_cast<std::int64_t>(config_.input_shape.size()) + 1)
+      << "input " << input.to_string() << " does not match configured shape "
+      << shape_to_string(config_.input_shape) << " plus batch dim";
+  for (std::size_t d = 0; d < config_.input_shape.size(); ++d) {
+    PFI_CHECK(input.size(static_cast<std::int64_t>(d) + 1) ==
+              config_.input_shape[d])
+        << "input " << input.to_string() << " does not match configured shape "
+        << shape_to_string(config_.input_shape);
+  }
+  PFI_CHECK(input.size(0) <= config_.batch_size)
+      << "input batch " << input.size(0) << " exceeds configured batch size "
+      << config_.batch_size;
+  return (*model_)(input);
+}
+
+std::string FaultInjector::describe() const {
+  std::ostringstream os;
+  os << "FaultInjector: " << layers_.size() << " instrumented layers, "
+     << total_neurons_ << " neurons, dtype " << dtype_name(config_.dtype)
+     << ", input " << shape_to_string(config_.input_shape) << " x batch "
+     << config_.batch_size << "\n";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    os << "  [" << i << "] " << layers_[i]->kind() << " '"
+       << layers_[i]->name() << "' -> " << shape_to_string(layer_shapes_[i])
+       << " (" << faults_[i].size() << " faults armed)\n";
+  }
+  return os.str();
+}
+
+std::size_t FaultInjector::active_neuron_faults() const {
+  std::size_t n = 0;
+  for (const auto& f : faults_) n += f.size();
+  return n;
+}
+
+void FaultInjector::hook_body(std::int64_t layer_index, Tensor& output) {
+  auto& layer_faults = faults_[static_cast<std::size_t>(layer_index)];
+  // Fast path — the paper's "only a single check on every layer".
+  if (layer_faults.empty() && config_.dtype == DType::kFloat32) return;
+
+  quant::QuantParams qp;
+  switch (config_.dtype) {
+    case DType::kFloat32:
+      break;
+    case DType::kFloat16:
+      // Emulate an FP16 inference: every activation lives on the fp16 grid.
+      output.apply_([](float v) { return round_to_fp16(v); });
+      break;
+    case DType::kInt8:
+      // Emulate INT8 neuron quantization (paper Sec. IV-A): dynamic
+      // per-tensor symmetric calibration, applied on golden and faulty runs
+      // alike so the bit flip happens in the quantized domain.
+      qp = quant::calibrate(output);
+      quant::fake_quantize_(output, qp);
+      break;
+  }
+  if (layer_faults.empty()) return;
+
+  PFI_CHECK(output.dim() == 4)
+      << "neuron faults declared on layer " << layer_index
+      << " but its output is " << output.to_string();
+  InjectionContext ctx;
+  ctx.layer = layer_index;
+  ctx.dtype = config_.dtype;
+  ctx.qparams = qp;
+  ctx.rng = &rng_;
+
+  const auto batch = output.size(0);
+  for (const ArmedFault& fault : layer_faults) {
+    const auto& loc = fault.loc;
+    // Shapes can differ from the profiled ones only in batch size (smaller
+    // final batches are legal); spatial coordinates were validated against
+    // the profiling pass, but re-check here to fail loudly if the model is
+    // reconfigured behind the injector's back.
+    PFI_CHECK(loc.c < output.size(1) && loc.h < output.size(2) &&
+              loc.w < output.size(3))
+        << "declared fault at fmap " << loc.c << ", (" << loc.h << ", "
+        << loc.w << ") no longer fits layer " << layer_index << " output "
+        << output.to_string();
+    const std::int64_t b0 = loc.batch == kAllBatchElements ? 0 : loc.batch;
+    const std::int64_t b1 =
+        loc.batch == kAllBatchElements ? batch : loc.batch + 1;
+    const std::int64_t c0 = fault.scope == FaultScope::kLayer ? 0 : loc.c;
+    const std::int64_t c1 =
+        fault.scope == FaultScope::kLayer ? output.size(1) : loc.c + 1;
+    for (std::int64_t b = b0; b < b1; ++b) {
+      if (b >= batch) break;  // final partial batch
+      if (fault.scope == FaultScope::kNeuron) {
+        const std::int64_t flat = output.offset_of(b, loc.c, loc.h, loc.w);
+        ctx.flat_index = flat;
+        output[flat] = fault.model.apply(output[flat], ctx);
+        ++injections_;
+        continue;
+      }
+      // Fmap / layer scope: corrupt every spatial position of the selected
+      // channel range.
+      for (std::int64_t c = c0; c < c1; ++c) {
+        for (std::int64_t h = 0; h < output.size(2); ++h) {
+          for (std::int64_t w = 0; w < output.size(3); ++w) {
+            const std::int64_t flat = output.offset_of(b, c, h, w);
+            ctx.flat_index = flat;
+            output[flat] = fault.model.apply(output[flat], ctx);
+            ++injections_;
+          }
+        }
+      }
+    }
+  }
+}
+
+void declare_one_fault_per_layer(FaultInjector& fi, const ErrorModel& model,
+                                 Rng& rng) {
+  for (std::int64_t l = 0; l < fi.num_layers(); ++l) {
+    fi.declare_neuron_fault(fi.random_neuron_location(rng, l), model);
+  }
+}
+
+}  // namespace pfi::core

@@ -1,0 +1,168 @@
+// FaultInjector — the core of the library, reproducing PyTorchFI's runtime
+// perturbation mechanism (paper Sec. III).
+//
+// Design decisions carried over from the paper:
+//
+//  * Hook-based neuron injection (Sec. III-A). The injector registers one
+//    forward hook per instrumented layer at construction. The hook body
+//    performs a single emptiness check when no faults are declared — "if
+//    there are no perturbations defined, then there is no overhead"
+//    (Sec. III-C). No graph rewriting, no framework patching.
+//
+//  * Offline weight corruption (Sec. III-B). declare_weight_fault() mutates
+//    the parameter tensor immediately, before inference, so weight faults
+//    add zero work on the forward path. clear() restores golden values.
+//
+//  * Profiling dummy pass (Sec. III-B step 2). Construction runs one dummy
+//    inference to learn every instrumented layer's output shape, enabling
+//    legality checks with precise error messages at declaration time.
+//
+//  * Batch semantics (Sec. III-B step 3). A fault can hit one batch element
+//    or all of them (batch = kAllBatchElements).
+//
+//  * Dtype emulation. With DType::kInt8 the injector fake-quantizes every
+//    instrumented output (per-tensor symmetric INT8) on every forward —
+//    golden and faulty runs alike — so bit flips happen in the quantized
+//    domain exactly as in the paper's Fig. 4 campaign. DType::kFloat16
+//    rounds outputs to the binary16 grid.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/error_models.hpp"
+#include "nn/nn.hpp"
+
+namespace pfi::core {
+
+/// Sentinel: apply the fault to every element of the batch.
+inline constexpr std::int64_t kAllBatchElements = -1;
+
+/// Injector configuration (the arguments of the paper's init step).
+struct FiConfig {
+  Shape input_shape;             ///< per-sample shape [C, H, W]
+  std::int64_t batch_size = 1;
+  DType dtype = DType::kFloat32;
+  bool instrument_linear = false;  ///< extension: also hook Linear layers
+  std::uint64_t seed = 0xf15eedull;
+};
+
+/// Coordinates of a neuron in an instrumented layer's output fmap.
+struct NeuronLocation {
+  std::int64_t layer = 0;
+  std::int64_t batch = kAllBatchElements;
+  std::int64_t c = 0;
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+};
+
+/// Coordinates of a weight in a conv layer's filter bank.
+struct WeightLocation {
+  std::int64_t layer = 0;
+  std::int64_t out_c = 0;
+  std::int64_t in_c = 0;  ///< within the layer's group slice
+  std::int64_t kh = 0;
+  std::int64_t kw = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Instruments `model` (keeps it alive) and runs the profiling pass.
+  FaultInjector(std::shared_ptr<nn::Module> model, FiConfig config);
+
+  /// Removes all hooks and restores any perturbed weights.
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // -- Profiling results ---------------------------------------------------------
+  /// Number of instrumented layers.
+  std::int64_t num_layers() const {
+    return static_cast<std::int64_t>(layers_.size());
+  }
+  /// Output shape [N, C, H, W] of instrumented layer i (from profiling).
+  const Shape& layer_shape(std::int64_t layer) const;
+  /// The instrumented module itself.
+  nn::Module& layer(std::int64_t i) const;
+  /// Total neuron count across all instrumented layers (one batch element).
+  std::int64_t total_neurons() const { return total_neurons_; }
+
+  // -- Fault declaration (the paper's step 3) ---------------------------------------
+  /// Declare a runtime neuron fault; validates coordinates against the
+  /// profiled shapes and throws pfi::Error with context when out of range.
+  void declare_neuron_fault(const NeuronLocation& loc, ErrorModel model);
+
+  /// Perturb a weight immediately (offline, zero runtime cost); restored by
+  /// clear() or destruction.
+  void declare_weight_fault(const WeightLocation& loc, const ErrorModel& model);
+
+  /// Coarser-granularity injection (paper Sec. IV-A's suggested study):
+  /// corrupt EVERY neuron of feature map `c` in `layer` with the model.
+  void declare_fmap_fault(std::int64_t layer, std::int64_t c,
+                          std::int64_t batch, ErrorModel model);
+
+  /// Coarsest granularity: corrupt every neuron the layer produces.
+  void declare_layer_fault(std::int64_t layer, std::int64_t batch,
+                           ErrorModel model);
+
+  /// Uniformly random neuron across all layers (weighted by layer size), or
+  /// within the given layer.
+  NeuronLocation random_neuron_location(Rng& rng, std::int64_t layer = -1) const;
+
+  /// Uniformly random weight position, optionally within one layer.
+  WeightLocation random_weight_location(Rng& rng, std::int64_t layer = -1) const;
+
+  /// Remove all declared neuron faults and restore all perturbed weights.
+  void clear();
+
+  // -- Execution ------------------------------------------------------------------
+  /// Run the instrumented model; shape-checked against the config.
+  Tensor forward(const Tensor& input);
+
+  // -- Introspection ----------------------------------------------------------------
+  std::size_t active_neuron_faults() const;
+  std::uint64_t injections_performed() const { return injections_; }
+
+  /// Human-readable summary of the instrumented model: one line per layer
+  /// with its kind, output shape, and declared fault count — the profiling
+  /// report the paper's init step gathers (Sec. III-B step 2).
+  std::string describe() const;
+  DType dtype() const { return config_.dtype; }
+  const FiConfig& config() const { return config_; }
+  nn::Module& model() { return *model_; }
+
+ private:
+  enum class FaultScope { kNeuron, kFmap, kLayer };
+
+  struct ArmedFault {
+    NeuronLocation loc;
+    ErrorModel model;
+    FaultScope scope = FaultScope::kNeuron;
+  };
+  struct WeightUndo {
+    nn::Parameter* param;
+    std::int64_t flat;
+    float original;
+  };
+
+  void hook_body(std::int64_t layer_index, Tensor& output);
+
+  std::shared_ptr<nn::Module> model_;
+  FiConfig config_;
+  std::vector<nn::Module*> layers_;
+  std::vector<nn::HookHandle> hook_handles_;
+  std::vector<Shape> layer_shapes_;
+  std::vector<std::vector<ArmedFault>> faults_;  // per layer
+  std::vector<WeightUndo> weight_undo_;
+  std::int64_t total_neurons_ = 0;
+  std::uint64_t injections_ = 0;
+  Rng rng_;
+};
+
+/// Convenience for the paper's Fig. 5 detection study: declare one random
+/// neuron fault in every instrumented layer, all using `model`.
+void declare_one_fault_per_layer(FaultInjector& fi, const ErrorModel& model,
+                                 Rng& rng);
+
+}  // namespace pfi::core

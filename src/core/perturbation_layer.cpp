@@ -1,0 +1,47 @@
+#include "core/perturbation_layer.hpp"
+
+#include "core/fault_injector.hpp"
+
+namespace pfi::core {
+
+void PerturbationLayer::arm(std::int64_t batch, std::int64_t c, std::int64_t h,
+                            std::int64_t w, ErrorModel model) {
+  PFI_CHECK(model.apply != nullptr) << "error model '" << model.name
+                                    << "' has no apply function";
+  PFI_CHECK(batch >= kAllBatchElements) << "batch index " << batch;
+  PFI_CHECK(c >= 0 && h >= 0 && w >= 0)
+      << "negative coordinate (" << c << ", " << h << ", " << w << ")";
+  faults_.push_back({batch, c, h, w, std::move(model)});
+}
+
+Tensor PerturbationLayer::forward(const Tensor& input) {
+  // This is the structural cost of the transformation-layer design: the
+  // node exists in the graph for EVERY inference, and to be a well-behaved
+  // layer it must not mutate its input in place, so even the idle path
+  // pays a full copy — unlike the hook, whose idle path is one branch.
+  Tensor out = input.clone();
+  if (faults_.empty()) return out;
+
+  PFI_CHECK(out.dim() == 4)
+      << "PerturbationLayer expects NCHW, got " << out.to_string();
+  InjectionContext ctx;
+  ctx.rng = &rng_;
+  const auto batch = out.size(0);
+  for (const Armed& fault : faults_) {
+    PFI_CHECK(fault.c < out.size(1) && fault.h < out.size(2) &&
+              fault.w < out.size(3))
+        << "armed fault (" << fault.c << ", " << fault.h << ", " << fault.w
+        << ") out of range for " << out.to_string();
+    const std::int64_t b0 = fault.batch == kAllBatchElements ? 0 : fault.batch;
+    const std::int64_t b1 =
+        fault.batch == kAllBatchElements ? batch : fault.batch + 1;
+    for (std::int64_t b = b0; b < b1 && b < batch; ++b) {
+      const auto flat = out.offset_of(b, fault.c, fault.h, fault.w);
+      ctx.flat_index = flat;
+      out[flat] = fault.model.apply(out[flat], ctx);
+    }
+  }
+  return out;
+}
+
+}  // namespace pfi::core

@@ -1,0 +1,49 @@
+// PerturbationLayer — the design alternative the paper REJECTS (Sec. III-A):
+// "The simplest implementation is to append an intermediate layer after
+// every convolutional layer, and apply a transformation layer to perturb
+// output values before proceeding to the next layer in the network.
+// Studying the effects of different perturbation models using this method
+// would require major alterations to the network configuration."
+//
+// It is implemented here for the ablation bench
+// (bench/ablation_hook_vs_layer), which measures its overhead against the
+// hook-based injector and demonstrates the structural cost: every model
+// must be rebuilt with these layers woven through it, whereas hooks attach
+// to any existing model.
+#pragma once
+
+#include "core/error_models.hpp"
+#include "nn/module.hpp"
+
+namespace pfi::core {
+
+/// A graph node that passes activations through, corrupting declared
+/// positions. Identity for backward (matching how injected faults are
+/// treated during FI training).
+class PerturbationLayer final : public nn::Module {
+ public:
+  explicit PerturbationLayer(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Corrupt (c, h, w) of batch element `batch` (kAllBatchElements for all).
+  void arm(std::int64_t batch, std::int64_t c, std::int64_t h, std::int64_t w,
+           ErrorModel model);
+
+  /// Remove all armed perturbations.
+  void disarm() { faults_.clear(); }
+
+  std::size_t armed() const { return faults_.size(); }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override { return grad_output; }
+  std::string kind() const override { return "PerturbationLayer"; }
+
+ private:
+  struct Armed {
+    std::int64_t batch, c, h, w;
+    ErrorModel model;
+  };
+  std::vector<Armed> faults_;
+  Rng rng_;
+};
+
+}  // namespace pfi::core

@@ -1,0 +1,46 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace pfi::core {
+
+void write_campaign_csv(const std::string& path,
+                        const std::vector<CampaignRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  PFI_CHECK(out.good()) << "cannot open '" << path << "' for writing";
+  out << "label,trials,skipped,corruptions,non_finite,p,ci_lo,ci_hi\n";
+  for (const auto& row : rows) {
+    PFI_CHECK(row.label.find(',') == std::string::npos &&
+              row.label.find('\n') == std::string::npos)
+        << "campaign label '" << row.label << "' contains CSV delimiters";
+    const auto p = row.result.corruption_probability();
+    out << row.label << ',' << row.result.trials << ',' << row.result.skipped
+        << ',' << row.result.corruptions << ',' << row.result.non_finite
+        << ',' << std::setprecision(10) << p.value << ',' << p.lo << ','
+        << p.hi << '\n';
+  }
+  PFI_CHECK(out.good()) << "write to '" << path << "' failed";
+}
+
+std::string campaign_table(const std::vector<CampaignRow>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(28) << "label" << std::right << std::setw(10)
+     << "trials" << std::setw(12) << "corruptions" << std::setw(12)
+     << "P(corrupt)" << std::setw(22) << "99% CI" << '\n';
+  for (const auto& row : rows) {
+    const auto p = row.result.corruption_probability();
+    std::ostringstream ci;
+    ci << '[' << std::fixed << std::setprecision(3) << 100.0 * p.lo << ", "
+       << 100.0 * p.hi << "]%";
+    os << std::left << std::setw(28) << row.label << std::right
+       << std::setw(10) << row.result.trials << std::setw(12)
+       << row.result.corruptions << std::setw(11) << std::fixed
+       << std::setprecision(3) << 100.0 * p.value << '%' << std::setw(22)
+       << ci.str() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pfi::core

@@ -1,0 +1,27 @@
+// Campaign result reporting: CSV export and aligned-text tables, so large
+// sweeps (the Fig. 4 / Fig. 6 style studies) can be post-processed or
+// plotted outside the harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace pfi::core {
+
+/// One labelled campaign outcome in a sweep.
+struct CampaignRow {
+  std::string label;  ///< e.g. "alexnet" or "eps=0.5 alpha=0.1"
+  CampaignResult result;
+};
+
+/// Write rows as CSV with header:
+///   label,trials,skipped,corruptions,non_finite,p,ci_lo,ci_hi
+void write_campaign_csv(const std::string& path,
+                        const std::vector<CampaignRow>& rows);
+
+/// Render rows as an aligned text table (the bench output format).
+std::string campaign_table(const std::vector<CampaignRow>& rows);
+
+}  // namespace pfi::core

@@ -1,0 +1,115 @@
+#include "data/detection_scenes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pfi::data {
+
+namespace {
+
+/// True when two boxes overlap by more than a loose threshold; used to keep
+/// generated objects separated so ground truth is unambiguous.
+bool overlaps(const GroundTruthBox& a, const GroundTruthBox& b) {
+  const float dx = std::abs(a.cx - b.cx);
+  const float dy = std::abs(a.cy - b.cy);
+  return dx < (a.w + b.w) * 0.5f && dy < (a.h + b.h) * 0.5f;
+}
+
+}  // namespace
+
+DetectionScene make_scene(const SceneSpec& spec, Rng& rng) {
+  PFI_CHECK(spec.size >= 16) << "scene size " << spec.size;
+  PFI_CHECK(spec.max_objects >= 1) << "scene max_objects " << spec.max_objects;
+  const auto c = spec.channels, s = spec.size;
+
+  DetectionScene scene;
+  scene.image = Tensor({1, c, s, s});
+
+  // Low-intensity textured background.
+  auto* d = scene.image.data().data();
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    float* plane = d + ci * s * s;
+    for (std::int64_t y = 0; y < s; ++y) {
+      for (std::int64_t x = 0; x < s; ++x) {
+        plane[y * s + x] =
+            -0.5f + 0.1f * std::sin(0.7f * static_cast<float>(x)) *
+                        std::cos(0.5f * static_cast<float>(y)) +
+            rng.normal(0.0f, spec.noise_stddev);
+      }
+    }
+  }
+
+  // Place objects with rejection sampling to avoid heavy overlap.
+  const auto target = rng.next_int(1, spec.max_objects);
+  for (std::int64_t obj = 0; obj < target; ++obj) {
+    GroundTruthBox box;
+    bool placed = false;
+    for (int attempt = 0; attempt < 32 && !placed; ++attempt) {
+      const float extent = rng.uniform(spec.min_extent, spec.max_extent);
+      box.w = extent;
+      box.h = extent;
+      box.cx = rng.uniform(extent * 0.5f, 1.0f - extent * 0.5f);
+      box.cy = rng.uniform(extent * 0.5f, 1.0f - extent * 0.5f);
+      box.cls = rng.next_int(0, spec.num_classes - 1);
+      placed = std::none_of(scene.boxes.begin(), scene.boxes.end(),
+                            [&](const auto& b) { return overlaps(box, b); });
+    }
+    if (!placed) continue;  // crowded scene: keep the objects we have
+
+    // Rasterize. Class 0 = filled square, class 1 = filled disk; each class
+    // has a distinct color signature so the detector can classify.
+    const float x0 = (box.cx - box.w * 0.5f) * static_cast<float>(s);
+    const float x1 = (box.cx + box.w * 0.5f) * static_cast<float>(s);
+    const float y0 = (box.cy - box.h * 0.5f) * static_cast<float>(s);
+    const float y1 = (box.cy + box.h * 0.5f) * static_cast<float>(s);
+    const float rad = box.w * 0.5f * static_cast<float>(s);
+    const float ccx = box.cx * static_cast<float>(s);
+    const float ccy = box.cy * static_cast<float>(s);
+
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      // Squares bright in channel 0, disks bright in channel 1 (and both in
+      // channel 2) — linearly separable class evidence.
+      float gain = 0.4f;
+      if (box.cls == 0 && ci == 0) gain = 1.2f;
+      if (box.cls == 1 && ci == 1) gain = 1.2f;
+      float* plane = d + ci * s * s;
+      for (std::int64_t y = std::max<std::int64_t>(0, static_cast<std::int64_t>(y0));
+           y < std::min<std::int64_t>(s, static_cast<std::int64_t>(y1) + 1); ++y) {
+        for (std::int64_t x = std::max<std::int64_t>(0, static_cast<std::int64_t>(x0));
+             x < std::min<std::int64_t>(s, static_cast<std::int64_t>(x1) + 1); ++x) {
+          bool inside;
+          if (box.cls == 0) {
+            inside = static_cast<float>(x) >= x0 && static_cast<float>(x) <= x1 &&
+                     static_cast<float>(y) >= y0 && static_cast<float>(y) <= y1;
+          } else {
+            const float dx = static_cast<float>(x) - ccx;
+            const float dy = static_cast<float>(y) - ccy;
+            inside = dx * dx + dy * dy <= rad * rad;
+          }
+          if (inside) plane[y * s + x] = gain + rng.normal(0.0f, 0.05f);
+        }
+      }
+    }
+    scene.boxes.push_back(box);
+  }
+  return scene;
+}
+
+SceneBatch make_scene_batch(const SceneSpec& spec, std::int64_t n, Rng& rng) {
+  PFI_CHECK(n > 0) << "make_scene_batch n=" << n;
+  SceneBatch batch;
+  batch.images = Tensor({n, spec.channels, spec.size, spec.size});
+  const auto per = spec.channels * spec.size * spec.size;
+  auto dst = batch.images.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    DetectionScene scene = make_scene(spec, rng);
+    auto src = scene.image.data();
+    std::copy(src.begin(), src.end(), dst.begin() + i * per);
+    batch.boxes.push_back(std::move(scene.boxes));
+  }
+  return batch;
+}
+
+}  // namespace pfi::data

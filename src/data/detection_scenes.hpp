@@ -1,0 +1,54 @@
+// Synthetic object-detection scenes (COCO substitute for the Fig. 5 study).
+//
+// Each scene is a textured background with 1..max_objects bright geometric
+// objects — filled squares ("box") and filled circles ("disk") — whose
+// ground-truth bounding boxes are known exactly. The mini-YOLO detector in
+// src/detect/ trains on these scenes; the Fig. 5 bench then injects faults
+// and diffs detections against the fault-free output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace pfi::data {
+
+/// An axis-aligned ground-truth box in normalized [0,1] coordinates.
+struct GroundTruthBox {
+  float cx = 0.0f;  ///< center x
+  float cy = 0.0f;  ///< center y
+  float w = 0.0f;
+  float h = 0.0f;
+  std::int64_t cls = 0;  ///< 0 = square, 1 = disk
+};
+
+/// A rendered scene with its annotations.
+struct DetectionScene {
+  Tensor image;  ///< [1, C, H, W]
+  std::vector<GroundTruthBox> boxes;
+};
+
+/// Scene generator parameters.
+struct SceneSpec {
+  std::int64_t channels = 3;
+  std::int64_t size = 48;       ///< square images
+  std::int64_t max_objects = 3;
+  float min_extent = 0.18f;     ///< object size as a fraction of the image
+  float max_extent = 0.38f;
+  float noise_stddev = 0.08f;
+  std::int64_t num_classes = 2;
+};
+
+/// Render one scene.
+DetectionScene make_scene(const SceneSpec& spec, Rng& rng);
+
+/// Render a batch of scenes stacked into one tensor.
+struct SceneBatch {
+  Tensor images;  ///< [N, C, H, W]
+  std::vector<std::vector<GroundTruthBox>> boxes;  ///< per scene
+};
+SceneBatch make_scene_batch(const SceneSpec& spec, std::int64_t n, Rng& rng);
+
+}  // namespace pfi::data

@@ -1,0 +1,74 @@
+// Procedural synthetic classification datasets.
+//
+// Substitution (see DESIGN.md Sec. 2): the paper evaluates on CIFAR-10,
+// CIFAR-100 and ImageNet. Offline we cannot ship those; instead each class k
+// is a procedurally generated texture — a class-specific oriented sinusoidal
+// grating plus a class-colored Gaussian blob — with per-sample phase jitter,
+// blob position jitter, and additive noise. Small CNNs reach high accuracy
+// on these within seconds of training, which is what the paper's campaign
+// methodology needs: it only injects into inferences that are *correct*
+// without perturbation (Sec. IV-A), so a model that genuinely classifies is
+// a prerequisite for a faithful reproduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace pfi::data {
+
+/// A labelled batch.
+struct Batch {
+  Tensor images;                      ///< [N, C, H, W]
+  std::vector<std::int64_t> labels;   ///< size N
+};
+
+/// Dataset geometry and difficulty.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::int64_t classes = 10;
+  std::int64_t channels = 3;
+  std::int64_t height = 32;
+  std::int64_t width = 32;
+  float noise_stddev = 0.25f;  ///< additive Gaussian pixel noise
+  std::uint64_t seed = 1;      ///< fixes the class->pattern mapping
+};
+
+/// Deterministic class-conditioned image generator.
+class SyntheticDataset {
+ public:
+  explicit SyntheticDataset(SyntheticSpec spec);
+
+  const SyntheticSpec& spec() const { return spec_; }
+
+  /// Render one sample of class `label` using `rng` for jitter and noise.
+  Tensor render(std::int64_t label, Rng& rng) const;
+
+  /// Draw a batch with uniformly random labels.
+  Batch sample_batch(std::int64_t n, Rng& rng) const;
+
+  /// Draw a batch with the given labels.
+  Batch render_batch(const std::vector<std::int64_t>& labels, Rng& rng) const;
+
+ private:
+  struct ClassStyle {
+    float fx, fy, phase;        // grating frequency / phase
+    float color[3];             // per-channel mean offset
+    float blob_cx, blob_cy;     // canonical blob center (0..1)
+    float blob_sigma;           // blob radius as a fraction of image size
+    float blob_gain;
+  };
+
+  SyntheticSpec spec_;
+  std::vector<ClassStyle> styles_;
+};
+
+/// Presets mirroring the paper's three datasets.
+SyntheticSpec cifar10_like();   ///< 3x32x32, 10 classes
+SyntheticSpec cifar100_like();  ///< 3x32x32, 20 classes (reduced from 100)
+SyntheticSpec imagenet_like();  ///< 3x64x64, 16 classes (reduced from 1000)
+
+}  // namespace pfi::data

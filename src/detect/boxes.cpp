@@ -1,0 +1,208 @@
+#include "detect/boxes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pfi::detect {
+
+namespace {
+
+float iou_xywh(float acx, float acy, float aw, float ah, float bcx, float bcy,
+               float bw, float bh) {
+  const float ax0 = acx - aw / 2, ax1 = acx + aw / 2;
+  const float ay0 = acy - ah / 2, ay1 = acy + ah / 2;
+  const float bx0 = bcx - bw / 2, bx1 = bcx + bw / 2;
+  const float by0 = bcy - bh / 2, by1 = bcy + bh / 2;
+  const float ix = std::max(0.0f, std::min(ax1, bx1) - std::max(ax0, bx0));
+  const float iy = std::max(0.0f, std::min(ay1, by1) - std::max(ay0, by0));
+  const float inter = ix * iy;
+  const float uni = aw * ah + bw * bh - inter;
+  return uni <= 0.0f ? 0.0f : inter / uni;
+}
+
+}  // namespace
+
+float iou(const Detection& a, const Detection& b) {
+  return iou_xywh(a.cx, a.cy, a.w, a.h, b.cx, b.cy, b.w, b.h);
+}
+
+float iou(const Detection& a, const data::GroundTruthBox& b) {
+  return iou_xywh(a.cx, a.cy, a.w, a.h, b.cx, b.cy, b.w, b.h);
+}
+
+std::vector<Detection> nms(std::vector<Detection> dets, float iou_threshold) {
+  PFI_CHECK(iou_threshold > 0.0f && iou_threshold <= 1.0f)
+      << "nms threshold " << iou_threshold;
+  std::sort(dets.begin(), dets.end(), [](const auto& a, const auto& b) {
+    return a.confidence > b.confidence;
+  });
+  std::vector<Detection> kept;
+  for (const auto& d : dets) {
+    const bool suppressed =
+        std::any_of(kept.begin(), kept.end(), [&](const auto& k) {
+          return iou(d, k) > iou_threshold;
+        });
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+DetectionDiff diff_detections(const std::vector<Detection>& golden,
+                              const std::vector<Detection>& faulty,
+                              float iou_threshold) {
+  DetectionDiff diff;
+  std::vector<bool> golden_used(golden.size(), false);
+  for (const auto& f : faulty) {
+    float best_iou = 0.0f;
+    std::size_t best = golden.size();
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      if (golden_used[i]) continue;
+      const float v = iou(f, golden[i]);
+      if (v > best_iou) {
+        best_iou = v;
+        best = i;
+      }
+    }
+    if (best < golden.size() && best_iou >= iou_threshold) {
+      golden_used[best] = true;
+      if (golden[best].cls == f.cls) {
+        ++diff.matched;
+      } else {
+        ++diff.reclassified;
+      }
+    } else {
+      ++diff.phantoms;
+    }
+  }
+  for (const bool used : golden_used) {
+    if (!used) ++diff.missed;
+  }
+  return diff;
+}
+
+MatchStats match_against_truth(const std::vector<Detection>& dets,
+                               const std::vector<data::GroundTruthBox>& truth,
+                               float iou_threshold) {
+  MatchStats stats;
+  std::vector<bool> truth_used(truth.size(), false);
+  // Greedy: highest-confidence detections claim ground truth first.
+  std::vector<Detection> sorted = dets;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.confidence > b.confidence;
+  });
+  for (const auto& d : sorted) {
+    float best_iou = 0.0f;
+    std::size_t best = truth.size();
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (truth_used[i] || truth[i].cls != d.cls) continue;
+      const float v = iou(d, truth[i]);
+      if (v > best_iou) {
+        best_iou = v;
+        best = i;
+      }
+    }
+    if (best < truth.size() && best_iou >= iou_threshold) {
+      truth_used[best] = true;
+      ++stats.true_positives;
+    } else {
+      ++stats.false_positives;
+    }
+  }
+  for (const bool used : truth_used) {
+    if (!used) ++stats.false_negatives;
+  }
+  return stats;
+}
+
+double average_precision(
+    const std::vector<ScoredDetection>& detections,
+    const std::vector<std::vector<data::GroundTruthBox>>& truth,
+    std::int64_t cls, float iou_threshold) {
+  // Count ground-truth instances of this class.
+  std::int64_t total_gt = 0;
+  for (const auto& scene : truth) {
+    for (const auto& box : scene) total_gt += box.cls == cls ? 1 : 0;
+  }
+  if (total_gt == 0) return 0.0;
+
+  // Rank this class's detections by confidence.
+  std::vector<ScoredDetection> ranked;
+  for (const auto& d : detections) {
+    PFI_CHECK(d.scene >= 0 &&
+              d.scene < static_cast<std::int64_t>(truth.size()))
+        << "detection references scene " << d.scene << " of " << truth.size();
+    if (d.det.cls == cls) ranked.push_back(d);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.det.confidence > b.det.confidence;
+  });
+
+  // Greedy matching: each ground truth may be claimed once.
+  std::vector<std::vector<bool>> claimed(truth.size());
+  for (std::size_t s = 0; s < truth.size(); ++s) {
+    claimed[s].assign(truth[s].size(), false);
+  }
+  std::vector<double> precision, recall;
+  std::int64_t tp = 0, fp = 0;
+  for (const auto& d : ranked) {
+    const auto& scene_truth = truth[static_cast<std::size_t>(d.scene)];
+    float best_iou = 0.0f;
+    std::size_t best = scene_truth.size();
+    for (std::size_t g = 0; g < scene_truth.size(); ++g) {
+      if (scene_truth[g].cls != cls ||
+          claimed[static_cast<std::size_t>(d.scene)][g]) {
+        continue;
+      }
+      const float v = iou(d.det, scene_truth[g]);
+      if (v > best_iou) {
+        best_iou = v;
+        best = g;
+      }
+    }
+    if (best < scene_truth.size() && best_iou >= iou_threshold) {
+      claimed[static_cast<std::size_t>(d.scene)][best] = true;
+      ++tp;
+    } else {
+      ++fp;
+    }
+    precision.push_back(static_cast<double>(tp) /
+                        static_cast<double>(tp + fp));
+    recall.push_back(static_cast<double>(tp) / static_cast<double>(total_gt));
+  }
+  if (precision.empty()) return 0.0;
+
+  // All-point interpolation: make precision monotonically non-increasing
+  // from the right, then integrate over recall steps.
+  for (std::size_t i = precision.size() - 1; i > 0; --i) {
+    precision[i - 1] = std::max(precision[i - 1], precision[i]);
+  }
+  double ap = recall[0] * precision[0];
+  for (std::size_t i = 1; i < precision.size(); ++i) {
+    ap += (recall[i] - recall[i - 1]) * precision[i];
+  }
+  return ap;
+}
+
+double mean_average_precision(
+    const std::vector<ScoredDetection>& detections,
+    const std::vector<std::vector<data::GroundTruthBox>>& truth,
+    std::int64_t num_classes, float iou_threshold) {
+  PFI_CHECK(num_classes > 0) << "mean_average_precision num_classes="
+                             << num_classes;
+  double total = 0.0;
+  std::int64_t populated = 0;
+  for (std::int64_t cls = 0; cls < num_classes; ++cls) {
+    std::int64_t gt = 0;
+    for (const auto& scene : truth) {
+      for (const auto& box : scene) gt += box.cls == cls ? 1 : 0;
+    }
+    if (gt == 0) continue;  // class absent from the evaluation set
+    total += average_precision(detections, truth, cls, iou_threshold);
+    ++populated;
+  }
+  return populated == 0 ? 0.0 : total / static_cast<double>(populated);
+}
+
+}  // namespace pfi::detect

@@ -1,0 +1,95 @@
+// Bounding-box utilities: IoU, non-maximum suppression, and detection
+// diffing (the measurement behind the paper's Fig. 5 qualitative result —
+// phantom objects appearing under perturbation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/detection_scenes.hpp"
+
+namespace pfi::detect {
+
+/// A decoded detection in normalized [0,1] coordinates.
+struct Detection {
+  float cx = 0.0f;
+  float cy = 0.0f;
+  float w = 0.0f;
+  float h = 0.0f;
+  float confidence = 0.0f;
+  std::int64_t cls = 0;
+};
+
+/// Intersection-over-union of two center-format boxes.
+float iou(const Detection& a, const Detection& b);
+float iou(const Detection& a, const data::GroundTruthBox& b);
+
+/// Greedy class-agnostic non-maximum suppression; keeps detections sorted by
+/// confidence, dropping any with IoU > threshold against a kept one.
+std::vector<Detection> nms(std::vector<Detection> dets, float iou_threshold);
+
+/// Outcome of matching a faulty detection set against the golden set.
+struct DetectionDiff {
+  std::int64_t matched = 0;        ///< same object, same class
+  std::int64_t reclassified = 0;   ///< same object, class changed
+  std::int64_t phantoms = 0;       ///< in faulty but not golden (Fig. 5b!)
+  std::int64_t missed = 0;         ///< in golden but not faulty
+  bool corrupted() const {
+    return phantoms > 0 || missed > 0 || reclassified > 0;
+  }
+};
+
+/// Greedy IoU matching (threshold 0.5 by default) of faulty vs golden
+/// detections.
+DetectionDiff diff_detections(const std::vector<Detection>& golden,
+                              const std::vector<Detection>& faulty,
+                              float iou_threshold = 0.5f);
+
+/// Detection quality against ground truth (used to verify the detector
+/// actually works before injecting).
+struct MatchStats {
+  std::int64_t true_positives = 0;
+  std::int64_t false_positives = 0;
+  std::int64_t false_negatives = 0;
+  double precision() const {
+    const auto d = true_positives + false_positives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+  double recall() const {
+    const auto d = true_positives + false_negatives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Match detections against ground truth with class-aware greedy IoU.
+MatchStats match_against_truth(const std::vector<Detection>& dets,
+                               const std::vector<data::GroundTruthBox>& truth,
+                               float iou_threshold = 0.5f);
+
+/// A detection tagged with the scene it came from, for dataset-level
+/// average-precision computation.
+struct ScoredDetection {
+  std::int64_t scene = 0;
+  Detection det;
+};
+
+/// COCO/VOC-style average precision for one class: detections across all
+/// scenes are ranked by confidence, matched greedily against unclaimed
+/// ground truth (IoU >= threshold, same class), and AP is the area under
+/// the resulting precision-recall curve (all-point interpolation).
+/// Returns 0 when the class has no ground-truth instances.
+double average_precision(const std::vector<ScoredDetection>& detections,
+                         const std::vector<std::vector<data::GroundTruthBox>>& truth,
+                         std::int64_t cls, float iou_threshold = 0.5f);
+
+/// Mean AP over classes [0, num_classes).
+double mean_average_precision(
+    const std::vector<ScoredDetection>& detections,
+    const std::vector<std::vector<data::GroundTruthBox>>& truth,
+    std::int64_t num_classes, float iou_threshold = 0.5f);
+
+}  // namespace pfi::detect

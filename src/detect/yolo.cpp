@@ -1,0 +1,229 @@
+#include "detect/yolo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pfi::detect {
+
+using namespace pfi::nn;
+
+namespace {
+
+float sigmoid(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+
+/// Conv -> BatchNorm -> LeakyReLU, the Darknet building block.
+ModulePtr conv_block(std::int64_t in, std::int64_t out, std::int64_t k,
+                     std::int64_t stride, std::int64_t pad, Rng& rng) {
+  auto seq = std::make_shared<Sequential>();
+  seq->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = in, .out_channels = out, .kernel = k,
+                    .stride = stride, .padding = pad, .bias = false},
+      rng);
+  seq->emplace<BatchNorm2d>(out);
+  seq->emplace<LeakyReLU>(0.1f);
+  return seq;
+}
+
+}  // namespace
+
+std::shared_ptr<Sequential> make_yolo(const YoloConfig& cfg, Rng& rng) {
+  PFI_CHECK(cfg.image_size % cfg.grid == 0)
+      << "image size " << cfg.image_size << " not divisible by grid "
+      << cfg.grid;
+  const std::int64_t stride_total = cfg.image_size / cfg.grid;
+  PFI_CHECK(stride_total == 8)
+      << "backbone downsamples 8x; image_size/grid must be 8, got "
+      << stride_total;
+
+  auto net = std::make_shared<Sequential>();
+  net->push(conv_block(cfg.channels, 16, 3, 1, 1, rng));
+  net->push(conv_block(16, 32, 3, 2, 1, rng));   // S/2
+  net->push(conv_block(32, 32, 3, 1, 1, rng));
+  net->push(conv_block(32, 64, 3, 2, 1, rng));   // S/4
+  net->push(conv_block(64, 64, 3, 1, 1, rng));
+  net->push(conv_block(64, 96, 3, 2, 1, rng));   // S/8 == G
+  // Raw prediction head: plain conv, no activation (decoded explicitly).
+  net->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = 96, .out_channels = cfg.depth(),
+                    .kernel = 1},
+      rng);
+  net->set_name("yolo");
+  return net;
+}
+
+std::vector<Detection> decode(const Tensor& raw, const YoloConfig& cfg,
+                              std::int64_t batch_index,
+                              float confidence_threshold, float nms_iou) {
+  PFI_CHECK(raw.dim() == 4 && raw.size(1) == cfg.depth() &&
+            raw.size(2) == cfg.grid && raw.size(3) == cfg.grid)
+      << "raw head output " << raw.to_string() << " does not match config (D="
+      << cfg.depth() << ", G=" << cfg.grid << ")";
+  PFI_CHECK(batch_index >= 0 && batch_index < raw.size(0))
+      << "batch index " << batch_index << " for " << raw.to_string();
+
+  const auto g = cfg.grid;
+  std::vector<Detection> dets;
+  for (std::int64_t gy = 0; gy < g; ++gy) {
+    for (std::int64_t gx = 0; gx < g; ++gx) {
+      const float conf = sigmoid(raw.at(batch_index, 4, gy, gx));
+      if (!(conf >= confidence_threshold)) continue;  // NaN-safe rejection
+      Detection d;
+      d.confidence = conf;
+      d.cx = (static_cast<float>(gx) +
+              sigmoid(raw.at(batch_index, 0, gy, gx))) /
+             static_cast<float>(g);
+      d.cy = (static_cast<float>(gy) +
+              sigmoid(raw.at(batch_index, 1, gy, gx))) /
+             static_cast<float>(g);
+      d.w = sigmoid(raw.at(batch_index, 2, gy, gx));
+      d.h = sigmoid(raw.at(batch_index, 3, gy, gx));
+      // Class: argmax over logits.
+      std::int64_t best = 0;
+      float best_v = raw.at(batch_index, 5, gy, gx);
+      for (std::int64_t c = 1; c < cfg.num_classes; ++c) {
+        const float v = raw.at(batch_index, 5 + c, gy, gx);
+        if (v > best_v) {
+          best_v = v;
+          best = c;
+        }
+      }
+      d.cls = best;
+      dets.push_back(d);
+    }
+  }
+  return nms(std::move(dets), nms_iou);
+}
+
+YoloLossResult yolo_loss(
+    const Tensor& raw,
+    const std::vector<std::vector<data::GroundTruthBox>>& truth,
+    const YoloConfig& cfg, const YoloLossConfig& weights) {
+  const auto n = raw.size(0), g = cfg.grid;
+  PFI_CHECK(static_cast<std::int64_t>(truth.size()) == n)
+      << "yolo_loss: " << truth.size() << " annotation sets for batch " << n;
+
+  YoloLossResult result;
+  result.grad_raw = Tensor(raw.shape());
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  for (std::int64_t b = 0; b < n; ++b) {
+    // Cell -> ground truth assignment (first box claims the cell).
+    std::vector<const data::GroundTruthBox*> cell_gt(
+        static_cast<std::size_t>(g * g), nullptr);
+    for (const auto& box : truth[static_cast<std::size_t>(b)]) {
+      const auto gx = std::min<std::int64_t>(
+          g - 1, static_cast<std::int64_t>(box.cx * static_cast<float>(g)));
+      const auto gy = std::min<std::int64_t>(
+          g - 1, static_cast<std::int64_t>(box.cy * static_cast<float>(g)));
+      auto& slot = cell_gt[static_cast<std::size_t>(gy * g + gx)];
+      if (slot == nullptr) slot = &box;
+    }
+
+    for (std::int64_t gy = 0; gy < g; ++gy) {
+      for (std::int64_t gx = 0; gx < g; ++gx) {
+        const auto* gt = cell_gt[static_cast<std::size_t>(gy * g + gx)];
+        const float conf_raw = raw.at(b, 4, gy, gx);
+        const float conf = sigmoid(conf_raw);
+
+        if (gt == nullptr) {
+          // No-object cell: push confidence toward zero, down-weighted.
+          total += weights.lambda_noobj * conf * conf;
+          result.grad_raw.at(b, 4, gy, gx) = inv_n * weights.lambda_noobj *
+                                             2.0f * conf * conf *
+                                             (1.0f - conf);
+          continue;
+        }
+
+        // Geometry (sigmoid space) targets.
+        const float targets[4] = {
+            gt->cx * static_cast<float>(g) - static_cast<float>(gx),
+            gt->cy * static_cast<float>(g) - static_cast<float>(gy),
+            gt->w, gt->h};
+        for (int k = 0; k < 4; ++k) {
+          const float r = raw.at(b, k, gy, gx);
+          const float s = sigmoid(r);
+          const float err = s - targets[k];
+          total += weights.lambda_coord * err * err;
+          result.grad_raw.at(b, k, gy, gx) =
+              inv_n * weights.lambda_coord * 2.0f * err * s * (1.0f - s);
+        }
+
+        // Confidence toward 1.
+        const float cerr = conf - 1.0f;
+        total += cerr * cerr;
+        result.grad_raw.at(b, 4, gy, gx) =
+            inv_n * 2.0f * cerr * conf * (1.0f - conf);
+
+        // Class cross-entropy over logits.
+        float mx = raw.at(b, 5, gy, gx);
+        for (std::int64_t c = 1; c < cfg.num_classes; ++c) {
+          mx = std::max(mx, raw.at(b, 5 + c, gy, gx));
+        }
+        float sum = 0.0f;
+        for (std::int64_t c = 0; c < cfg.num_classes; ++c) {
+          sum += std::exp(raw.at(b, 5 + c, gy, gx) - mx);
+        }
+        for (std::int64_t c = 0; c < cfg.num_classes; ++c) {
+          const float p = std::exp(raw.at(b, 5 + c, gy, gx) - mx) / sum;
+          result.grad_raw.at(b, 5 + c, gy, gx) =
+              inv_n * (p - (c == gt->cls ? 1.0f : 0.0f));
+          if (c == gt->cls) total += -std::log(std::max(1e-12f, p));
+        }
+      }
+    }
+  }
+  result.loss = static_cast<float>(total * inv_n);
+  return result;
+}
+
+float train_yolo(nn::Module& model, const data::SceneSpec& scenes,
+                 const YoloConfig& cfg, const YoloTrainConfig& train_cfg) {
+  PFI_CHECK(scenes.size == cfg.image_size)
+      << "scene size " << scenes.size << " != detector image size "
+      << cfg.image_size;
+  Rng rng(train_cfg.seed);
+  Sgd opt(model.parameters(),
+          {.lr = train_cfg.lr, .momentum = train_cfg.momentum,
+           .weight_decay = 1e-4f});
+  model.train();
+  float epoch_loss = 0.0f;
+  for (std::int64_t epoch = 0; epoch < train_cfg.epochs; ++epoch) {
+    epoch_loss = 0.0f;
+    for (std::int64_t b = 0; b < train_cfg.batches_per_epoch; ++b) {
+      const auto batch =
+          data::make_scene_batch(scenes, train_cfg.batch_size, rng);
+      const Tensor raw = model(batch.images);
+      auto res = yolo_loss(raw, batch.boxes, cfg);
+      epoch_loss += res.loss;
+      opt.zero_grad();
+      model.run_backward(res.grad_raw);
+      opt.step();
+    }
+    epoch_loss /= static_cast<float>(train_cfg.batches_per_epoch);
+    opt.set_lr(opt.lr() * 0.9f);
+  }
+  return epoch_loss;
+}
+
+double evaluate_yolo(nn::Module& model, const data::SceneSpec& scenes,
+                     const YoloConfig& cfg, std::int64_t num_scenes, Rng& rng,
+                     float confidence_threshold) {
+  PFI_CHECK(num_scenes > 0) << "evaluate_yolo num_scenes=" << num_scenes;
+  const bool was_training = model.is_training();
+  model.eval();
+  double f1 = 0.0;
+  for (std::int64_t i = 0; i < num_scenes; ++i) {
+    const auto scene = data::make_scene(scenes, rng);
+    const Tensor raw = model(scene.image);
+    const auto dets = decode(raw, cfg, 0, confidence_threshold);
+    f1 += match_against_truth(dets, scene.boxes).f1();
+  }
+  model.train(was_training);
+  return f1 / static_cast<double>(num_scenes);
+}
+
+}  // namespace pfi::detect

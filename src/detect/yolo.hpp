@@ -1,0 +1,76 @@
+// Mini YOLO-style single-scale grid detector (the paper's Fig. 5 substrate).
+//
+// The network is a small conv backbone ending in a 1x1 conv that emits, for
+// every cell of a GxG grid, (tx, ty, tw, th, tconf) + per-class logits.
+// Decoding applies sigmoids to position/size/confidence (YOLOv1-style direct
+// prediction) and argmax over the class logits, then class-agnostic NMS.
+//
+// Training uses the YOLOv1 recipe: squared error on the sigmoid-activated
+// geometry and confidence (down-weighting no-object cells) plus softmax
+// cross-entropy for the class of object cells. Gradients w.r.t. the raw
+// head output are computed analytically and pushed through the backbone
+// with Module::run_backward.
+#pragma once
+
+#include <memory>
+
+#include "data/detection_scenes.hpp"
+#include "detect/boxes.hpp"
+#include "nn/nn.hpp"
+
+namespace pfi::detect {
+
+/// Detector geometry.
+struct YoloConfig {
+  std::int64_t image_size = 48;
+  std::int64_t grid = 6;          ///< G: output is GxG cells
+  std::int64_t num_classes = 2;
+  std::int64_t channels = 3;
+
+  /// Channels per cell in the raw head output: 5 geometry/confidence + C.
+  std::int64_t depth() const { return 5 + num_classes; }
+};
+
+/// YOLO loss weighting (YOLOv1 defaults).
+struct YoloLossConfig {
+  float lambda_coord = 5.0f;   ///< weight of geometry error in object cells
+  float lambda_noobj = 0.5f;   ///< weight of confidence error elsewhere
+};
+
+/// Build the detector backbone: input [N, C, S, S] -> raw [N, depth, G, G].
+std::shared_ptr<nn::Sequential> make_yolo(const YoloConfig& cfg, Rng& rng);
+
+/// Decode a raw head output into thresholded detections (with NMS).
+std::vector<Detection> decode(const Tensor& raw, const YoloConfig& cfg,
+                              std::int64_t batch_index,
+                              float confidence_threshold = 0.5f,
+                              float nms_iou = 0.45f);
+
+/// Loss + gradient of one batch against ground truth.
+struct YoloLossResult {
+  float loss = 0.0f;
+  Tensor grad_raw;  ///< dL/d(raw head output)
+};
+YoloLossResult yolo_loss(const Tensor& raw,
+                         const std::vector<std::vector<data::GroundTruthBox>>& truth,
+                         const YoloConfig& cfg,
+                         const YoloLossConfig& weights = {});
+
+/// Train a detector on synthetic scenes. Returns final-epoch mean loss.
+struct YoloTrainConfig {
+  std::int64_t epochs = 8;
+  std::int64_t batches_per_epoch = 25;
+  std::int64_t batch_size = 8;
+  float lr = 0.02f;
+  float momentum = 0.9f;
+  std::uint64_t seed = 5;
+};
+float train_yolo(nn::Module& model, const data::SceneSpec& scenes,
+                 const YoloConfig& cfg, const YoloTrainConfig& train_cfg);
+
+/// Mean F1 of the detector over freshly generated scenes.
+double evaluate_yolo(nn::Module& model, const data::SceneSpec& scenes,
+                     const YoloConfig& cfg, std::int64_t num_scenes, Rng& rng,
+                     float confidence_threshold = 0.5f);
+
+}  // namespace pfi::detect

@@ -1,0 +1,216 @@
+#include "interpret/gradcam.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+namespace pfi::interpret {
+
+GradCam::GradCam(std::shared_ptr<nn::Module> model, nn::Module& target_layer)
+    : model_(std::move(model)), target_(target_layer) {
+  PFI_CHECK(model_ != nullptr) << "GradCam needs a model";
+  bool found = false;
+  for (nn::Module* m : model_->modules()) found |= m == &target_;
+  PFI_CHECK(found) << "target layer is not part of the model";
+
+  fwd_handle_ = target_.register_forward_hook(
+      [this](nn::Module&, const Tensor&, Tensor& out) {
+        captured_activations_ = out.clone();
+      });
+  bwd_handle_ = target_.register_backward_hook(
+      [this](nn::Module&, Tensor& grad) {
+        captured_gradients_ = grad.clone();
+      });
+}
+
+GradCam::~GradCam() {
+  target_.remove_hook(fwd_handle_);
+  target_.remove_hook(bwd_handle_);
+}
+
+GradCamResult GradCam::compute(const Tensor& image,
+                               std::int64_t target_class) {
+  PFI_CHECK(image.dim() == 4 && image.size(0) == 1)
+      << "GradCam::compute expects a single image [1, C, H, W], got "
+      << image.to_string();
+  captured_activations_ = Tensor();
+  captured_gradients_ = Tensor();
+
+  const Tensor logits = (*model_)(image);
+  PFI_CHECK(logits.dim() == 2) << "model output " << logits.to_string()
+                               << " is not [1, classes]";
+  PFI_CHECK(captured_activations_.defined() &&
+            captured_activations_.dim() == 4)
+      << "target layer did not produce a 4-D fmap during forward";
+
+  GradCamResult result;
+  result.top1 = logits.argmax();
+  const std::int64_t cls = target_class < 0 ? result.top1 : target_class;
+  PFI_CHECK(cls < logits.size(1))
+      << "target class " << cls << " out of range for " << logits.to_string();
+  result.top1_score = logits[result.top1];
+
+  // Backprop d(score of cls)/d(everything); capture at the target layer.
+  Tensor dlogits(logits.shape());
+  dlogits[cls] = 1.0f;
+  model_->run_backward(dlogits);
+  PFI_CHECK(captured_gradients_.defined())
+      << "backward pass did not reach the target layer";
+
+  const auto c = captured_activations_.size(1);
+  const auto h = captured_activations_.size(2);
+  const auto w = captured_activations_.size(3);
+  const auto hw = h * w;
+  result.activations = captured_activations_.reshape({c, h, w});
+  result.gradients = captured_gradients_.reshape({c, h, w});
+
+  // alpha_k = spatial mean of the gradient of channel k.
+  result.fmap_weights.resize(static_cast<std::size_t>(c));
+  const auto* g = result.gradients.data().data();
+  for (std::int64_t k = 0; k < c; ++k) {
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < hw; ++j) acc += g[k * hw + j];
+    result.fmap_weights[static_cast<std::size_t>(k)] =
+        acc / static_cast<float>(hw);
+  }
+
+  // heatmap = ReLU(sum_k alpha_k A_k), normalized to [0, 1].
+  result.heatmap = Tensor({h, w});
+  auto* hm = result.heatmap.data().data();
+  const auto* a = result.activations.data().data();
+  for (std::int64_t k = 0; k < c; ++k) {
+    const float alpha = result.fmap_weights[static_cast<std::size_t>(k)];
+    if (alpha == 0.0f) continue;
+    for (std::int64_t j = 0; j < hw; ++j) hm[j] += alpha * a[k * hw + j];
+  }
+  float mx = 0.0f;
+  for (std::int64_t j = 0; j < hw; ++j) {
+    hm[j] = std::max(0.0f, hm[j]);
+    if (std::isfinite(hm[j])) mx = std::max(mx, hm[j]);
+  }
+  if (mx > 0.0f) {
+    for (std::int64_t j = 0; j < hw; ++j) {
+      hm[j] = std::isfinite(hm[j]) ? hm[j] / mx : 1.0f;
+    }
+  }
+  return result;
+}
+
+std::vector<float> GradCam::channel_sensitivity(const Tensor& image) {
+  PFI_CHECK(image.dim() == 4 && image.size(0) == 1)
+      << "channel_sensitivity expects a single image, got "
+      << image.to_string();
+  captured_activations_ = Tensor();
+  const Tensor logits = (*model_)(image);
+  PFI_CHECK(captured_activations_.defined() &&
+            captured_activations_.dim() == 4)
+      << "target layer did not produce a 4-D fmap during forward";
+  const auto c = captured_activations_.size(1);
+  const auto hw = captured_activations_.size(2) * captured_activations_.size(3);
+  std::vector<float> sensitivity(static_cast<std::size_t>(c), 0.0f);
+
+  for (std::int64_t cls = 0; cls < logits.size(1); ++cls) {
+    captured_gradients_ = Tensor();
+    Tensor dlogits(logits.shape());
+    dlogits[cls] = 1.0f;
+    model_->run_backward(dlogits);
+    PFI_CHECK(captured_gradients_.defined())
+        << "backward pass did not reach the target layer";
+    const auto* g = captured_gradients_.data().data();
+    for (std::int64_t k = 0; k < c; ++k) {
+      float acc = 0.0f;
+      for (std::int64_t j = 0; j < hw; ++j) acc += std::abs(g[k * hw + j]);
+      sensitivity[static_cast<std::size_t>(k)] +=
+          acc / static_cast<float>(hw);
+    }
+  }
+  return sensitivity;
+}
+
+std::int64_t argmax_sensitivity(const std::vector<float>& s) {
+  PFI_CHECK(!s.empty()) << "empty sensitivity vector";
+  return static_cast<std::int64_t>(
+      std::distance(s.begin(), std::max_element(s.begin(), s.end())));
+}
+
+std::int64_t argmin_sensitivity(const std::vector<float>& s) {
+  PFI_CHECK(!s.empty()) << "empty sensitivity vector";
+  return static_cast<std::int64_t>(
+      std::distance(s.begin(), std::min_element(s.begin(), s.end())));
+}
+
+double heatmap_distance(const Tensor& a, const Tensor& b) {
+  PFI_CHECK(a.shape() == b.shape())
+      << "heatmap shapes differ: " << a.to_string() << " vs " << b.to_string();
+  double acc = 0.0;
+  auto pa = a.data();
+  auto pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    acc += std::abs(static_cast<double>(pa[i]) - pb[i]);
+  }
+  return acc / static_cast<double>(pa.size());
+}
+
+namespace {
+
+std::int64_t extreme_fmap(const GradCamResult& r, bool largest) {
+  PFI_CHECK(!r.fmap_weights.empty()) << "empty Grad-CAM result";
+  const auto c = r.gradients.size(0);
+  const auto hw = r.gradients.size(1) * r.gradients.size(2);
+  const auto* g = r.gradients.data().data();
+  std::int64_t best = 0;
+  double best_v = largest ? -1.0 : std::numeric_limits<double>::max();
+  for (std::int64_t k = 0; k < c; ++k) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < hw; ++j) acc += std::abs(g[k * hw + j]);
+    acc /= static_cast<double>(hw);
+    if (largest ? acc > best_v : acc < best_v) {
+      best_v = acc;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::int64_t most_sensitive_fmap(const GradCamResult& r) {
+  return extreme_fmap(r, true);
+}
+
+std::int64_t least_sensitive_fmap(const GradCamResult& r) {
+  return extreme_fmap(r, false);
+}
+
+void write_pgm(const Tensor& heatmap, const std::string& path) {
+  PFI_CHECK(heatmap.dim() == 2) << "write_pgm expects [H, W], got "
+                                << heatmap.to_string();
+  std::ofstream out(path, std::ios::binary);
+  PFI_CHECK(out.good()) << "cannot open '" << path << "' for writing";
+  const auto h = heatmap.size(0), w = heatmap.size(1);
+  out << "P5\n" << w << " " << h << "\n255\n";
+  for (const float v : heatmap.data()) {
+    const float clamped = std::min(1.0f, std::max(0.0f, v));
+    out.put(static_cast<char>(static_cast<unsigned char>(clamped * 255.0f)));
+  }
+  PFI_CHECK(out.good()) << "write to '" << path << "' failed";
+}
+
+std::string render_ascii(const Tensor& heatmap) {
+  PFI_CHECK(heatmap.dim() == 2) << "render_ascii expects [H, W]";
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  const auto h = heatmap.size(0), w = heatmap.size(1);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(h * (w + 1)));
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float v = std::min(1.0f, std::max(0.0f, heatmap.at(y, x)));
+      out.push_back(kRamp[static_cast<int>(v * 9.0f)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace pfi::interpret

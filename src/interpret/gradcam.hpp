@@ -1,0 +1,78 @@
+// Grad-CAM (Selvaraju et al. [39]) — the visualization technique the paper
+// pairs with fault injection in its interpretability use case (Sec. IV-E):
+// inject an egregious value into a feature map and observe whether the
+// class-evidence heatmap (and the Top-1 class) moves.
+//
+// Implementation: a forward hook on the target convolution captures the
+// activations A, a backward hook captures dScore/dA; the heatmap is
+// ReLU(sum_k alpha_k A_k) with alpha_k the spatially-pooled gradient of
+// channel k, upsampled implicitly at the target layer's resolution and
+// normalized to [0, 1].
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/nn.hpp"
+
+namespace pfi::interpret {
+
+/// Output of one Grad-CAM computation.
+struct GradCamResult {
+  Tensor heatmap;      ///< [H, W] at the target layer's resolution, in [0,1]
+  Tensor activations;  ///< [C, H, W] captured at the target layer
+  Tensor gradients;    ///< [C, H, W] dScore/dA at the target layer
+  std::vector<float> fmap_weights;  ///< alpha_k per feature map
+  std::int64_t top1 = 0;            ///< the model's Top-1 class
+  float top1_score = 0.0f;          ///< its logit
+};
+
+/// Grad-CAM engine bound to one model and one target layer.
+class GradCam {
+ public:
+  /// `target_layer` must be a module inside `model` producing a 4-D fmap.
+  GradCam(std::shared_ptr<nn::Module> model, nn::Module& target_layer);
+  ~GradCam();
+
+  GradCam(const GradCam&) = delete;
+  GradCam& operator=(const GradCam&) = delete;
+
+  /// Compute the heatmap for a single image [1, C, H, W]. `target_class`
+  /// -1 explains the model's own Top-1 prediction.
+  GradCamResult compute(const Tensor& image, std::int64_t target_class = -1);
+
+  /// Aggregate per-feature-map sensitivity: sum over ALL classes of the
+  /// mean |d logit_c / dA_k|. A fmap with near-zero gradient for the
+  /// predicted class can still be highly sensitive through other classes'
+  /// logits (and flip the Top-1 when perturbed), so injection studies
+  /// should rank by this, not by the single-class Grad-CAM gradient.
+  std::vector<float> channel_sensitivity(const Tensor& image);
+
+ private:
+  std::shared_ptr<nn::Module> model_;
+  nn::Module& target_;
+  nn::HookHandle fwd_handle_;
+  nn::HookHandle bwd_handle_;
+  Tensor captured_activations_;
+  Tensor captured_gradients_;
+};
+
+/// Mean absolute difference between two same-shaped heatmaps (0 = identical).
+double heatmap_distance(const Tensor& a, const Tensor& b);
+
+/// Index of the feature map with the largest / smallest mean |gradient|
+/// w.r.t. the explained class (the raw Grad-CAM gradient ranking).
+std::int64_t most_sensitive_fmap(const GradCamResult& r);
+std::int64_t least_sensitive_fmap(const GradCamResult& r);
+
+/// Extremes of an aggregate sensitivity vector (channel_sensitivity()).
+std::int64_t argmax_sensitivity(const std::vector<float>& s);
+std::int64_t argmin_sensitivity(const std::vector<float>& s);
+
+/// Write a heatmap as a binary PGM image (values scaled to 0..255).
+void write_pgm(const Tensor& heatmap, const std::string& path);
+
+/// Render a heatmap as coarse ASCII art (for terminal demos).
+std::string render_ascii(const Tensor& heatmap);
+
+}  // namespace pfi::interpret

@@ -1,0 +1,190 @@
+#include "models/blocks.hpp"
+
+namespace pfi::models {
+
+using namespace pfi::nn;
+
+ModulePtr conv_bn_relu(std::int64_t in, std::int64_t out, std::int64_t k,
+                       std::int64_t stride, std::int64_t pad, Rng& rng,
+                       std::int64_t groups) {
+  auto seq = std::make_shared<Sequential>();
+  seq->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = in, .out_channels = out, .kernel = k,
+                    .stride = stride, .padding = pad, .groups = groups,
+                    .bias = false},
+      rng);
+  seq->emplace<BatchNorm2d>(out);
+  seq->emplace<ReLU>();
+  return seq;
+}
+
+ModulePtr conv_bn(std::int64_t in, std::int64_t out, std::int64_t k,
+                  std::int64_t stride, std::int64_t pad, Rng& rng,
+                  std::int64_t groups) {
+  auto seq = std::make_shared<Sequential>();
+  seq->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = in, .out_channels = out, .kernel = k,
+                    .stride = stride, .padding = pad, .groups = groups,
+                    .bias = false},
+      rng);
+  seq->emplace<BatchNorm2d>(out);
+  return seq;
+}
+
+ModulePtr conv_relu(std::int64_t in, std::int64_t out, std::int64_t k,
+                    std::int64_t stride, std::int64_t pad, Rng& rng) {
+  auto seq = std::make_shared<Sequential>();
+  seq->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = in, .out_channels = out, .kernel = k,
+                    .stride = stride, .padding = pad},
+      rng);
+  seq->emplace<ReLU>();
+  return seq;
+}
+
+namespace {
+
+/// Projection shortcut (1x1 conv + BN) when shape changes, identity otherwise.
+ModulePtr make_shortcut(std::int64_t in, std::int64_t out, std::int64_t stride,
+                        Rng& rng) {
+  if (in == out && stride == 1) return std::make_shared<Identity>();
+  return conv_bn(in, out, 1, stride, 0, rng);
+}
+
+}  // namespace
+
+ModulePtr basic_block(std::int64_t in, std::int64_t out, std::int64_t stride,
+                      Rng& rng) {
+  auto main = std::make_shared<Sequential>();
+  main->push(conv_bn_relu(in, out, 3, stride, 1, rng));
+  main->push(conv_bn(out, out, 3, 1, 1, rng));
+  auto block = std::make_shared<Sequential>();
+  block->emplace<Residual>(main, make_shortcut(in, out, stride, rng));
+  block->emplace<ReLU>();
+  return block;
+}
+
+ModulePtr bottleneck_block(std::int64_t in, std::int64_t mid, std::int64_t out,
+                           std::int64_t stride, std::int64_t groups,
+                           Rng& rng) {
+  auto main = std::make_shared<Sequential>();
+  main->push(conv_bn_relu(in, mid, 1, 1, 0, rng));
+  main->push(conv_bn_relu(mid, mid, 3, stride, 1, rng, groups));
+  main->push(conv_bn(mid, out, 1, 1, 0, rng));
+  auto block = std::make_shared<Sequential>();
+  block->emplace<Residual>(main, make_shortcut(in, out, stride, rng));
+  block->emplace<ReLU>();
+  return block;
+}
+
+ModulePtr preact_block(std::int64_t in, std::int64_t out, std::int64_t stride,
+                       Rng& rng) {
+  auto main = std::make_shared<Sequential>();
+  main->emplace<BatchNorm2d>(in);
+  main->emplace<ReLU>();
+  main->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = in, .out_channels = out, .kernel = 3,
+                    .stride = stride, .padding = 1, .bias = false},
+      rng);
+  main->emplace<BatchNorm2d>(out);
+  main->emplace<ReLU>();
+  main->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = out, .out_channels = out, .kernel = 3,
+                    .stride = 1, .padding = 1, .bias = false},
+      rng);
+  ModulePtr shortcut;
+  if (in == out && stride == 1) {
+    shortcut = std::make_shared<Identity>();
+  } else {
+    auto sc = std::make_shared<Sequential>();
+    sc->emplace<Conv2d>(
+        Conv2dOptions{.in_channels = in, .out_channels = out, .kernel = 1,
+                      .stride = stride, .padding = 0, .bias = false},
+        rng);
+    shortcut = sc;
+  }
+  return std::make_shared<Residual>(main, shortcut);
+}
+
+ModulePtr fire_module(std::int64_t in, std::int64_t squeeze,
+                      std::int64_t expand, Rng& rng) {
+  auto seq = std::make_shared<Sequential>();
+  seq->push(conv_relu(in, squeeze, 1, 1, 0, rng));
+  seq->emplace<Concat>(std::vector<ModulePtr>{
+      conv_relu(squeeze, expand, 1, 1, 0, rng),
+      conv_relu(squeeze, expand, 3, 1, 1, rng)});
+  return seq;
+}
+
+ModulePtr inception_module(std::int64_t in, std::int64_t c1, std::int64_t c3r,
+                           std::int64_t c3, std::int64_t c5r, std::int64_t c5,
+                           std::int64_t cp, Rng& rng) {
+  auto branch1 = conv_bn_relu(in, c1, 1, 1, 0, rng);
+
+  auto branch3 = std::make_shared<Sequential>();
+  branch3->push(conv_bn_relu(in, c3r, 1, 1, 0, rng));
+  branch3->push(conv_bn_relu(c3r, c3, 3, 1, 1, rng));
+
+  auto branch5 = std::make_shared<Sequential>();
+  branch5->push(conv_bn_relu(in, c5r, 1, 1, 0, rng));
+  branch5->push(conv_bn_relu(c5r, c5, 5, 1, 2, rng));
+
+  auto branchp = std::make_shared<Sequential>();
+  branchp->emplace<MaxPool2d>(3, 1, 1);
+  branchp->push(conv_bn_relu(in, cp, 1, 1, 0, rng));
+
+  return std::make_shared<Concat>(
+      std::vector<ModulePtr>{branch1, branch3, branch5, branchp});
+}
+
+ModulePtr dw_separable(std::int64_t in, std::int64_t out, std::int64_t stride,
+                       Rng& rng) {
+  auto seq = std::make_shared<Sequential>();
+  seq->push(conv_bn_relu(in, in, 3, stride, 1, rng, /*groups=*/in));
+  seq->push(conv_bn_relu(in, out, 1, 1, 0, rng));
+  return seq;
+}
+
+ModulePtr shuffle_unit(std::int64_t in, std::int64_t out, std::int64_t groups,
+                       std::int64_t stride, Rng& rng) {
+  auto main = std::make_shared<Sequential>();
+  const std::int64_t mid = std::max<std::int64_t>(groups, out / 4);
+  main->push(conv_bn_relu(in, mid, 1, 1, 0, rng, groups));
+  main->emplace<ChannelShuffle>(groups);
+  main->push(conv_bn(mid, mid, 3, stride, 1, rng, /*groups=*/mid));
+  main->push(conv_bn(mid, out, 1, 1, 0, rng, groups));
+  auto block = std::make_shared<Sequential>();
+  block->emplace<Residual>(main, make_shortcut(in, out, stride, rng));
+  block->emplace<ReLU>();
+  return block;
+}
+
+ModulePtr dense_layer(std::int64_t in, std::int64_t growth, Rng& rng) {
+  auto f = std::make_shared<Sequential>();
+  f->emplace<BatchNorm2d>(in);
+  f->emplace<ReLU>();
+  f->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = in, .out_channels = growth, .kernel = 3,
+                    .stride = 1, .padding = 1, .bias = false},
+      rng);
+  return std::make_shared<Concat>(
+      std::vector<ModulePtr>{std::make_shared<Identity>(), f});
+}
+
+ModulePtr dense_transition(std::int64_t in, std::int64_t out, Rng& rng) {
+  auto seq = std::make_shared<Sequential>();
+  seq->push(conv_bn_relu(in, out, 1, 1, 0, rng));
+  seq->emplace<AvgPool2d>(2);
+  return seq;
+}
+
+ModulePtr gap_classifier(std::int64_t channels, std::int64_t classes,
+                         Rng& rng) {
+  auto seq = std::make_shared<Sequential>();
+  seq->emplace<GlobalAvgPool>();
+  seq->emplace<Flatten>();
+  seq->emplace<Linear>(channels, classes, rng);
+  return seq;
+}
+
+}  // namespace pfi::models

@@ -1,0 +1,77 @@
+// Reusable architecture blocks for the model zoo.
+//
+// Each helper returns a ready-wired ModulePtr. The blocks are structurally
+// faithful to their namesake architectures (residual adds, pre-activation
+// ordering, fire modules, inception branches, depthwise separability,
+// channel shuffling, dense connectivity) at reduced channel counts — see
+// DESIGN.md Sec. 2 for why structure, not scale, is what the paper's
+// resiliency results depend on.
+#pragma once
+
+#include "nn/nn.hpp"
+
+namespace pfi::models {
+
+using nn::ModulePtr;
+
+/// Conv -> BatchNorm -> ReLU.
+ModulePtr conv_bn_relu(std::int64_t in, std::int64_t out, std::int64_t k,
+                       std::int64_t stride, std::int64_t pad, Rng& rng,
+                       std::int64_t groups = 1);
+
+/// Conv -> BatchNorm (no activation; used before residual adds).
+ModulePtr conv_bn(std::int64_t in, std::int64_t out, std::int64_t k,
+                  std::int64_t stride, std::int64_t pad, Rng& rng,
+                  std::int64_t groups = 1);
+
+/// Conv -> ReLU (no batch norm; AlexNet / VGG style).
+ModulePtr conv_relu(std::int64_t in, std::int64_t out, std::int64_t k,
+                    std::int64_t stride, std::int64_t pad, Rng& rng);
+
+/// ResNet basic block: two 3x3 convs with identity (or projection) skip,
+/// post-add ReLU.
+ModulePtr basic_block(std::int64_t in, std::int64_t out, std::int64_t stride,
+                      Rng& rng);
+
+/// ResNet bottleneck block: 1x1 reduce -> 3x3 (optionally grouped) -> 1x1
+/// expand, with skip and post-add ReLU. Grouped form is the ResNeXt block.
+ModulePtr bottleneck_block(std::int64_t in, std::int64_t mid, std::int64_t out,
+                           std::int64_t stride, std::int64_t groups, Rng& rng);
+
+/// Pre-activation residual block (PreResNet): BN -> ReLU -> conv, twice,
+/// with skip; no post-add activation.
+ModulePtr preact_block(std::int64_t in, std::int64_t out, std::int64_t stride,
+                       Rng& rng);
+
+/// SqueezeNet fire module: 1x1 squeeze then concatenated 1x1 / 3x3 expands.
+ModulePtr fire_module(std::int64_t in, std::int64_t squeeze,
+                      std::int64_t expand, Rng& rng);
+
+/// GoogLeNet inception module with the canonical four branches
+/// (1x1 | 1x1->3x3 | 1x1->5x5 | pool->1x1). Output channels =
+/// c1 + c3 + c5 + cp.
+ModulePtr inception_module(std::int64_t in, std::int64_t c1, std::int64_t c3r,
+                           std::int64_t c3, std::int64_t c5r, std::int64_t c5,
+                           std::int64_t cp, Rng& rng);
+
+/// MobileNet depthwise-separable unit: 3x3 depthwise + 1x1 pointwise, each
+/// with BN + ReLU.
+ModulePtr dw_separable(std::int64_t in, std::int64_t out, std::int64_t stride,
+                       Rng& rng);
+
+/// ShuffleNet unit: grouped 1x1 -> channel shuffle -> 3x3 depthwise ->
+/// grouped 1x1, residual add, post-add ReLU.
+ModulePtr shuffle_unit(std::int64_t in, std::int64_t out, std::int64_t groups,
+                       std::int64_t stride, Rng& rng);
+
+/// DenseNet layer: out = concat(x, BN-ReLU-conv3x3(x)); grows channels by
+/// `growth`.
+ModulePtr dense_layer(std::int64_t in, std::int64_t growth, Rng& rng);
+
+/// DenseNet transition: 1x1 conv halving channels + 2x2 average pool.
+ModulePtr dense_transition(std::int64_t in, std::int64_t out, Rng& rng);
+
+/// GlobalAvgPool -> Flatten -> Linear classifier head.
+ModulePtr gap_classifier(std::int64_t channels, std::int64_t classes, Rng& rng);
+
+}  // namespace pfi::models

@@ -1,0 +1,107 @@
+#include "models/trainer.hpp"
+
+#include <algorithm>
+
+#include "util/stopwatch.hpp"
+
+namespace pfi::models {
+
+TrainResult train_classifier(nn::Module& model,
+                             const data::SyntheticDataset& ds,
+                             const TrainConfig& config,
+                             const StepHook& before_step,
+                             const PostStepHook& after_step) {
+  PFI_CHECK(config.epochs > 0 && config.batches_per_epoch > 0 &&
+            config.batch_size > 0)
+      << "degenerate TrainConfig";
+  Rng rng(config.seed);
+  nn::Sgd opt(model.parameters(),
+              {.lr = config.lr,
+               .momentum = config.momentum,
+               .weight_decay = config.weight_decay});
+  nn::CrossEntropyLoss ce;
+
+  Stopwatch watch;
+  TrainResult result;
+  model.train();
+  std::int64_t step = 0;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    double epoch_acc = 0.0;
+    for (std::int64_t b = 0; b < config.batches_per_epoch; ++b, ++step) {
+      const auto batch = ds.sample_batch(config.batch_size, rng);
+      if (before_step) before_step(step);
+      const Tensor logits = model(batch.images);
+      const float loss = ce.forward(logits, batch.labels);
+      epoch_loss += loss;
+      epoch_acc += nn::top1_accuracy(logits, batch.labels);
+      opt.zero_grad();
+      model.backward(ce.backward());
+      opt.step();
+      if (after_step) after_step(step);
+    }
+    result.final_loss = epoch_loss / static_cast<double>(config.batches_per_epoch);
+    result.train_accuracy =
+        epoch_acc / static_cast<double>(config.batches_per_epoch);
+    opt.set_lr(opt.lr() * config.lr_decay);
+  }
+  result.steps = step;
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+double evaluate_accuracy(nn::Module& model, const data::SyntheticDataset& ds,
+                         std::int64_t batches, std::int64_t batch_size,
+                         Rng& rng) {
+  PFI_CHECK(batches > 0 && batch_size > 0) << "degenerate eval config";
+  const bool was_training = model.is_training();
+  model.eval();
+  double acc = 0.0;
+  for (std::int64_t b = 0; b < batches; ++b) {
+    const auto batch = ds.sample_batch(batch_size, rng);
+    acc += nn::top1_accuracy(model(batch.images), batch.labels);
+  }
+  model.train(was_training);
+  return acc / static_cast<double>(batches);
+}
+
+data::Batch make_fixed_set(const data::SyntheticDataset& ds, std::int64_t n,
+                           Rng& rng) {
+  PFI_CHECK(n > 0) << "make_fixed_set n=" << n;
+  return ds.sample_batch(n, rng);
+}
+
+double evaluate_on(nn::Module& model, const data::Batch& set,
+                   std::int64_t batch_size) {
+  PFI_CHECK(batch_size > 0) << "evaluate_on batch_size=" << batch_size;
+  const auto n = set.images.size(0);
+  PFI_CHECK(n > 0 && static_cast<std::size_t>(n) == set.labels.size())
+      << "evaluate_on: malformed fixed set (" << n << " images, "
+      << set.labels.size() << " labels)";
+  const bool was_training = model.is_training();
+  model.eval();
+
+  const auto c = set.images.size(1), h = set.images.size(2),
+             w = set.images.size(3);
+  const auto per = c * h * w;
+  const auto src = set.images.data();
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const auto count = std::min(batch_size, n - start);
+    Tensor chunk({count, c, h, w});
+    auto dst = chunk.data();
+    std::copy(src.begin() + start * per, src.begin() + (start + count) * per,
+              dst.begin());
+    const auto preds = nn::argmax_rows(model(chunk));
+    for (std::int64_t i = 0; i < count; ++i) {
+      if (preds[static_cast<std::size_t>(i)] ==
+          set.labels[static_cast<std::size_t>(start + i)]) {
+        ++correct;
+      }
+    }
+  }
+  model.train(was_training);
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace pfi::models

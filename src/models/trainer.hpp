@@ -1,0 +1,68 @@
+// Training and evaluation loops for zoo models on synthetic datasets.
+//
+// Used by:
+//  * every bench that needs a model that genuinely classifies (the paper's
+//    campaigns only inject into correctly-classified inferences);
+//  * the Table I study, which trains ResNet18 with and without error
+//    injection in the forward pass (via the per-step callback, which can
+//    arm a FaultInjector before each training batch).
+#pragma once
+
+#include <functional>
+
+#include "data/synthetic.hpp"
+#include "nn/nn.hpp"
+
+namespace pfi::models {
+
+/// Training hyperparameters.
+struct TrainConfig {
+  std::int64_t epochs = 5;
+  std::int64_t batches_per_epoch = 40;
+  std::int64_t batch_size = 16;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  std::uint64_t seed = 11;
+  /// Multiply lr by this factor after each epoch (simple decay schedule).
+  float lr_decay = 0.9f;
+};
+
+/// Invoked before each training step with the global step index. The
+/// Table I bench uses this to declare a fresh random fault per forward pass.
+using StepHook = std::function<void(std::int64_t step)>;
+/// Invoked after each training step (e.g. to clear faults).
+using PostStepHook = std::function<void(std::int64_t step)>;
+
+/// Outcome of a training run.
+struct TrainResult {
+  double final_loss = 0.0;
+  double train_accuracy = 0.0;  ///< over the last epoch
+  double wall_seconds = 0.0;
+  std::int64_t steps = 0;
+};
+
+/// Train `model` on `ds` with SGD + cross-entropy.
+TrainResult train_classifier(nn::Module& model,
+                             const data::SyntheticDataset& ds,
+                             const TrainConfig& config,
+                             const StepHook& before_step = nullptr,
+                             const PostStepHook& after_step = nullptr);
+
+/// Top-1 accuracy over `batches` freshly drawn eval batches.
+double evaluate_accuracy(nn::Module& model, const data::SyntheticDataset& ds,
+                         std::int64_t batches, std::int64_t batch_size,
+                         Rng& rng);
+
+/// Pre-render a fixed evaluation set of `n` samples — the "separate test
+/// set" of Table I's methodology, letting two models be scored on the very
+/// same inputs.
+data::Batch make_fixed_set(const data::SyntheticDataset& ds, std::int64_t n,
+                           Rng& rng);
+
+/// Top-1 accuracy of `model` over a fixed set, evaluated in chunks of
+/// `batch_size` (the final chunk may be smaller).
+double evaluate_on(nn::Module& model, const data::Batch& set,
+                   std::int64_t batch_size);
+
+}  // namespace pfi::models

@@ -1,0 +1,270 @@
+#include "models/zoo.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "models/blocks.hpp"
+
+namespace pfi::models {
+
+using namespace pfi::nn;
+
+namespace {
+
+/// Shared stem: 3x3 conv to `out` channels; ImageNet-scale inputs (>= 64 px)
+/// get an extra 2x2 max-pool so the trunk always sees ~32x32 features.
+void push_stem_bn(Sequential& net, const ModelConfig& cfg, std::int64_t out,
+                  Rng& rng) {
+  net.push(conv_bn_relu(cfg.in_channels, out, 3, 1, 1, rng));
+  if (cfg.image_size >= 64) net.emplace<MaxPool2d>(2);
+}
+
+std::shared_ptr<Sequential> make_alexnet(const ModelConfig& cfg, Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  net->push(conv_relu(cfg.in_channels, 16, 5, 1, 2, rng));
+  if (cfg.image_size >= 64) net->emplace<MaxPool2d>(2);
+  net->emplace<MaxPool2d>(2);  // 16x16
+  net->push(conv_relu(16, 32, 3, 1, 1, rng));
+  net->emplace<MaxPool2d>(2);  // 8x8
+  net->push(conv_relu(32, 48, 3, 1, 1, rng));
+  net->push(conv_relu(48, 48, 3, 1, 1, rng));
+  net->push(conv_relu(48, 32, 3, 1, 1, rng));
+  net->emplace<MaxPool2d>(2);  // 4x4
+  net->emplace<Flatten>();
+  net->emplace<Dropout>(0.5f, rng);
+  net->emplace<Linear>(32 * 4 * 4, 128, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(128, cfg.num_classes, rng);
+  return net;
+}
+
+std::shared_ptr<Sequential> make_vgg19(const ModelConfig& cfg, Rng& rng) {
+  // VGG19's conv arrangement [2, 2, 4, 4, 4] with a max-pool per group.
+  auto net = std::make_shared<Sequential>();
+  if (cfg.image_size >= 64) net->emplace<MaxPool2d>(2);
+  const std::int64_t group_convs[] = {2, 2, 4, 4, 4};
+  const std::int64_t group_channels[] = {16, 32, 48, 48, 48};
+  std::int64_t in = cfg.in_channels;
+  for (int g = 0; g < 5; ++g) {
+    for (std::int64_t i = 0; i < group_convs[g]; ++i) {
+      net->push(conv_relu(in, group_channels[g], 3, 1, 1, rng));
+      in = group_channels[g];
+    }
+    net->emplace<MaxPool2d>(2);
+  }
+  net->emplace<Flatten>();  // 48 x 1 x 1 after five pools from 32
+  net->emplace<Linear>(48, 64, rng);
+  net->emplace<ReLU>();
+  net->emplace<Dropout>(0.5f, rng);
+  net->emplace<Linear>(64, cfg.num_classes, rng);
+  return net;
+}
+
+std::shared_ptr<Sequential> make_resnet110(const ModelConfig& cfg, Rng& rng) {
+  // CIFAR-style 3-stage residual net (depth reduced from 110).
+  auto net = std::make_shared<Sequential>();
+  push_stem_bn(*net, cfg, 16, rng);
+  for (int i = 0; i < 3; ++i) net->push(basic_block(16, 16, 1, rng));
+  net->push(basic_block(16, 32, 2, rng));
+  for (int i = 0; i < 2; ++i) net->push(basic_block(32, 32, 1, rng));
+  net->push(basic_block(32, 64, 2, rng));
+  for (int i = 0; i < 2; ++i) net->push(basic_block(64, 64, 1, rng));
+  net->push(gap_classifier(64, cfg.num_classes, rng));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_preresnet110(const ModelConfig& cfg,
+                                              Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  push_stem_bn(*net, cfg, 16, rng);
+  for (int i = 0; i < 3; ++i) net->push(preact_block(16, 16, 1, rng));
+  net->push(preact_block(16, 32, 2, rng));
+  for (int i = 0; i < 2; ++i) net->push(preact_block(32, 32, 1, rng));
+  net->push(preact_block(32, 64, 2, rng));
+  for (int i = 0; i < 2; ++i) net->push(preact_block(64, 64, 1, rng));
+  net->emplace<BatchNorm2d>(64);  // final pre-activation norm
+  net->emplace<ReLU>();
+  net->push(gap_classifier(64, cfg.num_classes, rng));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_resnext(const ModelConfig& cfg, Rng& rng) {
+  // Grouped bottlenecks, cardinality 4.
+  auto net = std::make_shared<Sequential>();
+  push_stem_bn(*net, cfg, 16, rng);
+  net->push(bottleneck_block(16, 16, 32, 1, 4, rng));
+  net->push(bottleneck_block(32, 16, 32, 1, 4, rng));
+  net->push(bottleneck_block(32, 32, 64, 2, 4, rng));
+  net->push(bottleneck_block(64, 32, 64, 1, 4, rng));
+  net->push(bottleneck_block(64, 64, 128, 2, 4, rng));
+  net->push(bottleneck_block(128, 64, 128, 1, 4, rng));
+  net->push(gap_classifier(128, cfg.num_classes, rng));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_densenet(const ModelConfig& cfg, Rng& rng) {
+  constexpr std::int64_t kGrowth = 8;
+  auto net = std::make_shared<Sequential>();
+  push_stem_bn(*net, cfg, 16, rng);
+  std::int64_t ch = 16;
+  for (int block = 0; block < 3; ++block) {
+    for (int layer = 0; layer < 4; ++layer) {
+      net->push(dense_layer(ch, kGrowth, rng));
+      ch += kGrowth;
+    }
+    if (block < 2) {
+      net->push(dense_transition(ch, ch / 2, rng));
+      ch /= 2;
+    }
+  }
+  net->emplace<BatchNorm2d>(ch);
+  net->emplace<ReLU>();
+  net->push(gap_classifier(ch, cfg.num_classes, rng));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_googlenet(const ModelConfig& cfg, Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  push_stem_bn(*net, cfg, 16, rng);
+  net->emplace<MaxPool2d>(2);  // 16x16
+  net->push(inception_module(16, 8, 8, 16, 4, 8, 8, rng));     // -> 40
+  net->push(inception_module(40, 16, 16, 24, 8, 12, 12, rng)); // -> 64
+  net->emplace<MaxPool2d>(2);  // 8x8
+  net->push(inception_module(64, 16, 16, 32, 8, 16, 16, rng)); // -> 80
+  net->push(gap_classifier(80, cfg.num_classes, rng));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_mobilenet(const ModelConfig& cfg, Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  push_stem_bn(*net, cfg, 16, rng);
+  net->push(dw_separable(16, 32, 1, rng));
+  net->push(dw_separable(32, 64, 2, rng));
+  net->push(dw_separable(64, 64, 1, rng));
+  net->push(dw_separable(64, 128, 2, rng));
+  net->push(dw_separable(128, 128, 1, rng));
+  net->push(gap_classifier(128, cfg.num_classes, rng));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_shufflenet(const ModelConfig& cfg, Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  push_stem_bn(*net, cfg, 16, rng);
+  net->push(shuffle_unit(16, 32, 4, 2, rng));
+  net->push(shuffle_unit(32, 32, 4, 1, rng));
+  net->push(shuffle_unit(32, 64, 4, 2, rng));
+  net->push(shuffle_unit(64, 64, 4, 1, rng));
+  net->push(gap_classifier(64, cfg.num_classes, rng));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_squeezenet(const ModelConfig& cfg, Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  net->push(conv_relu(cfg.in_channels, 16, 3, 1, 1, rng));
+  if (cfg.image_size >= 64) net->emplace<MaxPool2d>(2);
+  net->emplace<MaxPool2d>(2);
+  net->push(fire_module(16, 8, 16, rng));   // -> 32
+  net->push(fire_module(32, 8, 16, rng));   // -> 32
+  net->emplace<MaxPool2d>(2);
+  net->push(fire_module(32, 16, 24, rng));  // -> 48
+  // SqueezeNet classifies with a 1x1 conv followed by global pooling.
+  net->push(conv_relu(48, cfg.num_classes, 1, 1, 0, rng));
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Flatten>();
+  return net;
+}
+
+std::shared_ptr<Sequential> make_resnet50(const ModelConfig& cfg, Rng& rng) {
+  // Bottleneck residual stages as in ResNet-50 (depth reduced).
+  auto net = std::make_shared<Sequential>();
+  push_stem_bn(*net, cfg, 16, rng);
+  net->push(bottleneck_block(16, 8, 32, 1, 1, rng));
+  net->push(bottleneck_block(32, 8, 32, 1, 1, rng));
+  net->push(bottleneck_block(32, 16, 64, 2, 1, rng));
+  net->push(bottleneck_block(64, 16, 64, 1, 1, rng));
+  net->push(bottleneck_block(64, 32, 128, 2, 1, rng));
+  net->push(bottleneck_block(128, 32, 128, 1, 1, rng));
+  net->push(gap_classifier(128, cfg.num_classes, rng));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_resnet18(const ModelConfig& cfg, Rng& rng) {
+  auto net = std::make_shared<Sequential>();
+  push_stem_bn(*net, cfg, 16, rng);
+  net->push(basic_block(16, 16, 1, rng));
+  net->push(basic_block(16, 16, 1, rng));
+  net->push(basic_block(16, 32, 2, rng));
+  net->push(basic_block(32, 32, 1, rng));
+  net->push(basic_block(32, 64, 2, rng));
+  net->push(basic_block(64, 64, 1, rng));
+  net->push(gap_classifier(64, cfg.num_classes, rng));
+  return net;
+}
+
+using Factory =
+    std::function<std::shared_ptr<Sequential>(const ModelConfig&, Rng&)>;
+
+const std::map<std::string, Factory>& registry() {
+  static const std::map<std::string, Factory> reg = {
+      {"alexnet", make_alexnet},         {"vgg19", make_vgg19},
+      {"resnet110", make_resnet110},     {"preresnet110", make_preresnet110},
+      {"resnext", make_resnext},         {"densenet", make_densenet},
+      {"googlenet", make_googlenet},     {"mobilenet", make_mobilenet},
+      {"shufflenet", make_shufflenet},   {"squeezenet", make_squeezenet},
+      {"resnet50", make_resnet50},       {"resnet18", make_resnet18},
+  };
+  return reg;
+}
+
+}  // namespace
+
+std::shared_ptr<Sequential> make_model(const std::string& name,
+                                       const ModelConfig& config, Rng& rng) {
+  PFI_CHECK(config.num_classes > 1)
+      << "model '" << name << "' needs >= 2 classes";
+  PFI_CHECK(config.image_size == 32 || config.image_size == 64)
+      << "model zoo supports image_size 32 or 64, got " << config.image_size;
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& [n, f] : registry()) known += n + " ";
+    PFI_CHECK(false) << "unknown model '" << name << "'; known models: "
+                     << known;
+  }
+  auto model = it->second(config, rng);
+  model->set_name(name);
+  return model;
+}
+
+std::vector<std::string> model_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [n, f] : registry()) names.push_back(n);
+  return names;
+}
+
+std::vector<Fig3Entry> fig3_networks() {
+  // Paper Fig. 3, left to right: 6 CIFAR-10 nets, 6 CIFAR-100 nets,
+  // 7 ImageNet nets.
+  return {
+      {"cifar10", "alexnet"},   {"cifar10", "densenet"},
+      {"cifar10", "preresnet110"}, {"cifar10", "resnet110"},
+      {"cifar10", "resnext"},   {"cifar10", "vgg19"},
+      {"cifar100", "alexnet"},  {"cifar100", "densenet"},
+      {"cifar100", "preresnet110"}, {"cifar100", "resnet110"},
+      {"cifar100", "resnext"},  {"cifar100", "vgg19"},
+      {"imagenet", "alexnet"},  {"imagenet", "googlenet"},
+      {"imagenet", "mobilenet"}, {"imagenet", "resnet50"},
+      {"imagenet", "shufflenet"}, {"imagenet", "squeezenet"},
+      {"imagenet", "vgg19"},
+  };
+}
+
+std::vector<std::string> fig4_networks() {
+  // Paper Fig. 4: six INT8-quantized ImageNet networks.
+  return {"alexnet",    "googlenet",  "resnet50",
+          "shufflenet", "squeezenet", "vgg19"};
+}
+
+}  // namespace pfi::models

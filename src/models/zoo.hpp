@@ -1,0 +1,50 @@
+// The model zoo: miniature but structurally faithful versions of every
+// network in the paper's evaluation (Fig. 3's 19 dataset/network pairs,
+// Fig. 4's six ImageNet networks, Table I's ResNet18, Fig. 6's AlexNet).
+//
+// Channel counts are scaled down so campaigns run on a CPU in seconds, but
+// each architecture keeps its defining structure: AlexNet/VGG are plain
+// conv stacks with FC heads, ResNet/PreResNet/ResNeXt use (pre-activation /
+// grouped) residual blocks, DenseNet uses dense concatenation, GoogLeNet
+// uses four-branch inception modules, MobileNet uses depthwise-separable
+// convs, ShuffleNet uses grouped 1x1 convs + channel shuffle, SqueezeNet
+// uses fire modules with a conv classifier head.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/nn.hpp"
+
+namespace pfi::models {
+
+/// Geometry of the classification task a model is built for.
+struct ModelConfig {
+  std::int64_t num_classes = 10;
+  std::int64_t in_channels = 3;
+  std::int64_t image_size = 32;  ///< 32 (CIFAR-like) or 64 (ImageNet-like)
+};
+
+/// Build a model by registry name. Throws pfi::Error for unknown names.
+/// Known names: alexnet, vgg19, resnet110, preresnet110, resnext, densenet,
+/// googlenet, mobilenet, shufflenet, squeezenet, resnet50, resnet18.
+std::shared_ptr<nn::Sequential> make_model(const std::string& name,
+                                           const ModelConfig& config, Rng& rng);
+
+/// All registry names, sorted.
+std::vector<std::string> model_names();
+
+/// One row of the paper's Fig. 3 sweep: a (dataset, network) pair.
+struct Fig3Entry {
+  std::string dataset;  ///< "cifar10" | "cifar100" | "imagenet"
+  std::string model;    ///< registry name
+};
+
+/// The 19 network/dataset pairs of Fig. 3, in the paper's order.
+std::vector<Fig3Entry> fig3_networks();
+
+/// The six ImageNet networks of Fig. 4, in the paper's order.
+std::vector<std::string> fig4_networks();
+
+}  // namespace pfi::models

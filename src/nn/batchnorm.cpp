@@ -1,0 +1,153 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+namespace pfi::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : channels_(channels), eps_(eps), momentum_(momentum) {
+  PFI_CHECK(channels_ > 0) << "BatchNorm2d channels=" << channels_;
+  gamma_.name = "weight";
+  gamma_.value = Tensor({channels_}, 1.0f);
+  gamma_.grad = Tensor({channels_});
+  beta_.name = "bias";
+  beta_.value = Tensor({channels_});
+  beta_.grad = Tensor({channels_});
+  running_mean_ = Tensor({channels_});
+  running_var_ = Tensor({channels_}, 1.0f);
+}
+
+std::vector<Parameter*> BatchNorm2d::local_parameters() {
+  return {&gamma_, &beta_};
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  PFI_CHECK(input.dim() == 4 && input.size(1) == channels_)
+      << "BatchNorm2d(" << channels_ << ") got " << input.to_string();
+  const auto n = input.size(0), c = channels_, h = input.size(2),
+             w = input.size(3);
+  const auto hw = h * w;
+  const auto per_channel = n * hw;
+  Tensor out(input.shape());
+  cached_training_ = is_training();
+
+  if (cached_training_) {
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_ = Tensor({c});
+    const auto* in = input.data().data();
+    auto* xhat = cached_xhat_.data().data();
+    auto* o = out.data().data();
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      // Batch mean and (biased) variance over N*H*W for this channel.
+      double mean = 0.0;
+      for (std::int64_t ni = 0; ni < n; ++ni) {
+        const float* plane = in + (ni * c + ci) * hw;
+        for (std::int64_t j = 0; j < hw; ++j) mean += plane[j];
+      }
+      mean /= static_cast<double>(per_channel);
+      double var = 0.0;
+      for (std::int64_t ni = 0; ni < n; ++ni) {
+        const float* plane = in + (ni * c + ci) * hw;
+        for (std::int64_t j = 0; j < hw; ++j) {
+          const double d = plane[j] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(per_channel);
+
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_inv_std_[ci] = inv_std;
+      const float g = gamma_.value[ci], b = beta_.value[ci];
+      const float m = static_cast<float>(mean);
+      for (std::int64_t ni = 0; ni < n; ++ni) {
+        const float* plane = in + (ni * c + ci) * hw;
+        float* xh = xhat + (ni * c + ci) * hw;
+        float* op = o + (ni * c + ci) * hw;
+        for (std::int64_t j = 0; j < hw; ++j) {
+          const float v = (plane[j] - m) * inv_std;
+          xh[j] = v;
+          op[j] = g * v + b;
+        }
+      }
+      running_mean_[ci] =
+          (1.0f - momentum_) * running_mean_[ci] + momentum_ * m;
+      running_var_[ci] = (1.0f - momentum_) * running_var_[ci] +
+                         momentum_ * static_cast<float>(var);
+    }
+  } else {
+    const auto* in = input.data().data();
+    auto* o = out.data().data();
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[ci] + eps_);
+      const float g = gamma_.value[ci] * inv_std;
+      const float b = beta_.value[ci] - running_mean_[ci] * g;
+      for (std::int64_t ni = 0; ni < n; ++ni) {
+        const float* plane = in + (ni * c + ci) * hw;
+        float* op = o + (ni * c + ci) * hw;
+        for (std::int64_t j = 0; j < hw; ++j) op[j] = g * plane[j] + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (!cached_training_) {
+    // Eval mode is a fixed per-channel affine map: dx = gamma * inv_std * dy.
+    // Parameter gradients are not accumulated (eval backward exists for
+    // gradient-based interpretability such as Grad-CAM, not training).
+    Tensor grad_input = grad_output.clone();
+    const auto n = grad_output.size(0), c = channels_,
+               hw = grad_output.size(2) * grad_output.size(3);
+    auto* gi = grad_input.data().data();
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float scale =
+          gamma_.value[ci] / std::sqrt(running_var_[ci] + eps_);
+      for (std::int64_t ni = 0; ni < n; ++ni) {
+        float* plane = gi + (ni * c + ci) * hw;
+        for (std::int64_t j = 0; j < hw; ++j) plane[j] *= scale;
+      }
+    }
+    return grad_input;
+  }
+  PFI_CHECK(cached_xhat_.defined())
+      << "BatchNorm2d::backward requires a preceding training-mode forward";
+  const auto n = grad_output.size(0), c = channels_,
+             hw = grad_output.size(2) * grad_output.size(3);
+  const auto per_channel = n * hw;
+  Tensor grad_input(grad_output.shape());
+  const auto* go = grad_output.data().data();
+  const auto* xhat = cached_xhat_.data().data();
+  auto* gi = grad_input.data().data();
+
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::int64_t ni = 0; ni < n; ++ni) {
+      const float* gp = go + (ni * c + ci) * hw;
+      const float* xp = xhat + (ni * c + ci) * hw;
+      for (std::int64_t j = 0; j < hw; ++j) {
+        sum_g += gp[j];
+        sum_gx += gp[j] * xp[j];
+      }
+    }
+    gamma_.grad[ci] += static_cast<float>(sum_gx);
+    beta_.grad[ci] += static_cast<float>(sum_g);
+
+    const float g = gamma_.value[ci];
+    const float inv_std = cached_inv_std_[ci];
+    const float inv_m = 1.0f / static_cast<float>(per_channel);
+    const float mean_g = static_cast<float>(sum_g) * inv_m;
+    const float mean_gx = static_cast<float>(sum_gx) * inv_m;
+    for (std::int64_t ni = 0; ni < n; ++ni) {
+      const float* gp = go + (ni * c + ci) * hw;
+      const float* xp = xhat + (ni * c + ci) * hw;
+      float* ip = gi + (ni * c + ci) * hw;
+      for (std::int64_t j = 0; j < hw; ++j) {
+        ip[j] = g * inv_std * (gp[j] - mean_g - xp[j] * mean_gx);
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace pfi::nn

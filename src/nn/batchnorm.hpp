@@ -1,0 +1,43 @@
+// Batch normalization over the channel dimension of NCHW activations.
+//
+// Training mode normalizes with batch statistics and maintains running
+// estimates; eval mode uses the running estimates, so inference is a pure
+// per-channel affine transform (as in deployed models the paper perturbs).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace pfi::nn {
+
+class BatchNorm2d final : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::string kind() const override { return "BatchNorm2d"; }
+  std::vector<Parameter*> local_parameters() override;
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_;
+  float momentum_;
+  Parameter gamma_;  // scale, [C]
+  Parameter beta_;   // shift, [C]
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Cached for backward (training mode only).
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // [C]
+  bool cached_training_ = false;
+};
+
+}  // namespace pfi::nn

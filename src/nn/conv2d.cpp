@@ -1,0 +1,220 @@
+#include "nn/conv2d.hpp"
+
+#include "nn/init.hpp"
+
+namespace pfi::nn {
+
+Conv2d::Conv2d(Conv2dOptions opts, Rng& rng) : opts_(opts) {
+  PFI_CHECK(opts_.in_channels > 0 && opts_.out_channels > 0)
+      << "Conv2d channels must be positive";
+  PFI_CHECK(opts_.kernel > 0 && opts_.stride > 0 && opts_.padding >= 0)
+      << "Conv2d geometry invalid: k=" << opts_.kernel << " s=" << opts_.stride
+      << " p=" << opts_.padding;
+  PFI_CHECK(opts_.groups > 0 && opts_.in_channels % opts_.groups == 0 &&
+            opts_.out_channels % opts_.groups == 0)
+      << "Conv2d groups=" << opts_.groups << " must divide in="
+      << opts_.in_channels << " and out=" << opts_.out_channels;
+
+  const auto cin_g = opts_.in_channels / opts_.groups;
+  weight_.name = "weight";
+  weight_.value =
+      Tensor({opts_.out_channels, cin_g, opts_.kernel, opts_.kernel});
+  weight_.grad = Tensor(weight_.value.shape());
+  kaiming_normal_(weight_.value, cin_g * opts_.kernel * opts_.kernel, rng);
+  if (opts_.bias) {
+    bias_.name = "bias";
+    bias_.value = Tensor({opts_.out_channels});
+    bias_.grad = Tensor({opts_.out_channels});
+  }
+}
+
+std::vector<Parameter*> Conv2d::local_parameters() {
+  std::vector<Parameter*> out{&weight_};
+  if (opts_.bias) out.push_back(&bias_);
+  return out;
+}
+
+void Conv2d::im2col(const Tensor& input, std::int64_t n, std::int64_t group,
+                    std::int64_t h_out, std::int64_t w_out, Tensor& col) const {
+  const auto k = opts_.kernel, s = opts_.stride, p = opts_.padding;
+  const auto h_in = input.size(2), w_in = input.size(3);
+  const auto cin_g = opts_.in_channels / opts_.groups;
+  const auto c0 = group * cin_g;
+  const auto* in = input.data().data();
+  auto* out = col.data().data();
+  const auto in_plane = h_in * w_in;
+  const auto in_base = (n * input.size(1) + c0) * in_plane;
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < cin_g; ++c) {
+    const float* plane = in + in_base + c * in_plane;
+    for (std::int64_t kh = 0; kh < k; ++kh) {
+      for (std::int64_t kw = 0; kw < k; ++kw, ++row) {
+        float* dst = out + row * (h_out * w_out);
+        for (std::int64_t oh = 0; oh < h_out; ++oh) {
+          const std::int64_t ih = oh * s - p + kh;
+          if (ih < 0 || ih >= h_in) {
+            for (std::int64_t ow = 0; ow < w_out; ++ow) dst[oh * w_out + ow] = 0.0f;
+            continue;
+          }
+          const float* src_row = plane + ih * w_in;
+          for (std::int64_t ow = 0; ow < w_out; ++ow) {
+            const std::int64_t iw = ow * s - p + kw;
+            dst[oh * w_out + ow] =
+                (iw >= 0 && iw < w_in) ? src_row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const Tensor& col, std::int64_t n, std::int64_t group,
+                    std::int64_t h_out, std::int64_t w_out,
+                    Tensor& grad_input) const {
+  const auto k = opts_.kernel, s = opts_.stride, p = opts_.padding;
+  const auto h_in = grad_input.size(2), w_in = grad_input.size(3);
+  const auto cin_g = opts_.in_channels / opts_.groups;
+  const auto c0 = group * cin_g;
+  const auto* src = col.data().data();
+  auto* dst = grad_input.data().data();
+  const auto in_plane = h_in * w_in;
+  const auto in_base = (n * grad_input.size(1) + c0) * in_plane;
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < cin_g; ++c) {
+    float* plane = dst + in_base + c * in_plane;
+    for (std::int64_t kh = 0; kh < k; ++kh) {
+      for (std::int64_t kw = 0; kw < k; ++kw, ++row) {
+        const float* col_row = src + row * (h_out * w_out);
+        for (std::int64_t oh = 0; oh < h_out; ++oh) {
+          const std::int64_t ih = oh * s - p + kh;
+          if (ih < 0 || ih >= h_in) continue;
+          float* dst_row = plane + ih * w_in;
+          for (std::int64_t ow = 0; ow < w_out; ++ow) {
+            const std::int64_t iw = ow * s - p + kw;
+            if (iw >= 0 && iw < w_in) dst_row[iw] += col_row[oh * w_out + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  PFI_CHECK(input.dim() == 4) << kind() << " expects NCHW, got "
+                              << input.to_string();
+  PFI_CHECK(input.size(1) == opts_.in_channels)
+      << kind() << " expects " << opts_.in_channels << " channels, got "
+      << input.to_string();
+  const auto n_batch = input.size(0);
+  const auto h_out = out_size(input.size(2));
+  const auto w_out = out_size(input.size(3));
+  PFI_CHECK(h_out > 0 && w_out > 0)
+      << kind() << " output would be empty for input " << input.to_string();
+
+  cached_input_ = input;
+  const auto g = opts_.groups;
+  const auto cin_g = opts_.in_channels / g;
+  const auto cout_g = opts_.out_channels / g;
+  const auto col_rows = cin_g * opts_.kernel * opts_.kernel;
+
+  Tensor output({n_batch, opts_.out_channels, h_out, w_out});
+  Tensor col({col_rows, h_out * w_out});
+  // Weight viewed per group as [cout_g, col_rows].
+  const Tensor w_mat = weight_.value.reshape({opts_.out_channels, col_rows});
+
+  for (std::int64_t n = 0; n < n_batch; ++n) {
+    for (std::int64_t grp = 0; grp < g; ++grp) {
+      im2col(input, n, grp, h_out, w_out, col);
+      const auto* wp = w_mat.data().data() + grp * cout_g * col_rows;
+      const auto* cp = col.data().data();
+      auto* op = output.data().data() +
+                 ((n * opts_.out_channels + grp * cout_g) * h_out * w_out);
+      const auto spatial = h_out * w_out;
+      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
+        float* orow = op + oc * spatial;
+        const float b = opts_.bias ? bias_.value[grp * cout_g + oc] : 0.0f;
+        for (std::int64_t j = 0; j < spatial; ++j) orow[j] = b;
+        const float* wrow = wp + oc * col_rows;
+        for (std::int64_t r = 0; r < col_rows; ++r) {
+          const float wv = wrow[r];
+          if (wv == 0.0f) continue;
+          const float* crow = cp + r * spatial;
+          for (std::int64_t j = 0; j < spatial; ++j) orow[j] += wv * crow[j];
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  PFI_CHECK(cached_input_.defined())
+      << kind() << "::backward without a preceding forward";
+  const Tensor& input = cached_input_;
+  const auto n_batch = input.size(0);
+  const auto h_out = grad_output.size(2);
+  const auto w_out = grad_output.size(3);
+  PFI_CHECK(grad_output.size(0) == n_batch &&
+            grad_output.size(1) == opts_.out_channels)
+      << kind() << "::backward grad shape " << grad_output.to_string();
+
+  const auto g = opts_.groups;
+  const auto cin_g = opts_.in_channels / g;
+  const auto cout_g = opts_.out_channels / g;
+  const auto col_rows = cin_g * opts_.kernel * opts_.kernel;
+  const auto spatial = h_out * w_out;
+
+  Tensor grad_input(input.shape());
+  Tensor col({col_rows, spatial});
+  Tensor grad_col({col_rows, spatial});
+  const Tensor w_mat = weight_.value.reshape({opts_.out_channels, col_rows});
+  Tensor gw_mat = weight_.grad.reshape({opts_.out_channels, col_rows});
+
+  for (std::int64_t n = 0; n < n_batch; ++n) {
+    for (std::int64_t grp = 0; grp < g; ++grp) {
+      im2col(input, n, grp, h_out, w_out, col);
+      const auto* go = grad_output.data().data() +
+                       (n * opts_.out_channels + grp * cout_g) * spatial;
+      const auto* cp = col.data().data();
+      const auto* wp = w_mat.data().data() + grp * cout_g * col_rows;
+      auto* gwp = gw_mat.data().data() + grp * cout_g * col_rows;
+
+      // grad_weight += grad_out x col^T ; grad_bias += sum(grad_out)
+      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
+        const float* grow = go + oc * spatial;
+        float* gwrow = gwp + oc * col_rows;
+        for (std::int64_t r = 0; r < col_rows; ++r) {
+          const float* crow = cp + r * spatial;
+          float acc = 0.0f;
+          for (std::int64_t j = 0; j < spatial; ++j) acc += grow[j] * crow[j];
+          gwrow[r] += acc;
+        }
+        if (opts_.bias) {
+          float acc = 0.0f;
+          for (std::int64_t j = 0; j < spatial; ++j) acc += grow[j];
+          bias_.grad[grp * cout_g + oc] += acc;
+        }
+      }
+
+      // grad_col = W^T x grad_out, then scatter back to grad_input.
+      grad_col.fill(0.0f);
+      auto* gcp = grad_col.data().data();
+      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
+        const float* grow = go + oc * spatial;
+        const float* wrow = wp + oc * col_rows;
+        for (std::int64_t r = 0; r < col_rows; ++r) {
+          const float wv = wrow[r];
+          if (wv == 0.0f) continue;
+          float* gcrow = gcp + r * spatial;
+          for (std::int64_t j = 0; j < spatial; ++j) gcrow[j] += wv * grow[j];
+        }
+      }
+      col2im(grad_col, n, grp, h_out, w_out, grad_input);
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace pfi::nn

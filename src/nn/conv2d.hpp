@@ -1,0 +1,64 @@
+// 2-D convolution with stride, zero padding, and groups.
+//
+// Convolutions are the layer class the paper instruments: "PyTorchFI allows
+// users to perform neural network perturbations in weights and/or neurons in
+// convolutional operations of DNNs during execution" (Sec. I). Groups are
+// supported because the Fig. 3 model zoo includes grouped (ResNeXt) and
+// depthwise (MobileNet) convolutions.
+//
+// Implementation: im2col + GEMM per (sample, group); backward recomputes the
+// column matrix rather than caching it, trading FLOPs for memory.
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace pfi::nn {
+
+/// Convolution hyperparameters.
+struct Conv2dOptions {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+  std::int64_t groups = 1;
+  bool bias = true;
+};
+
+class Conv2d final : public Module {
+ public:
+  Conv2d(Conv2dOptions opts, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::string kind() const override { return "Conv2d"; }
+  std::vector<Parameter*> local_parameters() override;
+
+  const Conv2dOptions& options() const { return opts_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  bool has_bias() const { return opts_.bias; }
+
+  /// Output spatial size for a given input spatial size.
+  std::int64_t out_size(std::int64_t in) const {
+    return (in + 2 * opts_.padding - opts_.kernel) / opts_.stride + 1;
+  }
+
+ private:
+  /// Expand one sample's group-slice of input into a column matrix of shape
+  /// [cin_per_group * k * k, h_out * w_out].
+  void im2col(const Tensor& input, std::int64_t n, std::int64_t group,
+              std::int64_t h_out, std::int64_t w_out, Tensor& col) const;
+  /// Scatter-add a column matrix back into one sample's group-slice.
+  void col2im(const Tensor& col, std::int64_t n, std::int64_t group,
+              std::int64_t h_out, std::int64_t w_out, Tensor& grad_input) const;
+
+  Conv2dOptions opts_;
+  Parameter weight_;  // [out_channels, in_channels/groups, k, k]
+  Parameter bias_;    // [out_channels]
+  Tensor cached_input_;
+};
+
+}  // namespace pfi::nn

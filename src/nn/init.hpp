@@ -1,0 +1,24 @@
+// Weight initialization schemes (Kaiming/He and Xavier/Glorot).
+#pragma once
+
+#include <cmath>
+
+#include "tensor/tensor.hpp"
+
+namespace pfi::nn {
+
+/// He-normal initialization: N(0, sqrt(2 / fan_in)). The default for all
+/// conv and linear layers in the model zoo (all use ReLU activations).
+inline void kaiming_normal_(Tensor& t, std::int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (auto& v : t.data()) v = rng.normal(0.0f, stddev);
+}
+
+/// Xavier-uniform initialization: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+inline void xavier_uniform_(Tensor& t, std::int64_t fan_in,
+                            std::int64_t fan_out, Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (auto& v : t.data()) v = rng.uniform(-a, a);
+}
+
+}  // namespace pfi::nn

@@ -1,0 +1,148 @@
+// Small stateless / lightly-stateful layers: activations, pooling, flatten,
+// dropout, channel shuffle, softmax.
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace pfi::nn {
+
+/// Rectified linear unit. The paper highlights ReLU as the main source of
+/// error masking ("it either gets masked out entirely, e.g., due to
+/// activation functions such as ReLU layers", Sec. I).
+class ReLU final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Leaky ReLU (used by the YOLO-style detector backbone).
+class LeakyReLU final : public Module {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.1f) : slope_(negative_slope) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "LeakyReLU"; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+/// Logistic sigmoid.
+class Sigmoid final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Row-wise softmax over a [N, C] tensor (the classification head's final
+/// probability distribution, paper Sec. II-A).
+class Softmax final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Softmax"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Max pooling with cached argmax indices for backward.
+class MaxPool2d final : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride = 0,
+            std::int64_t padding = 0);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "MaxPool2d"; }
+
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t padding() const { return padding_; }
+
+ private:
+  std::int64_t kernel_, stride_, padding_;
+  Shape input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling.
+class AvgPool2d final : public Module {
+ public:
+  AvgPool2d(std::int64_t kernel, std::int64_t stride = 0);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "AvgPool2d"; }
+
+ private:
+  std::int64_t kernel_, stride_;
+  Shape input_shape_;
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C, 1, 1].
+class GlobalAvgPool final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape input_shape_;
+};
+
+/// Collapse [N, C, H, W] -> [N, C*H*W] between conv features and FC head.
+class Flatten final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+/// Inverted dropout; identity in eval mode.
+class Dropout final : public Module {
+ public:
+  Dropout(float p, Rng& rng);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Dropout"; }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+/// ShuffleNet channel shuffle: regroup channels across group convolutions.
+class ChannelShuffle final : public Module {
+ public:
+  explicit ChannelShuffle(std::int64_t groups);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "ChannelShuffle"; }
+
+ private:
+  Tensor shuffle(const Tensor& x, std::int64_t groups) const;
+  std::int64_t groups_;
+};
+
+/// Identity layer (useful as a no-op shortcut branch).
+class Identity final : public Module {
+ public:
+  Tensor forward(const Tensor& input) override { return input; }
+  Tensor backward(const Tensor& grad_output) override { return grad_output; }
+  std::string kind() const override { return "Identity"; }
+};
+
+}  // namespace pfi::nn

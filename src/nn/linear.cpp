@@ -1,0 +1,84 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+
+namespace pfi::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features), has_bias_(bias) {
+  PFI_CHECK(in_ > 0 && out_ > 0) << "Linear dims must be positive";
+  weight_.name = "weight";
+  weight_.value = Tensor({out_, in_});
+  weight_.grad = Tensor({out_, in_});
+  kaiming_normal_(weight_.value, in_, rng);
+  if (has_bias_) {
+    bias_.name = "bias";
+    bias_.value = Tensor({out_});
+    bias_.grad = Tensor({out_});
+  }
+}
+
+std::vector<Parameter*> Linear::local_parameters() {
+  std::vector<Parameter*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  PFI_CHECK(input.dim() == 2 && input.size(1) == in_)
+      << "Linear(" << in_ << " -> " << out_ << ") got " << input.to_string();
+  cached_input_ = input;
+  const auto n = input.size(0);
+  Tensor output({n, out_});
+  const auto* x = input.data().data();
+  const auto* w = weight_.value.data().data();
+  auto* y = output.data().data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* xr = x + i * in_;
+    float* yr = y + i * out_;
+    for (std::int64_t o = 0; o < out_; ++o) {
+      const float* wr = w + o * in_;
+      float acc = has_bias_ ? bias_.value[o] : 0.0f;
+      for (std::int64_t k = 0; k < in_; ++k) acc += xr[k] * wr[k];
+      yr[o] = acc;
+    }
+  }
+  return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  PFI_CHECK(cached_input_.defined())
+      << "Linear::backward without a preceding forward";
+  const auto n = cached_input_.size(0);
+  PFI_CHECK(grad_output.dim() == 2 && grad_output.size(0) == n &&
+            grad_output.size(1) == out_)
+      << "Linear::backward grad shape " << grad_output.to_string();
+
+  Tensor grad_input({n, in_});
+  const auto* x = cached_input_.data().data();
+  const auto* g = grad_output.data().data();
+  const auto* w = weight_.value.data().data();
+  auto* gw = weight_.grad.data().data();
+  auto* gx = grad_input.data().data();
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* xr = x + i * in_;
+    const float* gr = g + i * out_;
+    float* gxr = gx + i * in_;
+    for (std::int64_t o = 0; o < out_; ++o) {
+      const float go = gr[o];
+      if (has_bias_) bias_.grad[o] += go;
+      if (go == 0.0f) continue;
+      const float* wr = w + o * in_;
+      float* gwr = gw + o * in_;
+      for (std::int64_t k = 0; k < in_; ++k) {
+        gwr[k] += go * xr[k];
+        gxr[k] += go * wr[k];
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace pfi::nn

@@ -1,0 +1,137 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pfi::nn {
+
+float CrossEntropyLoss::forward(const Tensor& logits,
+                                std::span<const std::int64_t> targets) {
+  PFI_CHECK(logits.dim() == 2) << "CrossEntropyLoss expects [N, C], got "
+                               << logits.to_string();
+  const auto n = logits.size(0), c = logits.size(1);
+  PFI_CHECK(static_cast<std::int64_t>(targets.size()) == n)
+      << "CrossEntropyLoss: " << targets.size() << " targets for batch " << n;
+
+  probs_ = logits.clone();
+  targets_.assign(targets.begin(), targets.end());
+  auto d = probs_.data();
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto t = targets[static_cast<std::size_t>(i)];
+    PFI_CHECK(t >= 0 && t < c) << "target " << t << " out of range [0, " << c
+                               << ") at row " << i;
+    float* row = d.data() + i * c;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t j = 0; j < c; ++j) row[j] *= inv;
+    total += -std::log(std::max(1e-12f, row[t]));
+  }
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+Tensor CrossEntropyLoss::backward() const {
+  PFI_CHECK(probs_.defined()) << "CrossEntropyLoss::backward before forward";
+  const auto n = probs_.size(0), c = probs_.size(1);
+  Tensor grad = probs_.clone();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  auto g = grad.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    g[i * c + targets_[static_cast<std::size_t>(i)]] -= 1.0f;
+    for (std::int64_t j = 0; j < c; ++j) g[i * c + j] *= inv_n;
+  }
+  return grad;
+}
+
+float MSELoss::forward(const Tensor& pred, const Tensor& target,
+                       const Tensor* mask) {
+  PFI_CHECK(pred.shape() == target.shape())
+      << "MSELoss shape mismatch: " << pred.to_string() << " vs "
+      << target.to_string();
+  pred_ = pred;
+  target_ = target;
+  mask_ = mask ? *mask : Tensor();
+  if (mask) {
+    PFI_CHECK(mask->shape() == pred.shape())
+        << "MSELoss mask shape " << mask->to_string();
+  }
+  auto p = pred.data();
+  auto t = target.data();
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = p[i] - t[i];
+    const double m = mask ? (*mask).data()[i] : 1.0;
+    total += m * d * d;
+  }
+  return static_cast<float>(total / static_cast<double>(p.size()));
+}
+
+Tensor MSELoss::backward() const {
+  PFI_CHECK(pred_.defined()) << "MSELoss::backward before forward";
+  Tensor grad(pred_.shape());
+  auto g = grad.data();
+  auto p = pred_.data();
+  auto t = target_.data();
+  const float scale = 2.0f / static_cast<float>(pred_.numel());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const float m = mask_.defined() ? mask_.data()[i] : 1.0f;
+    g[i] = scale * m * (p[i] - t[i]);
+  }
+  return grad;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
+  PFI_CHECK(logits.dim() == 2) << "argmax_rows expects [N, C]";
+  const auto n = logits.size(0), c = logits.size(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  auto d = logits.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = d.data() + i * c;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+double top1_accuracy(const Tensor& logits,
+                     std::span<const std::int64_t> targets) {
+  const auto preds = argmax_rows(logits);
+  PFI_CHECK(preds.size() == targets.size())
+      << "top1_accuracy: " << targets.size() << " targets for batch "
+      << preds.size();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == targets[i]) ++correct;
+  }
+  return preds.empty() ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(preds.size());
+}
+
+bool in_top_k(const Tensor& logits, std::int64_t row, std::int64_t target,
+              std::int64_t k) {
+  PFI_CHECK(logits.dim() == 2) << "in_top_k expects [N, C]";
+  const auto c = logits.size(1);
+  PFI_CHECK(row >= 0 && row < logits.size(0)) << "in_top_k row " << row;
+  PFI_CHECK(target >= 0 && target < c) << "in_top_k target " << target;
+  const float* r = logits.data().data() + row * c;
+  const float tv = r[target];
+  std::int64_t strictly_greater = 0;
+  for (std::int64_t j = 0; j < c; ++j) {
+    if (r[j] > tv) ++strictly_greater;
+  }
+  return strictly_greater < k;
+}
+
+}  // namespace pfi::nn

@@ -1,0 +1,50 @@
+// Loss functions and classification metrics.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace pfi::nn {
+
+/// Softmax cross-entropy over logits, mean-reduced across the batch.
+class CrossEntropyLoss {
+ public:
+  /// Compute mean loss for logits [N, C] and integer targets (size N).
+  float forward(const Tensor& logits, std::span<const std::int64_t> targets);
+
+  /// dL/dlogits for the last forward call.
+  Tensor backward() const;
+
+ private:
+  Tensor probs_;
+  std::vector<std::int64_t> targets_;
+};
+
+/// Mean-squared-error loss (used by the detector's regression head).
+class MSELoss {
+ public:
+  /// Mean of (pred - target)^2 over all elements; optional per-element mask.
+  float forward(const Tensor& pred, const Tensor& target,
+                const Tensor* mask = nullptr);
+
+  Tensor backward() const;
+
+ private:
+  Tensor pred_;
+  Tensor target_;
+  Tensor mask_;
+};
+
+/// Per-row argmax of a [N, C] tensor.
+std::vector<std::int64_t> argmax_rows(const Tensor& logits);
+
+/// Fraction of rows whose argmax equals the target (Top-1 accuracy).
+double top1_accuracy(const Tensor& logits,
+                     std::span<const std::int64_t> targets);
+
+/// True when `target` is among the k largest entries of row `row`.
+bool in_top_k(const Tensor& logits, std::int64_t row, std::int64_t target,
+              std::int64_t k);
+
+}  // namespace pfi::nn

@@ -1,0 +1,106 @@
+#include "nn/module.hpp"
+
+namespace pfi::nn {
+
+Tensor Module::operator()(const Tensor& input) {
+  Tensor in = input;  // shares storage; pre-hooks mutate elements in place
+  for (auto& [handle, hook] : pre_hooks_) hook(*this, in);
+  Tensor out = forward(in);
+  for (auto& [handle, hook] : forward_hooks_) hook(*this, in, out);
+  last_output_shape_ = out.shape();
+  return out;
+}
+
+HookHandle Module::register_forward_hook(ForwardHook hook) {
+  const HookHandle h = next_handle_++;
+  forward_hooks_.emplace_back(h, std::move(hook));
+  return h;
+}
+
+HookHandle Module::register_forward_pre_hook(ForwardPreHook hook) {
+  const HookHandle h = next_handle_++;
+  pre_hooks_.emplace_back(h, std::move(hook));
+  return h;
+}
+
+HookHandle Module::register_backward_hook(BackwardHook hook) {
+  const HookHandle h = next_handle_++;
+  backward_hooks_.emplace_back(h, std::move(hook));
+  return h;
+}
+
+Tensor Module::run_backward(const Tensor& grad_output) {
+  Tensor g = grad_output;  // shares storage; hooks mutate elements in place
+  for (auto& [handle, hook] : backward_hooks_) hook(*this, g);
+  return backward(g);
+}
+
+bool Module::remove_hook(HookHandle handle) {
+  for (auto it = forward_hooks_.begin(); it != forward_hooks_.end(); ++it) {
+    if (it->first == handle) {
+      forward_hooks_.erase(it);
+      return true;
+    }
+  }
+  for (auto it = pre_hooks_.begin(); it != pre_hooks_.end(); ++it) {
+    if (it->first == handle) {
+      pre_hooks_.erase(it);
+      return true;
+    }
+  }
+  for (auto it = backward_hooks_.begin(); it != backward_hooks_.end(); ++it) {
+    if (it->first == handle) {
+      backward_hooks_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Module*> Module::modules() {
+  std::vector<Module*> out;
+  out.push_back(this);
+  for (Module* child : children()) {
+    for (Module* m : child->modules()) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  collect_parameters("", out);
+  return out;
+}
+
+void Module::collect_parameters(const std::string& prefix,
+                                std::vector<Parameter*>& out) {
+  const std::string base =
+      prefix.empty() ? name() : (name().empty() ? prefix : prefix + "." + name());
+  for (Parameter* p : local_parameters()) {
+    // Refresh the dotted path from the current tree position. The leaf part
+    // of the name ("weight" / "bias") is everything after the last dot.
+    const auto dot = p->name.rfind('.');
+    const std::string leaf =
+        dot == std::string::npos ? p->name : p->name.substr(dot + 1);
+    p->name = base.empty() ? leaf : base + "." + leaf;
+    out.push_back(p);
+  }
+  for (Module* child : children()) child->collect_parameters(base, out);
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::int64_t Module::parameter_count() {
+  std::int64_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+void Module::train(bool on) {
+  training_ = on;
+  for (Module* child : children()) child->train(on);
+}
+
+}  // namespace pfi::nn

@@ -1,0 +1,143 @@
+// Module: the base class of the pfi neural-network substrate.
+//
+// This mirrors the slice of torch.nn.Module that the paper's mechanism
+// depends on:
+//
+//  * forward hooks   -- called AFTER a module's forward with mutable access
+//                       to the output tensor. This is how PyTorchFI corrupts
+//                       neuron values at runtime (paper Sec. III-A): the tool
+//                       never rewrites the graph or patches the framework.
+//  * forward pre-hooks -- called BEFORE forward with mutable access to the
+//                       input; provided for completeness (input perturbation
+//                       use cases such as adversarial noise).
+//  * module tree     -- named children, recursive traversal, so an injector
+//                       can enumerate all convolution layers of any model.
+//  * train/eval mode -- batch-norm and dropout behave differently per mode.
+//  * parameters      -- named (value, grad) pairs for the optimizer and for
+//                       offline weight perturbation.
+//
+// Every module also implements backward() so the library supports training
+// (paper Sec. IV-D) and gradient-based interpretability (Sec. IV-E).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pfi::nn {
+
+/// A learnable tensor and its gradient accumulator.
+struct Parameter {
+  std::string name;  ///< dotted path, e.g. "features.0.weight"
+  Tensor value;
+  Tensor grad;
+
+  /// Zero the gradient accumulator.
+  void zero_grad() {
+    if (grad.defined()) grad.fill(0.0f);
+  }
+};
+
+class Module;
+
+/// Post-forward hook: may read the (post-pre-hook) input and mutate the
+/// output in place. Matches torch's module.register_forward_hook semantics.
+using ForwardHook = std::function<void(Module&, const Tensor&, Tensor&)>;
+
+/// Pre-forward hook: may mutate the input in place before forward runs.
+using ForwardPreHook = std::function<void(Module&, Tensor&)>;
+
+/// Backward hook: observes (and may mutate) dL/d(output) as it arrives at a
+/// module during backpropagation. Used by Grad-CAM to capture intermediate
+/// gradients (paper Sec. IV-E).
+using BackwardHook = std::function<void(Module&, Tensor&)>;
+
+/// Opaque handle for removing a registered hook.
+using HookHandle = std::uint64_t;
+
+/// Base class for all layers and containers.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  // -- Execution ---------------------------------------------------------------
+  /// Run pre-hooks, forward, then post-hooks. Call this, not forward(),
+  /// so instrumentation fires; composite modules invoke children this way.
+  Tensor operator()(const Tensor& input);
+
+  /// The layer computation. Implementations must cache whatever backward
+  /// needs. Do not call directly from user code; use operator().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Backpropagate: given dL/d(output), accumulate parameter grads and
+  /// return dL/d(input). Requires a preceding forward of the same batch.
+  /// Call run_backward(), not this, so backward hooks fire.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Run backward hooks, then backward(). Containers propagate through
+  /// children with this so hooks fire at any depth.
+  Tensor run_backward(const Tensor& grad_output);
+
+  // -- Hooks (the paper's instrumentation point) ---------------------------------
+  HookHandle register_forward_hook(ForwardHook hook);
+  HookHandle register_forward_pre_hook(ForwardPreHook hook);
+  HookHandle register_backward_hook(BackwardHook hook);
+  /// Remove a hook by handle; returns false if not found.
+  bool remove_hook(HookHandle handle);
+  /// Number of currently installed forward hooks.
+  std::size_t forward_hook_count() const { return forward_hooks_.size(); }
+
+  // -- Module tree ----------------------------------------------------------------
+  /// Short type tag, e.g. "Conv2d"; used by the injector to select layers.
+  virtual std::string kind() const = 0;
+  /// Name assigned by the enclosing container ("" at the root).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  /// Direct children, in execution order where meaningful.
+  virtual std::vector<Module*> children() { return {}; }
+  /// This module plus all descendants, pre-order.
+  std::vector<Module*> modules();
+
+  // -- Parameters -------------------------------------------------------------------
+  /// This module's own parameters (not descendants').
+  virtual std::vector<Parameter*> local_parameters() { return {}; }
+  /// All parameters in the subtree, pre-order, with dotted names refreshed.
+  std::vector<Parameter*> parameters();
+  /// Zero every gradient in the subtree.
+  void zero_grad();
+  /// Total learnable element count in the subtree.
+  std::int64_t parameter_count();
+
+  // -- Mode ------------------------------------------------------------------------
+  /// Set training mode for this module and all descendants.
+  void train(bool on = true);
+  void eval() { train(false); }
+  bool is_training() const { return training_; }
+
+  /// Shape of the most recent output produced through operator(), empty if
+  /// the module has not run. The fault injector's profiling pass reads this.
+  const Shape& last_output_shape() const { return last_output_shape_; }
+
+ protected:
+  bool training_ = true;
+
+ private:
+  void collect_parameters(const std::string& prefix,
+                          std::vector<Parameter*>& out);
+
+  std::string name_;
+  Shape last_output_shape_;
+  std::vector<std::pair<HookHandle, ForwardHook>> forward_hooks_;
+  std::vector<std::pair<HookHandle, ForwardPreHook>> pre_hooks_;
+  std::vector<std::pair<HookHandle, BackwardHook>> backward_hooks_;
+  HookHandle next_handle_ = 1;
+};
+
+}  // namespace pfi::nn

@@ -1,0 +1,89 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace pfi::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  PFI_CHECK(!params_.empty()) << "Sgd constructed with no parameters";
+  PFI_CHECK(opts_.lr > 0.0f) << "Sgd lr=" << opts_.lr;
+  PFI_CHECK(opts_.momentum >= 0.0f && opts_.momentum < 1.0f)
+      << "Sgd momentum=" << opts_.momentum;
+}
+
+void Sgd::step() {
+  for (Parameter* p : params_) {
+    auto v = p->value.data();
+    auto g = p->grad.data();
+    if (opts_.momentum > 0.0f) {
+      auto [it, inserted] = velocity_.try_emplace(p, Tensor(p->value.shape()));
+      auto vel = it->second.data();
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        const float grad = g[i] + opts_.weight_decay * v[i];
+        vel[i] = opts_.momentum * vel[i] + grad;
+        v[i] -= opts_.lr * vel[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] -= opts_.lr * (g[i] + opts_.weight_decay * v[i]);
+      }
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+Adam::Adam(std::vector<Parameter*> params, AdamOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  PFI_CHECK(!params_.empty()) << "Adam constructed with no parameters";
+  PFI_CHECK(opts_.lr > 0.0f) << "Adam lr=" << opts_.lr;
+  PFI_CHECK(opts_.beta1 >= 0.0f && opts_.beta1 < 1.0f)
+      << "Adam beta1=" << opts_.beta1;
+  PFI_CHECK(opts_.beta2 >= 0.0f && opts_.beta2 < 1.0f)
+      << "Adam beta2=" << opts_.beta2;
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (Parameter* p : params_) {
+    auto [it, inserted] = moments_.try_emplace(
+        p, Moments{Tensor(p->value.shape()), Tensor(p->value.shape())});
+    auto m = it->second.m.data();
+    auto v = it->second.v.data();
+    auto w = p->value.data();
+    auto g = p->grad.data();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float grad = g[i] + opts_.weight_decay * w[i];
+      m[i] = opts_.beta1 * m[i] + (1.0f - opts_.beta1) * grad;
+      v[i] = opts_.beta2 * v[i] + (1.0f - opts_.beta2) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
+  PFI_CHECK(max_norm > 0.0f) << "clip_grad_norm max_norm=" << max_norm;
+  double total = 0.0;
+  for (const Parameter* p : params) total += p->grad.squared_norm();
+  const auto norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Parameter* p : params) p->grad.scale_(scale);
+  }
+  return norm;
+}
+
+}  // namespace pfi::nn

@@ -1,0 +1,75 @@
+// Stochastic gradient descent with momentum and weight decay — the training
+// algorithm named in the paper's background section (Sec. II-A) and used by
+// the training-with-injection use case (Sec. IV-D).
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/module.hpp"
+
+namespace pfi::nn {
+
+/// SGD hyperparameters.
+struct SgdOptions {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdOptions opts);
+
+  /// Apply one update from the accumulated gradients.
+  void step();
+
+  /// Zero every parameter's gradient accumulator.
+  void zero_grad();
+
+  float lr() const { return opts_.lr; }
+  void set_lr(float lr) { opts_.lr = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  SgdOptions opts_;
+  std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm. Standard stabilizer for IBP training,
+/// whose |W|-path backward can amplify gradients layer by layer.
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm);
+
+/// Adam hyperparameters.
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam with bias correction (Kingma & Ba). Useful for the no-BN networks
+/// in the zoo, whose SGD learning rates are touchy.
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamOptions opts);
+
+  void step();
+  void zero_grad();
+
+  float lr() const { return opts_.lr; }
+  void set_lr(float lr) { opts_.lr = lr; }
+
+ private:
+  struct Moments {
+    Tensor m;
+    Tensor v;
+  };
+  std::vector<Parameter*> params_;
+  AdamOptions opts_;
+  std::unordered_map<Parameter*, Moments> moments_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace pfi::nn

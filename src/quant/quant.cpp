@@ -1,0 +1,52 @@
+#include "quant/quant.hpp"
+
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace pfi::quant {
+
+QuantParams calibrate(const Tensor& t) {
+  PFI_CHECK(t.defined() && t.numel() > 0) << "calibrate on empty tensor";
+  float absmax = 0.0f;
+  for (const float v : t.data()) absmax = std::max(absmax, std::abs(v));
+  return calibrate_absmax(absmax);
+}
+
+QuantParams calibrate_absmax(float absmax) {
+  PFI_CHECK(absmax >= 0.0f && std::isfinite(absmax))
+      << "calibrate_absmax(" << absmax << ")";
+  QuantParams qp;
+  // A zero range would make every scale degenerate; fall back to 1.0 so that
+  // quantize(0) == 0 and bit flips still produce representable values.
+  qp.scale = absmax > 0.0f ? absmax / 127.0f : 1.0f / 127.0f;
+  return qp;
+}
+
+std::int8_t quantize_value(float v, const QuantParams& qp) {
+  PFI_CHECK(qp.scale > 0.0f) << "quantize with scale " << qp.scale;
+  const float q = std::nearbyint(v / qp.scale);
+  const float clamped = std::min(127.0f, std::max(-127.0f, q));
+  return static_cast<std::int8_t>(clamped);
+}
+
+float dequantize_value(std::int8_t q, const QuantParams& qp) {
+  return static_cast<float>(q) * qp.scale;
+}
+
+float fake_quantize_value(float v, const QuantParams& qp) {
+  return dequantize_value(quantize_value(v, qp), qp);
+}
+
+void fake_quantize_(Tensor& t, const QuantParams& qp) {
+  for (auto& v : t.data()) v = fake_quantize_value(v, qp);
+}
+
+float flip_bit_int8(float v, int bit, const QuantParams& qp) {
+  const std::int8_t q = quantize_value(v, qp);
+  const std::int8_t corrupted = flip_int8_bit(q, bit);
+  return dequantize_value(corrupted, qp);
+}
+
+}  // namespace pfi::quant

@@ -1,0 +1,38 @@
+#include "robust/interval.hpp"
+
+#include "util/error.hpp"
+
+namespace pfi::robust {
+
+IntervalTensor IntervalTensor::around(const Tensor& x, float eps) {
+  PFI_CHECK(eps >= 0.0f) << "interval radius " << eps;
+  IntervalTensor out{x.clone(), x.clone()};
+  out.lo.apply_([eps](float v) { return v - eps; });
+  out.hi.apply_([eps](float v) { return v + eps; });
+  return out;
+}
+
+IntervalTensor IntervalTensor::exactly(const Tensor& x) {
+  return {x.clone(), x.clone()};
+}
+
+void IntervalTensor::validate() const {
+  PFI_CHECK(lo.defined() && hi.defined()) << "undefined interval tensor";
+  PFI_CHECK(lo.shape() == hi.shape())
+      << "interval bound shapes differ: " << lo.to_string() << " vs "
+      << hi.to_string();
+  auto l = lo.data();
+  auto h = hi.data();
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    PFI_CHECK(l[i] <= h[i]) << "interval inverted at element " << i << ": ["
+                            << l[i] << ", " << h[i] << "]";
+  }
+}
+
+Tensor IntervalTensor::width() const {
+  Tensor w = hi.clone();
+  w.add_(lo, -1.0f);
+  return w;
+}
+
+}  // namespace pfi::robust

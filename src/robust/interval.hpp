@@ -1,0 +1,28 @@
+// Interval tensors: element-wise [lo, hi] bounds on activations, the
+// representation underlying Interval Bound Propagation (Gowal et al. [13],
+// used by the paper's Sec. IV-C adversarial-robustness study).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace pfi::robust {
+
+/// An element-wise interval [lo, hi] over a tensor's values.
+struct IntervalTensor {
+  Tensor lo;
+  Tensor hi;
+
+  /// Interval around a point: [x - eps, x + eps].
+  static IntervalTensor around(const Tensor& x, float eps);
+
+  /// Degenerate interval [x, x].
+  static IntervalTensor exactly(const Tensor& x);
+
+  /// Throws unless lo <= hi element-wise and shapes match.
+  void validate() const;
+
+  /// Interval width hi - lo (a fresh tensor).
+  Tensor width() const;
+};
+
+}  // namespace pfi::robust

@@ -1,0 +1,69 @@
+// Bit-level manipulation of numeric values, the substrate of the paper's
+// "single bit flip" error models (Sec. III-B step 3 and Sec. IV-A).
+//
+// Two domains are supported:
+//   * IEEE-754 binary32: flip any of the 32 bits of a float in place.
+//   * Symmetric INT8:    flip any of the 8 bits of a quantized activation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace pfi {
+
+/// Number of bits in an IEEE-754 binary32 value.
+inline constexpr int kFloatBits = 32;
+/// Number of bits in an INT8 quantized value.
+inline constexpr int kInt8Bits = 8;
+
+/// Reinterpret a float as its raw bit pattern.
+inline std::uint32_t float_to_bits(float v) {
+  return std::bit_cast<std::uint32_t>(v);
+}
+
+/// Reinterpret a 32-bit pattern as a float.
+inline float bits_to_float(std::uint32_t b) { return std::bit_cast<float>(b); }
+
+/// Flip bit `bit` (0 = LSB of mantissa, 31 = sign) of a float.
+inline float flip_float_bit(float v, int bit) {
+  PFI_CHECK(bit >= 0 && bit < kFloatBits) << "float bit index " << bit;
+  return bits_to_float(float_to_bits(v) ^ (1u << bit));
+}
+
+/// Flip bit `bit` (0 = LSB, 7 = sign) of a two's-complement int8.
+inline std::int8_t flip_int8_bit(std::int8_t v, int bit) {
+  PFI_CHECK(bit >= 0 && bit < kInt8Bits) << "int8 bit index " << bit;
+  return static_cast<std::int8_t>(
+      static_cast<std::uint8_t>(v) ^ static_cast<std::uint8_t>(1u << bit));
+}
+
+/// True when the float is NaN or infinite (a common outcome of exponent-bit
+/// flips, and an important corruption class for resiliency studies).
+inline bool is_non_finite(float v) {
+  const std::uint32_t b = float_to_bits(v);
+  return (b & 0x7f800000u) == 0x7f800000u;
+}
+
+/// Round a float to the nearest IEEE-754 binary16 value (kept as float).
+/// Used to emulate the paper's FP16 model datatype option (Sec. III-B step 2)
+/// without carrying a separate half-precision tensor type.
+inline float round_to_fp16(float v) {
+  return static_cast<float>(static_cast<_Float16>(v));
+}
+
+/// Number of bits in an IEEE-754 binary16 value.
+inline constexpr int kHalfBits = 16;
+
+/// Flip bit `bit` (0 = LSB of mantissa, 15 = sign) of a value treated as
+/// IEEE-754 binary16; returns the corrupted value widened back to float.
+inline float flip_fp16_bit(float v, int bit) {
+  PFI_CHECK(bit >= 0 && bit < kHalfBits) << "fp16 bit index " << bit;
+  const auto h = static_cast<_Float16>(v);
+  const auto raw = std::bit_cast<std::uint16_t>(h);
+  return static_cast<float>(
+      std::bit_cast<_Float16>(static_cast<std::uint16_t>(raw ^ (1u << bit))));
+}
+
+}  // namespace pfi

@@ -1,0 +1,59 @@
+// Error-handling primitives for the pfi library.
+//
+// All user-facing precondition failures throw pfi::Error with a message that
+// names the failing condition and its context. The paper (Sec. III-B) calls
+// out "detailed debugging messages to the end user" as a design goal of the
+// profiling step; PFI_CHECK is how every legality check reports.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pfi {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Accumulates a message via operator<< and throws on destruction-by-value.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* cond, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: (" << cond << ") ";
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] void raise() const { throw Error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace pfi
+
+/// PFI_CHECK(cond) << "context"; throws pfi::Error when cond is false.
+#define PFI_CHECK(cond)                                                  \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::pfi::detail::ThrowHelper{} =                                       \
+        ::pfi::detail::CheckMessageBuilder(#cond, __FILE__, __LINE__)
+
+namespace pfi::detail {
+
+/// Terminal of the PFI_CHECK macro chain: assigning a builder throws.
+struct ThrowHelper {
+  [[noreturn]] void operator=(const CheckMessageBuilder& b) const { b.raise(); }
+};
+
+}  // namespace pfi::detail

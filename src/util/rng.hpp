@@ -1,0 +1,118 @@
+// Deterministic, fast random number generation for the pfi library.
+//
+// Every campaign, dataset, and weight initializer takes an explicit Rng (or a
+// seed) so that experiments are reproducible run-to-run. The generator is
+// xoshiro256++, seeded via splitmix64 so that nearby integer seeds produce
+// decorrelated streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace pfi {
+
+/// xoshiro256++ generator with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialize state from a 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method.
+  std::uint64_t next_below(std::uint64_t n) {
+    // Unbiased multiply-shift rejection sampling.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  /// Standard normal variate (Marsaglia polar method).
+  float normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    float u, v, s;
+    do {
+      u = uniform(-1.0f, 1.0f);
+      v = uniform(-1.0f, 1.0f);
+      s = u * u + v * v;
+    } while (s >= 1.0f || s == 0.0f);
+    const float mul = std::sqrt(-2.0f * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  /// Normal variate with given mean and standard deviation.
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Derive an independent child generator (for parallel streams).
+  Rng split() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  float spare_ = 0.0f;
+  bool have_spare_ = false;
+};
+
+}  // namespace pfi

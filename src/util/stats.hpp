@@ -1,0 +1,88 @@
+// Statistics helpers for fault-injection campaigns.
+//
+// The paper reports "99% confidence interval error bars of <0.2%" for its
+// Fig. 4 campaigns (Sec. IV-A); CampaignStats computes the matching Wilson
+// score interval so benches can report the same error bars.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pfi {
+
+/// A binomial proportion with its Wilson score confidence interval.
+struct Proportion {
+  double value = 0.0;  ///< point estimate k/n
+  double lo = 0.0;     ///< lower bound of the CI
+  double hi = 0.0;     ///< upper bound of the CI
+
+  /// Half-width of the interval (the "error bar" the paper quotes).
+  double half_width() const { return (hi - lo) / 2.0; }
+};
+
+/// Wilson score interval for k successes in n trials at confidence given by
+/// normal quantile z (z = 2.5758 for 99%, 1.96 for 95%).
+inline Proportion wilson_interval(std::uint64_t k, std::uint64_t n,
+                                  double z = 2.5758293035489004) {
+  PFI_CHECK(n > 0) << "wilson_interval requires n > 0";
+  PFI_CHECK(k <= n) << "successes " << k << " exceed trials " << n;
+  const double p = static_cast<double>(k) / static_cast<double>(n);
+  const double nn = static_cast<double>(n);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double margin =
+      (z / denom) * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  Proportion out;
+  out.value = p;
+  out.lo = std::max(0.0, center - margin);
+  out.hi = std::min(1.0, center + margin);
+  return out;
+}
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation); sorts a copy.
+inline double percentile(std::vector<double> xs, double q) {
+  PFI_CHECK(!xs.empty()) << "percentile of empty sample";
+  PFI_CHECK(q >= 0.0 && q <= 1.0) << "quantile " << q;
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace pfi

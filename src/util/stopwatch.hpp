@@ -1,0 +1,29 @@
+// Wall-clock timing used by the runtime-overhead evaluation (paper Fig. 3).
+#pragma once
+
+#include <chrono>
+
+namespace pfi {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pfi

@@ -1,0 +1,719 @@
+// Tests for the fault-injection core: error models, FaultInjector semantics
+// (hooks, profiling, validation, weight undo, dtype emulation), and the
+// campaign runner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/campaign.hpp"
+#include "core/fault_injector.hpp"
+#include "models/zoo.hpp"
+#include "core/perturbation_layer.hpp"
+#include "core/report.hpp"
+#include "util/bits.hpp"
+
+namespace pfi::core {
+namespace {
+
+using models::make_model;
+
+InjectionContext make_ctx(Rng& rng, DType dtype = DType::kFloat32) {
+  InjectionContext ctx;
+  ctx.dtype = dtype;
+  ctx.rng = &rng;
+  ctx.qparams = quant::calibrate_absmax(2.0f);
+  return ctx;
+}
+
+// ------------------------------------------------------------ error models ----
+
+TEST(ErrorModels, RandomValueStaysInRange) {
+  Rng rng(1);
+  const auto ctx = make_ctx(rng);
+  const auto m = random_value(-1.0f, 1.0f);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = m.apply(123.0f, ctx);
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(ErrorModels, ZeroAndConstant) {
+  Rng rng(1);
+  const auto ctx = make_ctx(rng);
+  EXPECT_EQ(zero_value().apply(5.0f, ctx), 0.0f);
+  EXPECT_EQ(constant_value(10000.0f).apply(5.0f, ctx), 10000.0f);
+}
+
+TEST(ErrorModels, ScaleAndNoise) {
+  Rng rng(1);
+  const auto ctx = make_ctx(rng);
+  EXPECT_FLOAT_EQ(scale_value(2.0f).apply(3.0f, ctx), 6.0f);
+  const float noisy = additive_noise(0.5f).apply(3.0f, ctx);
+  EXPECT_GE(noisy, 2.5f);
+  EXPECT_LE(noisy, 3.5f);
+}
+
+TEST(ErrorModels, BitFlipFp32FixedBitIsDeterministic) {
+  Rng rng(1);
+  const auto ctx = make_ctx(rng);
+  const auto m = single_bit_flip(31);
+  EXPECT_EQ(m.apply(1.5f, ctx), -1.5f);
+}
+
+TEST(ErrorModels, BitFlipDispatchesOnDtype) {
+  Rng rng(1);
+  const auto m = single_bit_flip(7);
+  // INT8: bit 7 is the sign bit of the quantized code.
+  const auto ctx8 = make_ctx(rng, DType::kInt8);
+  const float v8 = m.apply(1.0f, ctx8);
+  const float grid = ctx8.qparams.scale;
+  EXPECT_NEAR(std::remainder(v8, grid), 0.0f, grid * 1e-3f);
+  EXPECT_LT(v8, 0.0f);
+  // FP16: bit 7 is a mantissa bit — small change, still finite.
+  const auto ctx16 = make_ctx(rng, DType::kFloat16);
+  const float v16 = m.apply(1.0f, ctx16);
+  EXPECT_TRUE(std::isfinite(v16));
+  EXPECT_NE(v16, 1.0f);
+  EXPECT_NEAR(v16, 1.0f, 0.2f);
+}
+
+TEST(ErrorModels, RandomBitFlipCoversHighBits) {
+  Rng rng(2);
+  auto ctx = make_ctx(rng);
+  const auto m = single_bit_flip();
+  bool saw_large = false;
+  for (int i = 0; i < 200; ++i) {
+    const float v = m.apply(1.0f, ctx);
+    if (!std::isfinite(v) || std::abs(v) > 1e10f) saw_large = true;
+  }
+  EXPECT_TRUE(saw_large) << "random fp32 flips should sometimes hit exponent";
+}
+
+TEST(ErrorModels, MultiBitFlipIsInvolutionForEvenApplication) {
+  // Flipping the same k distinct bits twice restores the value; flipping
+  // once must change it.
+  Rng rng(50);
+  auto ctx = make_ctx(rng);
+  const auto m = multi_bit_flip(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const float v = rng.uniform(-10.0f, 10.0f);
+    const float once = m.apply(v, ctx);
+    EXPECT_NE(once, v);
+  }
+}
+
+TEST(ErrorModels, MultiBitFlipRespectsDtypeWidth) {
+  Rng rng(51);
+  const auto ctx8 = make_ctx(rng, DType::kInt8);
+  const auto m = multi_bit_flip(8);  // exactly the int8 width: legal
+  EXPECT_NO_THROW(m.apply(1.0f, ctx8));
+  const auto too_many = multi_bit_flip(9);
+  EXPECT_THROW(too_many.apply(1.0f, ctx8), Error);
+  EXPECT_THROW(multi_bit_flip(0), Error);
+  EXPECT_THROW(multi_bit_flip(33), Error);
+}
+
+TEST(ErrorModels, SignFlipAndSaturate) {
+  Rng rng(52);
+  const auto ctx = make_ctx(rng);
+  EXPECT_EQ(sign_flip().apply(3.0f, ctx), -3.0f);
+  EXPECT_EQ(sign_flip().apply(-2.0f, ctx), 2.0f);
+  const auto sat = saturate(1.5f);
+  EXPECT_EQ(sat.apply(10.0f, ctx), 1.5f);
+  EXPECT_EQ(sat.apply(-10.0f, ctx), -1.5f);
+  EXPECT_EQ(sat.apply(0.5f, ctx), 0.5f);
+  EXPECT_THROW(saturate(-1.0f), Error);
+}
+
+TEST(ErrorModels, Validation) {
+  EXPECT_THROW(random_value(1.0f, -1.0f), Error);
+  EXPECT_THROW(single_bit_flip(32), Error);
+  EXPECT_THROW(additive_noise(0.0f), Error);
+}
+
+TEST(ErrorModels, DtypeNames) {
+  EXPECT_EQ(dtype_name(DType::kFloat32), "fp32");
+  EXPECT_EQ(dtype_name(DType::kFloat16), "fp16");
+  EXPECT_EQ(dtype_name(DType::kInt8), "int8");
+}
+
+// ---------------------------------------------------------- FaultInjector ----
+
+std::shared_ptr<nn::Sequential> small_model(Rng& rng) {
+  return make_model("squeezenet", {.num_classes = 10}, rng);
+}
+
+FiConfig small_config() {
+  return {.input_shape = {3, 32, 32}, .batch_size = 2};
+}
+
+TEST(Injector, ProfilingDiscoversLayers) {
+  Rng rng(1);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  EXPECT_GE(fi.num_layers(), 7);  // squeezenet-mini has 8 convs
+  EXPECT_GT(fi.total_neurons(), 0);
+  for (std::int64_t l = 0; l < fi.num_layers(); ++l) {
+    const Shape& s = fi.layer_shape(l);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s[0], 2);  // profiled at configured batch size
+    EXPECT_EQ(fi.layer(l).kind(), "Conv2d");
+  }
+}
+
+TEST(Injector, GoldenRunUnchangedWhenNoFaults) {
+  Rng rng(2);
+  auto model = small_model(rng);
+  model->eval();
+  Rng drng(3);
+  const Tensor x = Tensor::rand({2, 3, 32, 32}, drng, -1.0f, 1.0f);
+  const Tensor before = (*model)(x).clone();
+  FaultInjector fi(model, small_config());
+  const Tensor after = fi.forward(x);
+  EXPECT_TRUE(allclose(before, after, 0.0f))
+      << "installing an injector with no faults must not change outputs";
+  EXPECT_EQ(fi.injections_performed(), 0u);
+}
+
+TEST(Injector, HooksRemovedOnDestruction) {
+  Rng rng(4);
+  auto model = small_model(rng);
+  std::size_t hooks_before = 0;
+  for (auto* m : model->modules()) hooks_before += m->forward_hook_count();
+  EXPECT_EQ(hooks_before, 0u);
+  {
+    FaultInjector fi(model, small_config());
+    std::size_t hooks_during = 0;
+    for (auto* m : model->modules()) hooks_during += m->forward_hook_count();
+    EXPECT_EQ(hooks_during, static_cast<std::size_t>(fi.num_layers()));
+  }
+  std::size_t hooks_after = 0;
+  for (auto* m : model->modules()) hooks_after += m->forward_hook_count();
+  EXPECT_EQ(hooks_after, 0u);
+}
+
+TEST(Injector, NeuronFaultChangesExactlyThatNeuron) {
+  Rng rng(5);
+  auto model = small_model(rng);
+  model->eval();
+  FaultInjector fi(model, small_config());
+  Rng drng(6);
+  const Tensor x = Tensor::rand({2, 3, 32, 32}, drng, -1.0f, 1.0f);
+
+  // Capture layer 0's output with a probe hook.
+  Tensor probe;
+  const auto h = fi.layer(0).register_forward_hook(
+      [&](nn::Module&, const Tensor&, Tensor& out) { probe = out.clone(); });
+
+  fi.forward(x);
+  const Tensor golden_probe = probe;
+
+  const NeuronLocation loc{.layer = 0, .batch = 1, .c = 0, .h = 2, .w = 3};
+  fi.declare_neuron_fault(loc, constant_value(77.0f));
+  fi.forward(x);
+  fi.layer(0).remove_hook(h);
+
+  // NOTE: probe hook was registered after the injector's hook, so it sees
+  // the corrupted tensor.
+  std::int64_t diffs = 0;
+  for (std::int64_t i = 0; i < probe.numel(); ++i) {
+    if (probe[i] != golden_probe[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+  EXPECT_EQ(probe.at(1, 0, 2, 3), 77.0f);
+  EXPECT_EQ(fi.injections_performed(), 1u);
+}
+
+TEST(Injector, BatchWideFaultHitsAllElements) {
+  Rng rng(7);
+  auto model = small_model(rng);
+  model->eval();
+  FaultInjector fi(model, small_config());
+  Tensor probe;
+  fi.layer(0).register_forward_hook(
+      [&](nn::Module&, const Tensor&, Tensor& out) { probe = out.clone(); });
+  const NeuronLocation loc{
+      .layer = 0, .batch = kAllBatchElements, .c = 1, .h = 0, .w = 0};
+  fi.declare_neuron_fault(loc, constant_value(55.0f));
+  Rng drng(8);
+  fi.forward(Tensor::rand({2, 3, 32, 32}, drng, -1.0f, 1.0f));
+  EXPECT_EQ(probe.at(0, 1, 0, 0), 55.0f);
+  EXPECT_EQ(probe.at(1, 1, 0, 0), 55.0f);
+  EXPECT_EQ(fi.injections_performed(), 2u);
+}
+
+TEST(Injector, DeclarationValidatesCoordinates) {
+  Rng rng(9);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  const Shape s = fi.layer_shape(0);
+  EXPECT_THROW(
+      fi.declare_neuron_fault({.layer = fi.num_layers()}, zero_value()),
+      Error);
+  EXPECT_THROW(fi.declare_neuron_fault({.layer = 0, .c = s[1]}, zero_value()),
+               Error);
+  EXPECT_THROW(fi.declare_neuron_fault({.layer = 0, .h = s[2]}, zero_value()),
+               Error);
+  EXPECT_THROW(
+      fi.declare_neuron_fault({.layer = 0, .batch = 5, .c = 0}, zero_value()),
+      Error);
+  // Error messages carry context for debugging (paper Sec. III-B step 2).
+  try {
+    fi.declare_neuron_fault({.layer = 0, .c = s[1]}, zero_value());
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fmap"), std::string::npos);
+  }
+}
+
+TEST(Injector, ClearRemovesNeuronFaults) {
+  Rng rng(10);
+  auto model = small_model(rng);
+  model->eval();
+  FaultInjector fi(model, small_config());
+  fi.declare_neuron_fault({.layer = 0, .c = 0, .h = 0, .w = 0},
+                          constant_value(9.0f));
+  EXPECT_EQ(fi.active_neuron_faults(), 1u);
+  fi.clear();
+  EXPECT_EQ(fi.active_neuron_faults(), 0u);
+  Rng drng(11);
+  const Tensor x = Tensor::rand({1, 3, 32, 32}, drng, -1.0f, 1.0f);
+  const Tensor a = fi.forward(x).clone();
+  const Tensor b = fi.forward(x);
+  EXPECT_TRUE(allclose(a, b, 0.0f));
+}
+
+TEST(Injector, WeightFaultAppliedOfflineAndRestored) {
+  Rng rng(12);
+  auto model = small_model(rng);
+  model->eval();
+  FaultInjector fi(model, small_config());
+  auto& conv = static_cast<nn::Conv2d&>(fi.layer(0));
+  const float original = conv.weight().value.at(0, 0, 0, 0);
+
+  fi.declare_weight_fault({.layer = 0, .out_c = 0, .in_c = 0, .kh = 0, .kw = 0},
+                          constant_value(5.0f));
+  EXPECT_EQ(conv.weight().value.at(0, 0, 0, 0), 5.0f);
+  EXPECT_EQ(fi.injections_performed(), 1u);
+
+  fi.clear();
+  EXPECT_EQ(conv.weight().value.at(0, 0, 0, 0), original);
+}
+
+TEST(Injector, OverlappingWeightFaultsRestoreGolden) {
+  Rng rng(13);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  auto& conv = static_cast<nn::Conv2d&>(fi.layer(0));
+  const float original = conv.weight().value.at(0, 0, 0, 0);
+  const WeightLocation loc{.layer = 0};
+  fi.declare_weight_fault(loc, constant_value(1.0f));
+  fi.declare_weight_fault(loc, constant_value(2.0f));
+  EXPECT_EQ(conv.weight().value.at(0, 0, 0, 0), 2.0f);
+  fi.clear();
+  EXPECT_EQ(conv.weight().value.at(0, 0, 0, 0), original);
+}
+
+TEST(Injector, WeightFaultValidation) {
+  Rng rng(14);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  EXPECT_THROW(
+      fi.declare_weight_fault({.layer = 0, .out_c = 10000}, zero_value()),
+      Error);
+}
+
+TEST(Injector, RandomNeuronLocationsAreValidAndSpread) {
+  Rng rng(15);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  Rng lrng(16);
+  std::vector<int> layer_hits(static_cast<std::size_t>(fi.num_layers()), 0);
+  for (int i = 0; i < 500; ++i) {
+    const auto loc = fi.random_neuron_location(lrng);
+    ASSERT_GE(loc.layer, 0);
+    ASSERT_LT(loc.layer, fi.num_layers());
+    ++layer_hits[static_cast<std::size_t>(loc.layer)];
+    EXPECT_NO_THROW(fi.declare_neuron_fault(loc, zero_value()));
+  }
+  fi.clear();
+  // Early (large) layers must receive more samples than the 1x1 head.
+  int populated = 0;
+  for (int hits : layer_hits) populated += hits > 0 ? 1 : 0;
+  EXPECT_GE(populated, fi.num_layers() / 2);
+}
+
+TEST(Injector, RandomWeightLocationsValid) {
+  Rng rng(17);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  Rng lrng(18);
+  for (int i = 0; i < 100; ++i) {
+    const auto loc = fi.random_weight_location(lrng);
+    EXPECT_NO_THROW(fi.declare_weight_fault(loc, scale_value(1.0f)));
+  }
+  fi.clear();
+}
+
+TEST(Injector, InputShapeValidated) {
+  Rng rng(19);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  EXPECT_THROW(fi.forward(Tensor({1, 3, 16, 16})), Error);
+  EXPECT_THROW(fi.forward(Tensor({5, 3, 32, 32})), Error);  // batch too big
+}
+
+TEST(Injector, Int8DtypeQuantizesActivations) {
+  Rng rng(20);
+  auto model = small_model(rng);
+  model->eval();
+  FiConfig cfg = small_config();
+  cfg.dtype = DType::kInt8;
+  FaultInjector fi(model, cfg);
+  Tensor probe;
+  fi.layer(1).register_forward_hook(
+      [&](nn::Module&, const Tensor&, Tensor& out) { probe = out.clone(); });
+  Rng drng(21);
+  fi.forward(Tensor::rand({1, 3, 32, 32}, drng, -1.0f, 1.0f));
+  // Every activation must lie on a 255-level grid.
+  const auto qp = quant::calibrate(probe);
+  for (std::int64_t i = 0; i < probe.numel(); ++i) {
+    const float q = probe[i] / qp.scale;
+    EXPECT_NEAR(q, std::nearbyint(q), 1e-2f) << "activation " << i;
+  }
+}
+
+TEST(Injector, Fp16DtypeRoundsActivations) {
+  Rng rng(22);
+  auto model = small_model(rng);
+  model->eval();
+  FiConfig cfg = small_config();
+  cfg.dtype = DType::kFloat16;
+  FaultInjector fi(model, cfg);
+  Tensor probe;
+  fi.layer(0).register_forward_hook(
+      [&](nn::Module&, const Tensor&, Tensor& out) { probe = out.clone(); });
+  Rng drng(23);
+  fi.forward(Tensor::rand({1, 3, 32, 32}, drng, -1.0f, 1.0f));
+  for (std::int64_t i = 0; i < probe.numel(); ++i) {
+    EXPECT_EQ(probe[i], round_to_fp16(probe[i]));
+  }
+}
+
+TEST(Injector, OneFaultPerLayerHelper) {
+  Rng rng(24);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  Rng lrng(25);
+  declare_one_fault_per_layer(fi, random_value(), lrng);
+  EXPECT_EQ(fi.active_neuron_faults(),
+            static_cast<std::size_t>(fi.num_layers()));
+}
+
+TEST(Injector, FmapFaultCorruptsWholeFeatureMap) {
+  Rng rng(40);
+  auto model = small_model(rng);
+  model->eval();
+  FaultInjector fi(model, small_config());
+  Tensor probe;
+  fi.layer(0).register_forward_hook(
+      [&](nn::Module&, const Tensor&, Tensor& out) { probe = out.clone(); });
+  fi.declare_fmap_fault(0, 1, 0, constant_value(3.5f));
+  Rng drng(41);
+  fi.forward(Tensor::rand({2, 3, 32, 32}, drng, -1.0f, 1.0f));
+  const Shape s = fi.layer_shape(0);
+  // Every neuron of fmap 1 in batch element 0 corrupted; fmap 0 untouched;
+  // batch element 1 untouched.
+  for (std::int64_t h = 0; h < s[2]; ++h) {
+    for (std::int64_t w = 0; w < s[3]; ++w) {
+      ASSERT_EQ(probe.at(0, 1, h, w), 3.5f);
+    }
+  }
+  EXPECT_NE(probe.at(1, 1, 0, 0), 3.5f);
+  EXPECT_EQ(fi.injections_performed(),
+            static_cast<std::uint64_t>(s[2] * s[3]));
+}
+
+TEST(Injector, LayerFaultCorruptsEverything) {
+  Rng rng(42);
+  auto model = small_model(rng);
+  model->eval();
+  FaultInjector fi(model, small_config());
+  Tensor probe;
+  fi.layer(0).register_forward_hook(
+      [&](nn::Module&, const Tensor&, Tensor& out) { probe = out.clone(); });
+  fi.declare_layer_fault(0, kAllBatchElements, zero_value());
+  Rng drng(43);
+  fi.forward(Tensor::rand({2, 3, 32, 32}, drng, -1.0f, 1.0f));
+  EXPECT_EQ(probe.squared_norm(), 0.0f);
+}
+
+TEST(Injector, FmapFaultValidation) {
+  Rng rng(44);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  const Shape s = fi.layer_shape(0);
+  EXPECT_THROW(fi.declare_fmap_fault(0, s[1], 0, zero_value()), Error);
+  EXPECT_THROW(fi.declare_fmap_fault(0, 0, 9, zero_value()), Error);
+  EXPECT_THROW(fi.declare_layer_fault(fi.num_layers(), 0, zero_value()),
+               Error);
+}
+
+TEST(Campaign, InjectionsPerImageAmortizes) {
+  Rng rng(46);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  CampaignConfig cfg;
+  cfg.trials = 40;
+  cfg.error_model = zero_value();
+  cfg.injections_per_image = 8;
+  cfg.seed = 47;
+  const auto r = run_classification_campaign(fi, ds, cfg);
+  EXPECT_EQ(r.trials, 40u);
+  cfg.injections_per_image = 0;
+  EXPECT_THROW(run_classification_campaign(fi, ds, cfg), Error);
+}
+
+TEST(Injector, RequiresConvLayers) {
+  auto mlp = std::make_shared<nn::Sequential>();
+  Rng rng(26);
+  mlp->emplace<nn::Linear>(4, 2, rng);
+  EXPECT_THROW(FaultInjector(mlp, {.input_shape = {4}, .batch_size = 1}),
+               Error);
+}
+
+TEST(Injector, InstrumentLinearExtension) {
+  Rng rng(27);
+  auto model = small_model(rng);
+  FiConfig cfg = small_config();
+  FaultInjector conv_only(model, cfg);
+  // squeezenet head is conv-based; use alexnet which has Linear layers.
+  auto alex = make_model("alexnet", {.num_classes = 10}, rng);
+  cfg.instrument_linear = true;
+  FaultInjector fi(alex, cfg);
+  bool saw_linear = false;
+  for (std::int64_t l = 0; l < fi.num_layers(); ++l) {
+    saw_linear |= fi.layer(l).kind() == "Linear";
+  }
+  EXPECT_TRUE(saw_linear);
+}
+
+// ---------------------------------------------------------------- campaign ----
+
+TEST(Campaign, ZeroValueFaultsRarelyCorrupt) {
+  // Injecting zeros is nearly always masked — corruption rate should be low,
+  // reproducing the paper's core masking observation.
+  Rng rng(30);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = make_model("squeezenet", {.num_classes = 10}, rng);
+  FaultInjector fi(model, small_config());
+  CampaignConfig cfg;
+  cfg.trials = 60;
+  cfg.error_model = zero_value();
+  cfg.seed = 31;
+  const CampaignResult r = run_classification_campaign(fi, ds, cfg);
+  EXPECT_EQ(r.trials, 60u);
+  // Untrained net rarely classifies "correctly", but those runs are skipped,
+  // not counted: trials only counts injected, correctly-classified runs.
+  EXPECT_LE(r.corruptions, r.trials);
+}
+
+TEST(Campaign, LargeConstantCorruptsMoreThanZero) {
+  Rng rng(32);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = make_model("squeezenet", {.num_classes = 10}, rng);
+  FaultInjector fi(model, small_config());
+
+  CampaignConfig zero_cfg;
+  zero_cfg.trials = 80;
+  zero_cfg.error_model = zero_value();
+  zero_cfg.seed = 33;
+  const auto zero_result = run_classification_campaign(fi, ds, zero_cfg);
+
+  CampaignConfig big_cfg;
+  big_cfg.trials = 80;
+  big_cfg.error_model = constant_value(1e6f);
+  big_cfg.seed = 33;
+  const auto big_result = run_classification_campaign(fi, ds, big_cfg);
+
+  EXPECT_GE(big_result.corruptions, zero_result.corruptions);
+}
+
+TEST(Campaign, PerLayerProducesOneResultPerLayer) {
+  Rng rng(34);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = make_model("squeezenet", {.num_classes = 10}, rng);
+  FaultInjector fi(model, small_config());
+  CampaignConfig cfg;
+  cfg.trials = 10;
+  cfg.error_model = random_value();
+  const auto results = run_per_layer_campaign(fi, ds, cfg);
+  EXPECT_EQ(results.size(), static_cast<std::size_t>(fi.num_layers()));
+  for (const auto& r : results) EXPECT_EQ(r.trials, 10u);
+}
+
+TEST(Campaign, ResultProportionUsesWilson) {
+  CampaignResult r;
+  r.trials = 1000;
+  r.corruptions = 10;
+  const auto p = r.corruption_probability();
+  EXPECT_NEAR(p.value, 0.01, 1e-9);
+  EXPECT_GT(p.hi, p.value);
+  EXPECT_LT(p.lo, p.value);
+}
+
+TEST(Campaign, ConfigValidated) {
+  Rng rng(35);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  CampaignConfig cfg;
+  cfg.trials = 0;
+  cfg.error_model = zero_value();
+  EXPECT_THROW(run_classification_campaign(fi, ds, cfg), Error);
+  cfg.trials = 10;
+  cfg.error_model = {};
+  EXPECT_THROW(run_classification_campaign(fi, ds, cfg), Error);
+}
+
+TEST(Campaign, WeightCampaignScoresAndRestores) {
+  Rng rng(70);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  auto& conv = static_cast<nn::Conv2d&>(fi.layer(0));
+  const Tensor golden_weights = conv.weight().value.clone();
+
+  WeightCampaignConfig cfg;
+  cfg.faults = 20;
+  cfg.images_per_fault = 2;
+  cfg.error_model = constant_value(100.0f);
+  cfg.seed = 71;
+  const auto r = run_weight_campaign(fi, ds, cfg);
+  // Every drawn image is either scored or skipped.
+  EXPECT_EQ(r.trials + r.skipped, 40u);
+  // Weights restored after the campaign.
+  EXPECT_TRUE(allclose(conv.weight().value, golden_weights, 0.0f));
+}
+
+TEST(Campaign, WeightCampaignValidation) {
+  Rng rng(72);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  WeightCampaignConfig cfg;
+  cfg.faults = 0;
+  cfg.error_model = zero_value();
+  EXPECT_THROW(run_weight_campaign(fi, ds, cfg), Error);
+  cfg.faults = 1;
+  cfg.error_model = {};
+  EXPECT_THROW(run_weight_campaign(fi, ds, cfg), Error);
+}
+
+// ------------------------------------------------------ PerturbationLayer ----
+
+TEST(PerturbationLayer, IdleIsIdentityWithFreshStorage) {
+  PerturbationLayer p;
+  Rng rng(73);
+  const Tensor x = Tensor::rand({1, 2, 3, 3}, rng, -1.0f, 1.0f);
+  const Tensor y = p(x);
+  EXPECT_TRUE(allclose(x, y, 0.0f));
+  EXPECT_FALSE(x.shares_storage_with(y));  // the design's inherent copy
+}
+
+TEST(PerturbationLayer, ArmedCorruptsDeclaredPosition) {
+  PerturbationLayer p;
+  p.arm(0, 1, 2, 2, constant_value(42.0f));
+  EXPECT_EQ(p.armed(), 1u);
+  Tensor x({1, 2, 3, 3});
+  const Tensor y = p(x);
+  EXPECT_EQ(y.at(0, 1, 2, 2), 42.0f);
+  EXPECT_EQ(x.at(0, 1, 2, 2), 0.0f);  // input untouched
+  p.disarm();
+  EXPECT_EQ(p.armed(), 0u);
+  EXPECT_TRUE(allclose(p(x), x, 0.0f));
+}
+
+TEST(PerturbationLayer, BatchWideAndValidation) {
+  PerturbationLayer p;
+  p.arm(kAllBatchElements, 0, 0, 0, constant_value(7.0f));
+  const Tensor y = p(Tensor({3, 1, 2, 2}));
+  EXPECT_EQ(y.at(0, 0, 0, 0), 7.0f);
+  EXPECT_EQ(y.at(2, 0, 0, 0), 7.0f);
+  EXPECT_THROW(p.arm(0, -1, 0, 0, zero_value()), Error);
+  PerturbationLayer bad;
+  bad.arm(0, 99, 0, 0, zero_value());
+  EXPECT_THROW(bad(Tensor({1, 2, 2, 2})), Error);
+}
+
+TEST(PerturbationLayer, BackwardIsIdentity) {
+  PerturbationLayer p;
+  p.arm(0, 0, 0, 0, constant_value(1.0f));
+  p(Tensor({1, 1, 2, 2}));
+  const Tensor g = Tensor::full({1, 1, 2, 2}, 3.0f);
+  EXPECT_TRUE(allclose(p.backward(g), g, 0.0f));
+}
+
+// ----------------------------------------------------------------- report ----
+
+TEST(Report, CsvRoundTripParses) {
+  std::vector<CampaignRow> rows;
+  CampaignResult a;
+  a.trials = 1000;
+  a.corruptions = 10;
+  a.skipped = 5;
+  rows.push_back({"alexnet", a});
+  CampaignResult b;
+  b.trials = 2000;
+  b.corruptions = 0;
+  b.non_finite = 3;
+  rows.push_back({"vgg19", b});
+
+  const std::string path = "/tmp/pfi_test_report.csv";
+  write_campaign_csv(path, rows);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, line1, line2;
+  std::getline(in, header);
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(header,
+            "label,trials,skipped,corruptions,non_finite,p,ci_lo,ci_hi");
+  EXPECT_EQ(line1.substr(0, 18), "alexnet,1000,5,10,");
+  EXPECT_EQ(line2.substr(0, 15), "vgg19,2000,0,0,");
+  std::remove(path.c_str());
+}
+
+TEST(Report, CsvRejectsDelimiterInLabel) {
+  std::vector<CampaignRow> rows{{"bad,label", CampaignResult{}}};
+  rows[0].result.trials = 1;
+  EXPECT_THROW(write_campaign_csv("/tmp/pfi_test_bad.csv", rows), Error);
+}
+
+TEST(Report, TableContainsRowsAndPercentages) {
+  CampaignResult r;
+  r.trials = 200;
+  r.corruptions = 2;
+  const std::string table = campaign_table({{"resnet18", r}});
+  EXPECT_NE(table.find("resnet18"), std::string::npos);
+  EXPECT_NE(table.find("1.000%"), std::string::npos);  // 2/200
+}
+
+TEST(Injector, DescribeListsLayers) {
+  Rng rng(60);
+  auto model = small_model(rng);
+  FaultInjector fi(model, small_config());
+  fi.declare_neuron_fault({.layer = 2, .c = 0, .h = 0, .w = 0}, zero_value());
+  const std::string desc = fi.describe();
+  EXPECT_NE(desc.find("instrumented layers"), std::string::npos);
+  EXPECT_NE(desc.find("[2] Conv2d"), std::string::npos);
+  EXPECT_NE(desc.find("(1 faults armed)"), std::string::npos);
+  fi.clear();
+}
+
+}  // namespace
+}  // namespace pfi::core

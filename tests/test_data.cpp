@@ -1,0 +1,158 @@
+// Tests for the synthetic classification datasets and detection scenes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/detection_scenes.hpp"
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace pfi::data {
+namespace {
+
+TEST(Synthetic, PresetGeometry) {
+  EXPECT_EQ(cifar10_like().classes, 10);
+  EXPECT_EQ(cifar10_like().height, 32);
+  EXPECT_EQ(cifar100_like().classes, 20);
+  EXPECT_EQ(imagenet_like().height, 64);
+  EXPECT_EQ(imagenet_like().classes, 16);
+}
+
+TEST(Synthetic, RenderShapeAndFiniteness) {
+  SyntheticDataset ds(cifar10_like());
+  Rng rng(1);
+  const Tensor img = ds.render(3, rng);
+  EXPECT_EQ(img.shape(), (Shape{1, 3, 32, 32}));
+  for (float v : img.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Synthetic, LabelValidated) {
+  SyntheticDataset ds(cifar10_like());
+  Rng rng(1);
+  EXPECT_THROW(ds.render(10, rng), Error);
+  EXPECT_THROW(ds.render(-1, rng), Error);
+}
+
+TEST(Synthetic, ClassStylesAreDeterministic) {
+  SyntheticDataset a(cifar10_like()), b(cifar10_like());
+  Rng r1(5), r2(5);
+  EXPECT_TRUE(allclose(a.render(2, r1), b.render(2, r2), 0.0f));
+}
+
+TEST(Synthetic, SamplesOfSameClassDiffer) {
+  // Jitter and noise must make samples distinct or the task is trivial.
+  SyntheticDataset ds(cifar10_like());
+  Rng rng(2);
+  const Tensor a = ds.render(0, rng);
+  const Tensor b = ds.render(0, rng);
+  EXPECT_GT(a.max_abs_diff(b), 0.1f);
+}
+
+TEST(Synthetic, ClassesAreSeparated) {
+  // Mean images of different classes must differ far more than samples of
+  // the same class (signal >> noise), or no model could learn the task.
+  SyntheticDataset ds(cifar10_like());
+  Rng rng(3);
+  auto mean_image = [&](std::int64_t cls) {
+    Tensor acc({1, 3, 32, 32});
+    for (int i = 0; i < 16; ++i) acc.add_(ds.render(cls, rng));
+    acc.scale_(1.0f / 16.0f);
+    return acc;
+  };
+  const Tensor m0 = mean_image(0);
+  const Tensor m1 = mean_image(5);
+  const Tensor m0b = mean_image(0);
+  const float between = std::sqrt(add(m0, m1).squared_norm() -
+                                  4.0f * mul(m0, m1).sum());  // ||m0-m1||
+  Tensor diff_same = m0.clone();
+  diff_same.add_(m0b, -1.0f);
+  const float within = std::sqrt(diff_same.squared_norm());
+  EXPECT_GT(between, 3.0f * within);
+}
+
+TEST(Synthetic, BatchShapesAndLabels) {
+  SyntheticDataset ds(cifar100_like());
+  Rng rng(4);
+  const Batch b = ds.sample_batch(8, rng);
+  EXPECT_EQ(b.images.shape(), (Shape{8, 3, 32, 32}));
+  ASSERT_EQ(b.labels.size(), 8u);
+  for (auto l : b.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 20);
+  }
+}
+
+TEST(Synthetic, RenderBatchHonorsLabels) {
+  SyntheticDataset ds(cifar10_like());
+  Rng rng(5);
+  const std::vector<std::int64_t> labels{1, 1, 7};
+  const Batch b = ds.render_batch(labels, rng);
+  EXPECT_EQ(b.labels, labels);
+  EXPECT_EQ(b.images.size(0), 3);
+}
+
+TEST(Synthetic, SpecValidation) {
+  SyntheticSpec bad = cifar10_like();
+  bad.classes = 1;
+  EXPECT_THROW(SyntheticDataset{bad}, Error);
+  bad = cifar10_like();
+  bad.height = 4;
+  EXPECT_THROW(SyntheticDataset{bad}, Error);
+}
+
+// ---------------------------------------------------------------- scenes ----
+
+TEST(Scenes, SceneHasObjectsWithinBounds) {
+  SceneSpec spec;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const DetectionScene s = make_scene(spec, rng);
+    EXPECT_EQ(s.image.shape(), (Shape{1, 3, 48, 48}));
+    EXPECT_GE(s.boxes.size(), 1u);
+    EXPECT_LE(s.boxes.size(), 3u);
+    for (const auto& b : s.boxes) {
+      EXPECT_GE(b.cx - b.w / 2, -1e-5f);
+      EXPECT_LE(b.cx + b.w / 2, 1.0f + 1e-5f);
+      EXPECT_GE(b.cy - b.h / 2, -1e-5f);
+      EXPECT_LE(b.cy + b.h / 2, 1.0f + 1e-5f);
+      EXPECT_GE(b.cls, 0);
+      EXPECT_LT(b.cls, 2);
+    }
+  }
+}
+
+TEST(Scenes, ObjectsAreBrighterThanBackground) {
+  SceneSpec spec;
+  spec.noise_stddev = 0.0f;
+  Rng rng(2);
+  const DetectionScene s = make_scene(spec, rng);
+  ASSERT_FALSE(s.boxes.empty());
+  const auto& b = s.boxes.front();
+  const auto size = spec.size;
+  const auto cx = static_cast<std::int64_t>(b.cx * static_cast<float>(size));
+  const auto cy = static_cast<std::int64_t>(b.cy * static_cast<float>(size));
+  // Center pixel of the object in its class channel is bright; the image
+  // corner (object-free by construction margins, usually) is dark.
+  const float center = s.image.at(0, b.cls == 0 ? 0 : 1, cy, cx);
+  EXPECT_GT(center, 0.5f);
+}
+
+TEST(Scenes, SceneBatchStacks) {
+  SceneSpec spec;
+  Rng rng(3);
+  const SceneBatch batch = make_scene_batch(spec, 4, rng);
+  EXPECT_EQ(batch.images.shape(), (Shape{4, 3, 48, 48}));
+  EXPECT_EQ(batch.boxes.size(), 4u);
+}
+
+TEST(Scenes, GeneratorIsDeterministic) {
+  SceneSpec spec;
+  Rng r1(9), r2(9);
+  const DetectionScene a = make_scene(spec, r1);
+  const DetectionScene b = make_scene(spec, r2);
+  EXPECT_TRUE(allclose(a.image, b.image, 0.0f));
+  EXPECT_EQ(a.boxes.size(), b.boxes.size());
+}
+
+}  // namespace
+}  // namespace pfi::data

@@ -1,0 +1,310 @@
+// Tests for boxes (IoU / NMS / diffing) and the mini-YOLO detector.
+#include <gtest/gtest.h>
+
+#include "core/fault_injector.hpp"
+#include "detect/yolo.hpp"
+
+namespace pfi::detect {
+namespace {
+
+Detection det(float cx, float cy, float w, float h, float conf = 1.0f,
+              std::int64_t cls = 0) {
+  return Detection{cx, cy, w, h, conf, cls};
+}
+
+// ------------------------------------------------------------------- IoU ----
+
+TEST(Boxes, IouIdentityIsOne) {
+  const auto a = det(0.5f, 0.5f, 0.2f, 0.2f);
+  EXPECT_NEAR(iou(a, a), 1.0f, 1e-6f);
+}
+
+TEST(Boxes, IouDisjointIsZero) {
+  EXPECT_EQ(iou(det(0.2f, 0.2f, 0.1f, 0.1f), det(0.8f, 0.8f, 0.1f, 0.1f)),
+            0.0f);
+}
+
+TEST(Boxes, IouKnownOverlap) {
+  // Two unit squares offset by half: intersection 0.5, union 1.5.
+  const auto a = det(0.5f, 0.5f, 1.0f, 1.0f);
+  const auto b = det(1.0f, 0.5f, 1.0f, 1.0f);
+  EXPECT_NEAR(iou(a, b), 0.5f / 1.5f, 1e-6f);
+}
+
+TEST(Boxes, IouAgainstGroundTruth) {
+  const auto a = det(0.5f, 0.5f, 0.2f, 0.2f);
+  const data::GroundTruthBox gt{0.5f, 0.5f, 0.2f, 0.2f, 0};
+  EXPECT_NEAR(iou(a, gt), 1.0f, 1e-6f);
+}
+
+// ------------------------------------------------------------------- NMS ----
+
+TEST(Boxes, NmsKeepsHighestConfidence) {
+  std::vector<Detection> dets{det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f),
+                              det(0.51f, 0.5f, 0.2f, 0.2f, 0.8f),
+                              det(0.2f, 0.2f, 0.1f, 0.1f, 0.7f)};
+  const auto kept = nms(dets, 0.45f);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_FLOAT_EQ(kept[0].confidence, 0.9f);
+  EXPECT_FLOAT_EQ(kept[1].confidence, 0.7f);
+}
+
+TEST(Boxes, NmsKeepsNonOverlapping) {
+  std::vector<Detection> dets{det(0.2f, 0.2f, 0.1f, 0.1f, 0.9f),
+                              det(0.8f, 0.8f, 0.1f, 0.1f, 0.8f)};
+  EXPECT_EQ(nms(dets, 0.45f).size(), 2u);
+}
+
+TEST(Boxes, NmsEmptyInput) {
+  EXPECT_TRUE(nms({}, 0.5f).empty());
+}
+
+// ------------------------------------------------------------------ diff ----
+
+TEST(Boxes, DiffIdenticalSetsMatch) {
+  const std::vector<Detection> g{det(0.5f, 0.5f, 0.2f, 0.2f)};
+  const auto d = diff_detections(g, g);
+  EXPECT_EQ(d.matched, 1);
+  EXPECT_FALSE(d.corrupted());
+}
+
+TEST(Boxes, DiffDetectsPhantoms) {
+  const std::vector<Detection> g{det(0.5f, 0.5f, 0.2f, 0.2f)};
+  std::vector<Detection> f = g;
+  f.push_back(det(0.1f, 0.1f, 0.1f, 0.1f));  // phantom
+  const auto d = diff_detections(g, f);
+  EXPECT_EQ(d.matched, 1);
+  EXPECT_EQ(d.phantoms, 1);
+  EXPECT_TRUE(d.corrupted());
+}
+
+TEST(Boxes, DiffDetectsMissedAndReclassified) {
+  const std::vector<Detection> g{det(0.5f, 0.5f, 0.2f, 0.2f, 1.0f, 0),
+                                 det(0.2f, 0.2f, 0.1f, 0.1f, 1.0f, 1)};
+  const std::vector<Detection> f{det(0.5f, 0.5f, 0.2f, 0.2f, 1.0f, 1)};
+  const auto d = diff_detections(g, f);
+  EXPECT_EQ(d.reclassified, 1);
+  EXPECT_EQ(d.missed, 1);
+}
+
+TEST(Boxes, MatchStatsPrecisionRecall) {
+  const std::vector<data::GroundTruthBox> truth{{0.5f, 0.5f, 0.2f, 0.2f, 0},
+                                                {0.2f, 0.2f, 0.1f, 0.1f, 1}};
+  const std::vector<Detection> dets{det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f, 0),
+                                    det(0.8f, 0.8f, 0.1f, 0.1f, 0.8f, 0)};
+  const auto s = match_against_truth(dets, truth);
+  EXPECT_EQ(s.true_positives, 1);
+  EXPECT_EQ(s.false_positives, 1);
+  EXPECT_EQ(s.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(s.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(s.f1(), 0.5);
+}
+
+TEST(Boxes, MatchIsClassAware) {
+  const std::vector<data::GroundTruthBox> truth{{0.5f, 0.5f, 0.2f, 0.2f, 0}};
+  const std::vector<Detection> dets{det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f, 1)};
+  const auto s = match_against_truth(dets, truth);
+  EXPECT_EQ(s.true_positives, 0);
+  EXPECT_EQ(s.false_positives, 1);
+}
+
+// -------------------------------------------------------------------- AP ----
+
+TEST(AveragePrecision, PerfectDetectionsGiveApOne) {
+  const std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.5f, 0.5f, 0.2f, 0.2f, 0}},
+      {{0.3f, 0.3f, 0.2f, 0.2f, 0}, {0.7f, 0.7f, 0.2f, 0.2f, 0}}};
+  std::vector<ScoredDetection> dets{
+      {0, det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f, 0)},
+      {1, det(0.3f, 0.3f, 0.2f, 0.2f, 0.8f, 0)},
+      {1, det(0.7f, 0.7f, 0.2f, 0.2f, 0.7f, 0)}};
+  EXPECT_DOUBLE_EQ(average_precision(dets, truth, 0), 1.0);
+}
+
+TEST(AveragePrecision, NoDetectionsGiveZero) {
+  const std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.5f, 0.5f, 0.2f, 0.2f, 0}}};
+  EXPECT_EQ(average_precision({}, truth, 0), 0.0);
+}
+
+TEST(AveragePrecision, AbsentClassGivesZero) {
+  const std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.5f, 0.5f, 0.2f, 0.2f, 0}}};
+  EXPECT_EQ(average_precision({}, truth, 1), 0.0);
+}
+
+TEST(AveragePrecision, FalsePositivesLowerAp) {
+  const std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.5f, 0.5f, 0.2f, 0.2f, 0}}};
+  // A confident false positive ranked above the true positive:
+  // PR points are (p=0, r=0) then (p=0.5, r=1.0) -> AP = 0.5.
+  std::vector<ScoredDetection> dets{
+      {0, det(0.1f, 0.1f, 0.05f, 0.05f, 0.9f, 0)},
+      {0, det(0.5f, 0.5f, 0.2f, 0.2f, 0.8f, 0)}};
+  EXPECT_DOUBLE_EQ(average_precision(dets, truth, 0), 0.5);
+}
+
+TEST(AveragePrecision, MissedGroundTruthCapsRecall) {
+  const std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.5f, 0.5f, 0.2f, 0.2f, 0}, {0.2f, 0.2f, 0.1f, 0.1f, 0}}};
+  // One perfect detection of two ground truths: AP = 0.5 (precision 1 up
+  // to recall 0.5, zero beyond).
+  std::vector<ScoredDetection> dets{
+      {0, det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f, 0)}};
+  EXPECT_DOUBLE_EQ(average_precision(dets, truth, 0), 0.5);
+}
+
+TEST(AveragePrecision, DuplicateDetectionsCountAsFalsePositives) {
+  const std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.5f, 0.5f, 0.2f, 0.2f, 0}}};
+  std::vector<ScoredDetection> dets{
+      {0, det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f, 0)},
+      {0, det(0.51f, 0.5f, 0.2f, 0.2f, 0.8f, 0)}};  // double-claims the GT
+  // First claims the GT (tp), second is fp: AP still 1.0 because recall
+  // saturates at the first point with precision 1.
+  EXPECT_DOUBLE_EQ(average_precision(dets, truth, 0), 1.0);
+}
+
+TEST(AveragePrecision, MapAveragesOverPopulatedClasses) {
+  const std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.5f, 0.5f, 0.2f, 0.2f, 0}, {0.2f, 0.2f, 0.1f, 0.1f, 1}}};
+  std::vector<ScoredDetection> dets{
+      {0, det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f, 0)}};  // class 0 perfect
+  // class 1 undetected: AP 0. mAP = (1.0 + 0.0) / 2; class 2 has no GT and
+  // is excluded from the average.
+  EXPECT_DOUBLE_EQ(mean_average_precision(dets, truth, 3), 0.5);
+  EXPECT_THROW(mean_average_precision(dets, truth, 0), Error);
+}
+
+TEST(AveragePrecision, SceneIndexValidated) {
+  const std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.5f, 0.5f, 0.2f, 0.2f, 0}}};
+  std::vector<ScoredDetection> dets{{5, det(0.5f, 0.5f, 0.2f, 0.2f)}};
+  EXPECT_THROW(average_precision(dets, truth, 0), Error);
+}
+
+// ------------------------------------------------------------------ yolo ----
+
+TEST(Yolo, BackboneProducesGridOutput) {
+  Rng rng(1);
+  const YoloConfig cfg;
+  auto model = make_yolo(cfg, rng);
+  model->eval();
+  const Tensor raw = (*model)(Tensor({2, 3, 48, 48}));
+  EXPECT_EQ(raw.shape(), (Shape{2, cfg.depth(), 6, 6}));
+}
+
+TEST(Yolo, ConfigValidated) {
+  Rng rng(1);
+  YoloConfig cfg;
+  cfg.image_size = 50;  // not divisible by grid
+  EXPECT_THROW(make_yolo(cfg, rng), Error);
+}
+
+TEST(Yolo, DecodeRespectsThresholdAndGeometry) {
+  const YoloConfig cfg;
+  Tensor raw({1, cfg.depth(), 6, 6}, -10.0f);  // all confidences ~0
+  // One confident cell at (2, 3): centered box, class 1.
+  raw.at(0, 4, 2, 3) = 10.0f;   // conf ~ 1
+  raw.at(0, 0, 2, 3) = 0.0f;    // x offset = 0.5
+  raw.at(0, 1, 2, 3) = 0.0f;    // y offset = 0.5
+  raw.at(0, 2, 2, 3) = 0.0f;    // w = 0.5
+  raw.at(0, 3, 2, 3) = 0.0f;    // h = 0.5
+  raw.at(0, 6, 2, 3) = 5.0f;    // class 1 logit
+  const auto dets = decode(raw, cfg, 0, 0.5f);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_NEAR(dets[0].cx, (3.0f + 0.5f) / 6.0f, 1e-5f);
+  EXPECT_NEAR(dets[0].cy, (2.0f + 0.5f) / 6.0f, 1e-5f);
+  EXPECT_NEAR(dets[0].w, 0.5f, 1e-5f);
+  EXPECT_EQ(dets[0].cls, 1);
+  EXPECT_GT(dets[0].confidence, 0.99f);
+}
+
+TEST(Yolo, DecodeValidatesShapes) {
+  const YoloConfig cfg;
+  EXPECT_THROW(decode(Tensor({1, 3, 6, 6}), cfg, 0), Error);
+  EXPECT_THROW(decode(Tensor({1, cfg.depth(), 6, 6}), cfg, 1), Error);
+}
+
+TEST(Yolo, LossDecreasesTowardTarget) {
+  // A raw tensor matching the target should have lower loss than a wrong one.
+  const YoloConfig cfg;
+  std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.25f, 0.25f, 0.3f, 0.3f, 0}}};
+  Tensor good({1, cfg.depth(), 6, 6}, -6.0f);  // low conf everywhere
+  // Ground truth center (0.25, 0.25) -> cell (1, 1), offset 0.5.
+  good.at(0, 4, 1, 1) = 6.0f;
+  good.at(0, 0, 1, 1) = 0.0f;
+  good.at(0, 1, 1, 1) = 0.0f;
+  good.at(0, 2, 1, 1) = std::log(0.3f / 0.7f);  // sigmoid^-1(0.3)
+  good.at(0, 3, 1, 1) = std::log(0.3f / 0.7f);
+  good.at(0, 5, 1, 1) = 8.0f;  // class 0
+
+  Tensor bad({1, cfg.depth(), 6, 6}, 3.0f);  // confident everywhere, wrong
+  const auto lg = yolo_loss(good, truth, cfg);
+  const auto lb = yolo_loss(bad, truth, cfg);
+  EXPECT_LT(lg.loss, lb.loss);
+}
+
+TEST(Yolo, LossGradientMatchesNumeric) {
+  const YoloConfig cfg{.image_size = 48, .grid = 6, .num_classes = 2};
+  Rng rng(2);
+  Tensor raw = Tensor::rand({2, cfg.depth(), 6, 6}, rng, -1.0f, 1.0f);
+  std::vector<std::vector<data::GroundTruthBox>> truth{
+      {{0.3f, 0.4f, 0.2f, 0.2f, 0}},
+      {{0.7f, 0.6f, 0.3f, 0.3f, 1}, {0.1f, 0.1f, 0.15f, 0.15f, 0}}};
+  const auto res = yolo_loss(raw, truth, cfg);
+  const float eps = 1e-3f;
+  // Spot-check a sample of coordinates (full sweep would be slow).
+  Rng pick(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto i = static_cast<std::int64_t>(pick.next_below(
+        static_cast<std::uint64_t>(raw.numel())));
+    const float orig = raw[i];
+    raw[i] = orig + eps;
+    const float lp = yolo_loss(raw, truth, cfg).loss;
+    raw[i] = orig - eps;
+    const float lm = yolo_loss(raw, truth, cfg).loss;
+    raw[i] = orig;
+    EXPECT_NEAR(res.grad_raw[i], (lp - lm) / (2.0f * eps), 2e-3f)
+        << "coordinate " << i;
+  }
+}
+
+TEST(Yolo, TrainsToDetectSyntheticShapes) {
+  // Integration: the detector must reach a reasonable F1 on scenes, since
+  // Fig. 5 contrasts correct golden detections with faulty ones.
+  Rng rng(4);
+  const YoloConfig cfg;
+  const data::SceneSpec scenes;
+  auto model = make_yolo(cfg, rng);
+  const float loss = train_yolo(*model, scenes, cfg,
+                                {.epochs = 6,
+                                 .batches_per_epoch = 20,
+                                 .batch_size = 8,
+                                 .lr = 0.02f,
+                                 .seed = 5});
+  EXPECT_LT(loss, 1.0f);
+  Rng eval_rng(6);
+  const double f1 = evaluate_yolo(*model, scenes, cfg, 30, eval_rng);
+  EXPECT_GT(f1, 0.5) << "detector F1 " << f1;
+}
+
+TEST(Yolo, InjectorInstrumentsDetectorConvs) {
+  // The same FaultInjector drives classification and detection studies.
+  Rng rng(7);
+  const YoloConfig cfg;
+  auto model = make_yolo(cfg, rng);
+  core::FaultInjector fi(
+      model, {.input_shape = {3, 48, 48}, .batch_size = 1});
+  EXPECT_EQ(fi.num_layers(), 7);  // 6 backbone convs + head
+  Rng lrng(8);
+  core::declare_one_fault_per_layer(fi, core::random_value(), lrng);
+  EXPECT_EQ(fi.active_neuron_faults(), 7u);
+  model->eval();
+  EXPECT_NO_THROW(fi.forward(Tensor({1, 3, 48, 48})));
+}
+
+}  // namespace
+}  // namespace pfi::detect

@@ -1,0 +1,201 @@
+// Cross-module integration tests: the full paper workflows end-to-end at
+// miniature scale. These are the closest in spirit to the paper's use-case
+// sections (train -> inject -> measure).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/campaign.hpp"
+#include "detect/yolo.hpp"
+#include "interpret/gradcam.hpp"
+#include "models/trainer.hpp"
+#include "models/zoo.hpp"
+
+namespace pfi {
+namespace {
+
+/// Shared trained model for the integration tests (expensive to train).
+struct TrainedFixture {
+  data::SyntheticDataset ds{data::cifar10_like()};
+  std::shared_ptr<nn::Sequential> model;
+  double accuracy = 0.0;
+
+  TrainedFixture() {
+    Rng rng(7);
+    model = models::make_model("resnet18", {.num_classes = 10}, rng);
+    models::train_classifier(*model, ds,
+                             {.epochs = 2,
+                              .batches_per_epoch = 30,
+                              .batch_size = 16,
+                              .lr = 0.05f,
+                              .seed = 3});
+    Rng eval_rng(5);
+    accuracy = models::evaluate_accuracy(*model, ds, 8, 16, eval_rng);
+  }
+};
+
+TrainedFixture& fixture() {
+  static TrainedFixture f;
+  return f;
+}
+
+TEST(Integration, TrainedModelIsAccurate) {
+  EXPECT_GT(fixture().accuracy, 0.7);
+}
+
+TEST(Integration, GoldenFaultyGoldenRoundTrip) {
+  // Arm -> corrupt -> clear must return to bit-identical golden outputs,
+  // across neuron AND weight faults.
+  auto& f = fixture();
+  f.model->eval();
+  core::FaultInjector fi(f.model, {.input_shape = {3, 32, 32}, .batch_size = 1});
+  Rng rng(9);
+  const auto batch = f.ds.sample_batch(1, rng);
+  const Tensor golden = fi.forward(batch.images).clone();
+
+  fi.declare_neuron_fault(fi.random_neuron_location(rng),
+                          core::constant_value(1e6f));
+  fi.declare_weight_fault(fi.random_weight_location(rng),
+                          core::constant_value(-1e6f));
+  const Tensor faulty = fi.forward(batch.images).clone();
+  EXPECT_GT(golden.max_abs_diff(faulty), 0.0f);
+
+  fi.clear();
+  const Tensor restored = fi.forward(batch.images);
+  EXPECT_TRUE(allclose(golden, restored, 0.0f));
+}
+
+TEST(Integration, WeightFaultCorruptsEveryInference) {
+  // Unlike neuron faults (runtime), weight faults persist across inferences
+  // until cleared — the paper's offline model.
+  auto& f = fixture();
+  f.model->eval();
+  core::FaultInjector fi(f.model, {.input_shape = {3, 32, 32}, .batch_size = 1});
+  Rng rng(11);
+  const auto batch = f.ds.sample_batch(1, rng);
+  const Tensor golden = fi.forward(batch.images).clone();
+  fi.declare_weight_fault({.layer = 0, .out_c = 0, .in_c = 0, .kh = 1, .kw = 1},
+                          core::constant_value(50.0f));
+  const Tensor a = fi.forward(batch.images).clone();
+  const Tensor b = fi.forward(batch.images).clone();
+  EXPECT_GT(golden.max_abs_diff(a), 0.0f);
+  EXPECT_TRUE(allclose(a, b, 0.0f));
+  fi.clear();
+}
+
+TEST(Integration, ExponentBitFlipsAreMoreSevereThanMantissa) {
+  // Fp32 sign/exponent flips (bits 23..31) must corrupt more often than
+  // low mantissa flips (bits 0..7) — the bit-position criticality result
+  // every FI paper reports.
+  auto& f = fixture();
+  core::FaultInjector fi(f.model, {.input_shape = {3, 32, 32}, .batch_size = 1});
+
+  auto campaign_with_bit = [&](int bit, std::uint64_t seed) {
+    core::CampaignConfig cfg;
+    cfg.trials = 120;
+    cfg.error_model = core::single_bit_flip(bit);
+    cfg.seed = seed;
+    return core::run_classification_campaign(fi, f.ds, cfg).corruptions;
+  };
+  const auto high = campaign_with_bit(30, 13);  // exponent MSB
+  const auto low = campaign_with_bit(2, 13);    // mantissa LSB area
+  EXPECT_GE(high, low);
+  EXPECT_GT(high, 0u) << "exponent-MSB flips should corrupt at least once";
+}
+
+TEST(Integration, Int8CampaignNeverProducesNonFinite) {
+  // INT8's bounded domain cannot create NaN/Inf — a structural property
+  // distinguishing it from FP32 injection (paper Sec. IV-A model).
+  auto& f = fixture();
+  core::FaultInjector fi(f.model, {.input_shape = {3, 32, 32},
+                                   .batch_size = 1,
+                                   .dtype = core::DType::kInt8});
+  core::CampaignConfig cfg;
+  cfg.trials = 150;
+  cfg.error_model = core::single_bit_flip();
+  cfg.seed = 15;
+  const auto r = core::run_classification_campaign(fi, f.ds, cfg);
+  EXPECT_EQ(r.non_finite, 0u);
+}
+
+TEST(Integration, Fp16DtypeCampaignRuns) {
+  auto& f = fixture();
+  core::FaultInjector fi(f.model, {.input_shape = {3, 32, 32},
+                                   .batch_size = 1,
+                                   .dtype = core::DType::kFloat16});
+  core::CampaignConfig cfg;
+  cfg.trials = 60;
+  cfg.error_model = core::single_bit_flip();
+  cfg.seed = 17;
+  const auto r = core::run_classification_campaign(fi, f.ds, cfg);
+  EXPECT_EQ(r.trials, 60u);
+}
+
+TEST(Integration, BatchedCampaignSameFaultAcrossBatch) {
+  auto& f = fixture();
+  core::FaultInjector fi(f.model, {.input_shape = {3, 32, 32}, .batch_size = 4});
+  core::CampaignConfig cfg;
+  cfg.trials = 40;
+  cfg.batch_size = 4;
+  cfg.same_fault_across_batch = true;
+  cfg.error_model = core::random_value(-4.0f, 4.0f);
+  cfg.seed = 19;
+  const auto r = core::run_classification_campaign(fi, f.ds, cfg);
+  EXPECT_GE(r.trials, 40u);
+}
+
+TEST(Integration, Top1NotInTop5CriterionIsLessSensitive) {
+  // Top-1-not-in-Top-5 is a strictly weaker corruption condition than
+  // Top-1 mismatch, so it can never fire more often (paper Sec. IV-A lists
+  // these alternative criteria).
+  auto& f = fixture();
+  core::FaultInjector fi(f.model, {.input_shape = {3, 32, 32}, .batch_size = 1});
+  core::CampaignConfig cfg;
+  cfg.trials = 150;
+  cfg.error_model = core::random_value(-512.0f, 512.0f);
+  cfg.seed = 23;
+  const auto top1 = core::run_classification_campaign(fi, f.ds, cfg);
+  cfg.criterion = core::CorruptionCriterion::kTop1NotInTop5;
+  const auto top5 = core::run_classification_campaign(fi, f.ds, cfg);
+  EXPECT_LE(top5.corruptions, top1.corruptions);
+}
+
+TEST(Integration, GradCamOnTrainedModelHighlightsConsistently) {
+  auto& f = fixture();
+  f.model->eval();
+  nn::Module* target = nullptr;
+  for (nn::Module* m : f.model->modules()) {
+    if (m->kind() == "Conv2d") target = m;
+  }
+  interpret::GradCam cam(f.model, *target);
+  Rng rng(25);
+  const auto batch = f.ds.sample_batch(1, rng);
+  const auto r = cam.compute(batch.images);
+  EXPECT_GT(r.heatmap.max(), 0.0f);
+  // Explaining the predicted class again must be identical.
+  const auto r2 = cam.compute(batch.images, r.top1);
+  EXPECT_EQ(interpret::heatmap_distance(r.heatmap, r2.heatmap), 0.0);
+}
+
+TEST(Integration, InjectorComposesWithTraining) {
+  // FI-during-training must leave the model trainable (Table I workflow) —
+  // hooks stay armed across forward/backward.
+  data::SyntheticDataset ds(data::cifar10_like());
+  Rng rng(27);
+  auto model = models::make_model("squeezenet", {.num_classes = 10}, rng);
+  core::FaultInjector fi(model, {.input_shape = {3, 32, 32}, .batch_size = 8});
+  Rng fault_rng(29);
+  std::uint64_t before = fi.injections_performed();
+  const auto result = models::train_classifier(
+      *model, ds,
+      {.epochs = 1, .batches_per_epoch = 10, .batch_size = 8, .lr = 0.02f},
+      [&](std::int64_t) {
+        core::declare_one_fault_per_layer(fi, core::random_value(), fault_rng);
+      },
+      [&](std::int64_t) { fi.clear(); });
+  EXPECT_GT(fi.injections_performed(), before);
+  EXPECT_TRUE(std::isfinite(result.final_loss));
+}
+
+}  // namespace
+}  // namespace pfi

@@ -1,0 +1,175 @@
+// Tests for the model zoo: every registry model builds, runs forward on its
+// target geometry, produces class logits, and is trainable (spot-checked).
+#include <gtest/gtest.h>
+
+#include "models/trainer.hpp"
+#include "models/zoo.hpp"
+
+namespace pfi::models {
+namespace {
+
+class ZooForward : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooForward, BuildsAndClassifiesCifarGeometry) {
+  Rng rng(1);
+  const ModelConfig cfg{.num_classes = 10, .in_channels = 3, .image_size = 32};
+  auto model = make_model(GetParam(), cfg, rng);
+  model->eval();
+  Rng drng(2);
+  const Tensor x = Tensor::rand({2, 3, 32, 32}, drng, -1.0f, 1.0f);
+  const Tensor y = (*model)(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 10}));
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(ZooForward, BuildsAndClassifiesImageNetGeometry) {
+  Rng rng(3);
+  const ModelConfig cfg{.num_classes = 16, .in_channels = 3, .image_size = 64};
+  auto model = make_model(GetParam(), cfg, rng);
+  model->eval();
+  Rng drng(4);
+  const Tensor x = Tensor::rand({1, 3, 64, 64}, drng, -1.0f, 1.0f);
+  const Tensor y = (*model)(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 16}));
+}
+
+TEST_P(ZooForward, HasConvLayersToInstrument) {
+  Rng rng(5);
+  auto model = make_model(GetParam(), {.num_classes = 10}, rng);
+  int convs = 0;
+  for (auto* m : model->modules()) convs += m->kind() == "Conv2d" ? 1 : 0;
+  EXPECT_GE(convs, 3) << GetParam() << " should have at least 3 convolutions";
+}
+
+TEST_P(ZooForward, DeterministicGivenSeed) {
+  const ModelConfig cfg{.num_classes = 10};
+  Rng r1(7), r2(7);
+  auto a = make_model(GetParam(), cfg, r1);
+  auto b = make_model(GetParam(), cfg, r2);
+  a->eval();
+  b->eval();
+  Rng drng(8);
+  const Tensor x = Tensor::rand({1, 3, 32, 32}, drng, -1.0f, 1.0f);
+  EXPECT_TRUE(allclose((*a)(x), (*b)(x), 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooForward,
+                         ::testing::ValuesIn(model_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Zoo, UnknownModelThrowsWithHint) {
+  Rng rng(1);
+  try {
+    make_model("resnet9000", {.num_classes = 10}, rng);
+    FAIL() << "expected pfi::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("known models"), std::string::npos);
+  }
+}
+
+TEST(Zoo, ConfigValidated) {
+  Rng rng(1);
+  EXPECT_THROW(make_model("alexnet", {.num_classes = 1}, rng), Error);
+  EXPECT_THROW(
+      make_model("alexnet", {.num_classes = 10, .image_size = 48}, rng),
+      Error);
+}
+
+TEST(Zoo, Fig3ListMatchesPaper) {
+  const auto entries = fig3_networks();
+  EXPECT_EQ(entries.size(), 19u);  // "19 networks across three datasets"
+  int cifar10 = 0, cifar100 = 0, imagenet = 0;
+  Rng rng(1);
+  for (const auto& e : entries) {
+    if (e.dataset == "cifar10") ++cifar10;
+    if (e.dataset == "cifar100") ++cifar100;
+    if (e.dataset == "imagenet") ++imagenet;
+    // Every entry must be constructible.
+    EXPECT_NO_THROW(make_model(
+        e.model,
+        {.num_classes = 10, .image_size = e.dataset == "imagenet" ? 64 : 32},
+        rng));
+  }
+  EXPECT_EQ(cifar10, 6);
+  EXPECT_EQ(cifar100, 6);
+  EXPECT_EQ(imagenet, 7);
+}
+
+TEST(Zoo, Fig4ListMatchesPaper) {
+  const auto nets = fig4_networks();
+  ASSERT_EQ(nets.size(), 6u);
+  EXPECT_EQ(nets[0], "alexnet");
+  EXPECT_EQ(nets[3], "shufflenet");
+}
+
+// ---------------------------------------------------------------- trainer ----
+
+TEST(Trainer, ResNet18LearnsSyntheticCifar) {
+  // The keystone integration test: the substrate must be able to train a
+  // real (mini) network to well above chance, since every paper campaign
+  // requires correctly-classifying models.
+  Rng rng(42);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = make_model("resnet18", {.num_classes = 10}, rng);
+  const TrainConfig cfg{.epochs = 3,
+                        .batches_per_epoch = 30,
+                        .batch_size = 16,
+                        .lr = 0.05f,
+                        .seed = 7};
+  const TrainResult r = train_classifier(*model, ds, cfg);
+  EXPECT_GT(r.train_accuracy, 0.6);
+  Rng eval_rng(99);
+  const double acc = evaluate_accuracy(*model, ds, 10, 16, eval_rng);
+  EXPECT_GT(acc, 0.6) << "eval accuracy " << acc;
+}
+
+TEST(Trainer, StepHooksFire) {
+  Rng rng(1);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = make_model("squeezenet", {.num_classes = 10}, rng);
+  std::int64_t before = 0, after = 0;
+  train_classifier(
+      *model, ds,
+      {.epochs = 1, .batches_per_epoch = 3, .batch_size = 4},
+      [&](std::int64_t) { ++before; }, [&](std::int64_t) { ++after; });
+  EXPECT_EQ(before, 3);
+  EXPECT_EQ(after, 3);
+}
+
+TEST(Trainer, FixedSetEvaluationIsDeterministicAndChunked) {
+  Rng rng(50);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = make_model("squeezenet", {.num_classes = 10}, rng);
+  Rng set_rng(51);
+  const auto set = make_fixed_set(ds, 13, set_rng);  // odd size: last chunk short
+  const double a = evaluate_on(*model, set, 4);
+  const double b = evaluate_on(*model, set, 5);   // different chunking
+  const double c = evaluate_on(*model, set, 13);  // single chunk
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(b, c);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, 1.0);
+}
+
+TEST(Trainer, FixedSetValidation) {
+  Rng rng(52);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = make_model("squeezenet", {.num_classes = 10}, rng);
+  Rng set_rng(53);
+  EXPECT_THROW(make_fixed_set(ds, 0, set_rng), Error);
+  const auto set = make_fixed_set(ds, 4, set_rng);
+  EXPECT_THROW(evaluate_on(*model, set, 0), Error);
+}
+
+TEST(Trainer, EvalRestoresTrainingMode) {
+  Rng rng(1);
+  data::SyntheticDataset ds(data::cifar10_like());
+  auto model = make_model("resnet18", {.num_classes = 10}, rng);
+  model->train();
+  Rng eval_rng(2);
+  evaluate_accuracy(*model, ds, 1, 2, eval_rng);
+  EXPECT_TRUE(model->is_training());
+}
+
+}  // namespace
+}  // namespace pfi::models

@@ -1,0 +1,123 @@
+// Tests for backward hooks, run_backward propagation, gradient clipping,
+// and hook interactions added for Grad-CAM / IBP support.
+#include <gtest/gtest.h>
+
+#include "nn/nn.hpp"
+
+namespace pfi::nn {
+namespace {
+
+TEST(BackwardHooks, FireOnRunBackward) {
+  ReLU relu;
+  relu(Tensor({3}, std::vector<float>{1.0f, -1.0f, 2.0f}));
+  bool fired = false;
+  relu.register_backward_hook([&](Module& m, Tensor& g) {
+    fired = true;
+    EXPECT_EQ(m.kind(), "ReLU");
+    EXPECT_EQ(g.numel(), 3);
+  });
+  relu.run_backward(Tensor::ones({3}));
+  EXPECT_TRUE(fired);
+}
+
+TEST(BackwardHooks, DoNotFireOnPlainBackward) {
+  ReLU relu;
+  relu(Tensor({2}));
+  int count = 0;
+  relu.register_backward_hook([&](Module&, Tensor&) { ++count; });
+  relu.backward(Tensor::ones({2}));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BackwardHooks, FireOnNestedChildrenThroughContainers) {
+  Rng rng(1);
+  auto seq = std::make_shared<Sequential>();
+  auto conv = seq->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = 1, .out_channels = 2, .kernel = 1}, rng);
+  seq->emplace<ReLU>();
+  (*seq)(Tensor({1, 1, 2, 2}, 1.0f));
+  int fired = 0;
+  conv->register_backward_hook([&](Module&, Tensor&) { ++fired; });
+  seq->run_backward(Tensor::ones({1, 2, 2, 2}));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(BackwardHooks, CanMutateGradient) {
+  // A backward hook that zeroes the gradient stops learning signal — the
+  // mutation contract mirrors forward hooks.
+  Rng rng(2);
+  Linear fc(2, 2, rng);
+  fc(Tensor({1, 2}, 1.0f));
+  fc.register_backward_hook([](Module&, Tensor& g) { g.fill(0.0f); });
+  fc.zero_grad();
+  const Tensor gin = fc.run_backward(Tensor::ones({1, 2}));
+  EXPECT_EQ(gin.squared_norm(), 0.0f);
+  EXPECT_EQ(fc.weight().grad.squared_norm(), 0.0f);
+}
+
+TEST(BackwardHooks, RemovableByHandle) {
+  Identity id;
+  id(Tensor({1}));
+  int count = 0;
+  const auto h = id.register_backward_hook([&](Module&, Tensor&) { ++count; });
+  id.run_backward(Tensor({1}));
+  EXPECT_TRUE(id.remove_hook(h));
+  id.run_backward(Tensor({1}));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(BackwardHooks, ResidualPropagatesToBothBranches) {
+  Rng rng(3);
+  auto main = std::make_shared<ReLU>();
+  auto shortcut = std::make_shared<Identity>();
+  Residual res(main, shortcut);
+  res(Tensor({1, 1, 1, 1}, 1.0f));
+  int main_fired = 0, sc_fired = 0;
+  main->register_backward_hook([&](Module&, Tensor&) { ++main_fired; });
+  shortcut->register_backward_hook([&](Module&, Tensor&) { ++sc_fired; });
+  res.run_backward(Tensor::ones({1, 1, 1, 1}));
+  EXPECT_EQ(main_fired, 1);
+  EXPECT_EQ(sc_fired, 1);
+}
+
+// ------------------------------------------------------------ grad clip ----
+
+TEST(ClipGradNorm, NoopBelowThreshold) {
+  Rng rng(4);
+  Linear fc(2, 2, rng);
+  fc.weight().grad.fill(0.1f);
+  const float norm = clip_grad_norm({&fc.weight()}, 10.0f);
+  EXPECT_NEAR(norm, std::sqrt(4 * 0.01f), 1e-5f);
+  EXPECT_FLOAT_EQ(fc.weight().grad[0], 0.1f);
+}
+
+TEST(ClipGradNorm, ScalesDownAboveThreshold) {
+  Rng rng(5);
+  Linear fc(2, 2, rng);
+  fc.weight().grad.fill(3.0f);  // norm = 6
+  const float norm = clip_grad_norm({&fc.weight()}, 1.5f);
+  EXPECT_NEAR(norm, 6.0f, 1e-4f);
+  // After clipping, norm == 1.5.
+  EXPECT_NEAR(std::sqrt(fc.weight().grad.squared_norm()), 1.5f, 1e-4f);
+}
+
+TEST(ClipGradNorm, GlobalAcrossParams) {
+  Rng rng(6);
+  Linear a(1, 1, rng, false), b(1, 1, rng, false);
+  a.weight().grad.fill(3.0f);
+  b.weight().grad.fill(4.0f);  // global norm = 5
+  clip_grad_norm({&a.weight(), &b.weight()}, 1.0f);
+  const float ga = a.weight().grad[0], gb = b.weight().grad[0];
+  EXPECT_NEAR(std::sqrt(ga * ga + gb * gb), 1.0f, 1e-5f);
+  // Direction preserved.
+  EXPECT_NEAR(gb / ga, 4.0f / 3.0f, 1e-4f);
+}
+
+TEST(ClipGradNorm, Validation) {
+  Rng rng(7);
+  Linear fc(1, 1, rng, false);
+  EXPECT_THROW(clip_grad_norm({&fc.weight()}, 0.0f), Error);
+}
+
+}  // namespace
+}  // namespace pfi::nn

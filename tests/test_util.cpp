@@ -1,0 +1,235 @@
+// Unit tests for src/util: RNG, bit manipulation, statistics, error macro.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pfi {
+namespace {
+
+// ------------------------------------------------------------- PFI_CHECK ----
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(PFI_CHECK(1 + 1 == 2) << "never shown");
+}
+
+TEST(Check, FailingConditionThrowsWithContext) {
+  try {
+    const int x = 41;
+    PFI_CHECK(x == 42) << "x was " << x;
+    FAIL() << "expected pfi::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("x == 42"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("x was 41"), std::string::npos) << msg;
+  }
+}
+
+// ------------------------------------------------------------------- Rng ----
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(-1.0f, 1.0f);
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  RunningStat st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng parent(21);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ------------------------------------------------------------------ bits ----
+
+TEST(Bits, FloatRoundTrip) {
+  for (float v : {0.0f, 1.0f, -2.5f, 3.14159f, 1e-30f}) {
+    EXPECT_EQ(bits_to_float(float_to_bits(v)), v);
+  }
+}
+
+TEST(Bits, FlipSignBit) {
+  EXPECT_EQ(flip_float_bit(1.5f, 31), -1.5f);
+  EXPECT_EQ(flip_float_bit(-2.0f, 31), 2.0f);
+}
+
+TEST(Bits, FlipIsInvolution) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const float v = rng.uniform(-100.0f, 100.0f);
+    const int bit = static_cast<int>(rng.next_below(32));
+    EXPECT_EQ(flip_float_bit(flip_float_bit(v, bit), bit), v);
+  }
+}
+
+TEST(Bits, HighExponentFlipIsLargeOrNonFinite) {
+  // Flipping the MSB of the exponent produces the classic "egregious"
+  // hardware error: for values >= 1.0 the exponent saturates to NaN/inf;
+  // for small values the magnitude explodes to ~2^96 x.
+  EXPECT_TRUE(is_non_finite(flip_float_bit(1.5f, 30)));
+  const float corrupted = flip_float_bit(1e-5f, 30);
+  EXPECT_GT(std::abs(corrupted), 1e25f);
+}
+
+TEST(Bits, Int8FlipInvolutionAndRange) {
+  for (int v = -128; v <= 127; ++v) {
+    for (int bit = 0; bit < 8; ++bit) {
+      const auto x = static_cast<std::int8_t>(v);
+      EXPECT_EQ(flip_int8_bit(flip_int8_bit(x, bit), bit), x);
+    }
+  }
+}
+
+TEST(Bits, Int8SignBitFlip) {
+  EXPECT_EQ(flip_int8_bit(int8_t{1}, 7), int8_t{-127});
+  EXPECT_EQ(flip_int8_bit(int8_t{-128}, 7), int8_t{0});
+}
+
+TEST(Bits, BitIndexValidated) {
+  EXPECT_THROW(flip_float_bit(1.0f, 32), Error);
+  EXPECT_THROW(flip_float_bit(1.0f, -1), Error);
+  EXPECT_THROW(flip_int8_bit(int8_t{0}, 8), Error);
+}
+
+TEST(Bits, NonFiniteDetection) {
+  EXPECT_TRUE(is_non_finite(std::numeric_limits<float>::infinity()));
+  EXPECT_TRUE(is_non_finite(std::numeric_limits<float>::quiet_NaN()));
+  EXPECT_FALSE(is_non_finite(0.0f));
+  EXPECT_FALSE(is_non_finite(std::numeric_limits<float>::max()));
+}
+
+TEST(Bits, Fp16RoundingIsIdempotent) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const float v = rng.uniform(-100.0f, 100.0f);
+    const float h = round_to_fp16(v);
+    EXPECT_EQ(round_to_fp16(h), h);
+    EXPECT_NEAR(h, v, std::abs(v) * 1e-3f + 1e-4f);
+  }
+}
+
+TEST(Bits, Fp16FlipInvolution) {
+  for (int bit = 0; bit < kHalfBits; ++bit) {
+    const float v = round_to_fp16(0.375f);
+    const float flipped = flip_fp16_bit(v, bit);
+    EXPECT_EQ(flip_fp16_bit(flipped, bit), v) << "bit " << bit;
+  }
+}
+
+// ----------------------------------------------------------------- stats ----
+
+TEST(Stats, WilsonKnownValue) {
+  // 50/100 at 95%: interval approx [0.404, 0.596].
+  const auto p = wilson_interval(50, 100, 1.959964);
+  EXPECT_NEAR(p.value, 0.5, 1e-9);
+  EXPECT_NEAR(p.lo, 0.404, 0.002);
+  EXPECT_NEAR(p.hi, 0.596, 0.002);
+}
+
+TEST(Stats, WilsonZeroSuccesses) {
+  const auto p = wilson_interval(0, 1000);
+  EXPECT_EQ(p.value, 0.0);
+  EXPECT_EQ(p.lo, 0.0);
+  EXPECT_GT(p.hi, 0.0);
+  EXPECT_LT(p.hi, 0.02);
+}
+
+TEST(Stats, WilsonNarrowsWithSamples) {
+  const auto small = wilson_interval(10, 1000);
+  const auto large = wilson_interval(10000, 1000000);
+  EXPECT_LT(large.half_width(), small.half_width());
+}
+
+TEST(Stats, WilsonPaperScaleErrorBar) {
+  // Paper Sec. IV-A: ~10^7 injections per network with <0.2% error bars at
+  // 99% confidence on a ~1% proportion. Verify the claim's arithmetic.
+  const auto p = wilson_interval(178333, 17833333);  // 1% of 17.8M trials
+  EXPECT_LT(p.half_width(), 0.002);
+}
+
+TEST(Stats, WilsonValidation) {
+  EXPECT_THROW(wilson_interval(1, 0), Error);
+  EXPECT_THROW(wilson_interval(5, 4), Error);
+}
+
+TEST(Stats, RunningStatMatchesClosedForm) {
+  RunningStat st;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) st.add(v);
+  EXPECT_EQ(st.count(), 4u);
+  EXPECT_DOUBLE_EQ(st.mean(), 2.5);
+  EXPECT_NEAR(st.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(st.min(), 1.0);
+  EXPECT_EQ(st.max(), 4.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+}  // namespace
+}  // namespace pfi
