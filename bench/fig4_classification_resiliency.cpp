@@ -13,7 +13,8 @@
 // is 100% reliable, and the ordering differences across topologies are
 // visible (e.g. AlexNet's rate is comparable to much-larger ShuffleNet's).
 //
-// Environment knobs: PFI_TRIALS (default 400), PFI_EPOCHS (default 3).
+// Environment knobs: PFI_TRIALS (default 1200), PFI_EPOCHS (default 3),
+// PFI_THREADS (default 0 = hardware concurrency).
 #include <cstdio>
 #include <cstdlib>
 
@@ -34,6 +35,7 @@ int main() {
   using namespace pfi;
   const std::int64_t trials = env_int("PFI_TRIALS", 1200);
   const std::int64_t epochs = env_int("PFI_EPOCHS", 3);
+  const std::int64_t threads = env_int("PFI_THREADS", 0);
 
   data::SyntheticDataset ds(data::imagenet_like());
   const auto spec = ds.spec();
@@ -77,6 +79,7 @@ int main() {
     cfg.error_model = core::single_bit_flip();  // random bit, INT8 domain
     cfg.seed = 17;
     cfg.injections_per_image = 8;  // amortize the golden inference
+    cfg.threads = threads;
     const auto r = core::run_classification_campaign(fi, ds, cfg);
     const auto p = r.corruption_probability();
     std::printf("%-12s %8.1f%% %8lld %12llu   %6.3f%% [%.3f, %.3f]%% %9llu\n",

@@ -38,6 +38,7 @@ int main() {
   using namespace pfi;
   const std::int64_t trials = env_int("PFI_TRIALS", 1500);
   const std::int64_t epochs = env_int("PFI_EPOCHS", 3);
+  const std::int64_t threads = env_int("PFI_THREADS", 0);
 
   data::SyntheticDataset ds(data::cifar10_like());
   const models::TrainConfig train_cfg{.epochs = epochs,
@@ -92,6 +93,7 @@ int main() {
       cfg.trials = trials;
       cfg.one_fault_per_layer = true;
       cfg.injections_per_image = 4;
+      cfg.threads = threads;
       cfg.error_model = core::random_value(-512.0f, 512.0f);
       cfg.seed = 21;
       return core::run_classification_campaign(cfi, ds, cfg);

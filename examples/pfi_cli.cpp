@@ -5,7 +5,7 @@
 //   pfi_cli [--model NAME] [--dataset cifar10|cifar100|imagenet]
 //           [--dtype fp32|fp16|int8] [--error MODEL] [--trials N]
 //           [--layer L] [--per-layer] [--epochs N] [--seed S]
-//           [--save PATH] [--load PATH] [--list-models]
+//           [--threads N] [--save PATH] [--load PATH] [--list-models]
 //
 // Error models: bitflip | bitflip:BIT | random | random:LO:HI | zero |
 //               const:V | noise:MAG
@@ -37,6 +37,7 @@ struct CliOptions {
   bool per_layer = false;
   std::int64_t epochs = 3;
   std::uint64_t seed = 1;
+  std::int64_t threads = 0;  // 0 = hardware concurrency
   std::string save_path;
   std::string load_path;
 };
@@ -50,7 +51,8 @@ struct CliOptions {
                " [--trials N]\n"
                "               [--layer L] [--per-layer] [--epochs N]"
                " [--seed S]\n"
-               "               [--save PATH] [--load PATH] [--list-models]\n"
+               "               [--threads N] [--save PATH] [--load PATH]"
+               " [--list-models]\n"
                "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
                " zero | const:V | noise:MAG\n");
   std::exit(msg == nullptr ? 0 : 2);
@@ -123,6 +125,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--per-layer") opt.per_layer = true;
     else if (a == "--epochs") opt.epochs = std::atoll(need_value(i));
     else if (a == "--seed") opt.seed = std::strtoull(need_value(i), nullptr, 10);
+    else if (a == "--threads") opt.threads = std::atoll(need_value(i));
     else if (a == "--save") opt.save_path = need_value(i);
     else if (a == "--load") opt.load_path = need_value(i);
     else usage_and_exit(("unknown flag '" + a + "'").c_str());
@@ -177,6 +180,7 @@ int main(int argc, char** argv) {
 
   core::CampaignConfig cfg;
   cfg.trials = opt.trials;
+  cfg.threads = opt.threads;
   cfg.error_model = parse_error_model(opt.error);
   cfg.layer = opt.layer;
   cfg.one_fault_per_layer = opt.per_layer;

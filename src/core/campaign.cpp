@@ -1,8 +1,11 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "nn/loss.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pfi::core {
 
@@ -39,6 +42,145 @@ bool is_corrupted(const Tensor& golden, const Tensor& faulty,
   PFI_CHECK(false) << "unreachable criterion";
 }
 
+// Seed-derivation streams: every attempt gets one stream for data/location
+// draws and one for the injector's internal RNG (stochastic error models),
+// both functions of (campaign seed, attempt index) only.
+constexpr std::uint64_t kDrawStream = 0;
+constexpr std::uint64_t kInjectorStream = 1;
+
+/// Attempts are capped so a model that never classifies correctly fails
+/// loudly instead of looping forever (the paper's protocol needs correct
+/// golden runs; a 0%-accuracy model can't satisfy it).
+std::int64_t attempt_cap(std::int64_t trials) {
+  return 10'000 + trials * 1'000;
+}
+
+/// Resolve the `threads` knob: 0 = hardware concurrency, and never more
+/// workers than trial units (a replica that would run < 1 unit is pure
+/// setup cost).
+std::int64_t resolve_threads(std::int64_t requested, std::int64_t units) {
+  std::int64_t t = requested == 0
+                       ? static_cast<std::int64_t>(
+                             util::ThreadPool::hardware_threads())
+                       : requested;
+  PFI_CHECK(t >= 1) << "threads=" << requested << " must be >= 0";
+  return std::clamp<std::int64_t>(t, 1, std::max<std::int64_t>(1, units));
+}
+
+/// Everything one attempt (batch draw + golden run + its injections)
+/// observed, in execution order. Kept per-rep so the merge can reproduce
+/// the sequential stopping rule exactly: a rep that would run after the
+/// trial target was reached is discarded whole, and scored rows past the
+/// target are discarded individually.
+struct AttemptOutcome {
+  std::uint64_t skipped = 0;
+  struct Rep {
+    bool non_finite = false;
+    std::vector<std::uint8_t> corrupted;  // per scored row, in score order
+  };
+  std::vector<Rep> reps;
+};
+
+/// One self-contained attempt. All randomness comes from seeds derived from
+/// (config.seed, attempt) — no shared RNG state — so the outcome is a pure
+/// function of the attempt index regardless of which worker runs it.
+AttemptOutcome run_attempt(FaultInjector& fi,
+                           const data::SyntheticDataset& ds,
+                           const CampaignConfig& config, std::int64_t attempt) {
+  const auto a = static_cast<std::uint64_t>(attempt);
+  Rng rng(derive_seed(config.seed, a, kDrawStream));
+  fi.reseed(derive_seed(config.seed, a, kInjectorStream));
+
+  AttemptOutcome out;
+  const auto batch = ds.sample_batch(config.batch_size, rng);
+
+  // Golden run (dtype emulation still active; faults are not).
+  fi.clear();
+  const Tensor golden = fi.forward(batch.images);
+  const auto golden_top1 = nn::argmax_rows(golden);
+
+  // The paper only injects into inferences that are correct to begin with.
+  std::vector<std::int64_t> eligible;
+  for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+    if (golden_top1[i] == batch.labels[i]) {
+      eligible.push_back(static_cast<std::int64_t>(i));
+    } else {
+      ++out.skipped;
+    }
+  }
+  if (eligible.empty()) return out;
+
+  out.reps.reserve(static_cast<std::size_t>(config.injections_per_image));
+  for (std::int64_t rep = 0; rep < config.injections_per_image; ++rep) {
+    NeuronLocation loc;
+    loc.batch = config.same_fault_across_batch
+                    ? kAllBatchElements
+                    : eligible[rng.next_below(eligible.size())];
+    if (config.one_fault_per_layer) {
+      for (std::int64_t l = 0; l < fi.num_layers(); ++l) {
+        NeuronLocation per = fi.random_neuron_location(rng, l);
+        per.batch = loc.batch;
+        fi.declare_neuron_fault(per, config.error_model);
+      }
+    } else {
+      const NeuronLocation drawn = fi.random_neuron_location(rng, config.layer);
+      loc.layer = drawn.layer;
+      loc.c = drawn.c;
+      loc.h = drawn.h;
+      loc.w = drawn.w;
+      fi.declare_neuron_fault(loc, config.error_model);
+    }
+    const Tensor faulty = fi.forward(batch.images);
+    fi.clear();
+
+    AttemptOutcome::Rep r;
+    r.non_finite = has_non_finite(faulty);
+    // Score each eligible element the fault touched.
+    for (const std::int64_t row : eligible) {
+      if (loc.batch != kAllBatchElements && loc.batch != row) continue;
+      r.corrupted.push_back(
+          is_corrupted(golden, faulty, row, config.criterion) ? 1 : 0);
+    }
+    out.reps.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Fold one attempt into the running result, honouring the trial target:
+/// reps after the target are dropped, and a rep's scored rows are consumed
+/// only up to the target. Returns true once the target is reached. Because
+/// attempts are merged strictly in index order, the folded result is the
+/// same whether the outcomes were computed serially or by a pool.
+bool merge_attempt(CampaignResult& acc, const AttemptOutcome& outcome,
+                   std::uint64_t target) {
+  acc.skipped += outcome.skipped;
+  for (const auto& rep : outcome.reps) {
+    if (acc.trials >= target) break;
+    if (rep.non_finite) ++acc.non_finite;
+    for (const std::uint8_t corrupted : rep.corrupted) {
+      ++acc.trials;
+      acc.corruptions += corrupted;
+      if (acc.trials >= target) break;
+    }
+  }
+  return acc.trials >= target;
+}
+
+/// Worker replicas: index 0 is the caller's injector, the rest deep clones.
+struct WorkerSet {
+  std::vector<FaultInjector*> workers;
+  std::vector<std::unique_ptr<FaultInjector>> owned;
+
+  WorkerSet(FaultInjector& fi, std::int64_t threads) {
+    fi.clear();
+    workers.push_back(&fi);
+    for (std::int64_t t = 1; t < threads; ++t) {
+      owned.push_back(fi.replicate());
+      workers.push_back(owned.back().get());
+    }
+  }
+};
+
 }  // namespace
 
 CampaignResult run_classification_campaign(FaultInjector& fi,
@@ -53,66 +195,74 @@ CampaignResult run_classification_campaign(FaultInjector& fi,
       << " exceeds injector batch size " << fi.config().batch_size;
   PFI_CHECK(config.injections_per_image >= 1)
       << "campaign injections_per_image " << config.injections_per_image;
+  PFI_CHECK(config.threads >= 0) << "campaign threads=" << config.threads;
 
-  Rng rng(config.seed);
   fi.model().eval();
+  const auto target = static_cast<std::uint64_t>(config.trials);
+  const std::int64_t max_yield =
+      config.batch_size * config.injections_per_image;
+  // A worker that can't fill ~4 attempts has no time to amortize its model
+  // replica; don't spin one up.
+  const std::int64_t threads = resolve_threads(
+      config.threads, std::max<std::int64_t>(1, config.trials / 4));
+  const std::int64_t cap = attempt_cap(config.trials);
+
   CampaignResult result;
+  std::int64_t next_attempt = 0;
 
-  while (result.trials < static_cast<std::uint64_t>(config.trials)) {
-    const auto batch = ds.sample_batch(config.batch_size, rng);
-
-    // Golden run (dtype emulation still active; faults are not).
-    fi.clear();
-    const Tensor golden = fi.forward(batch.images);
-    const auto golden_top1 = nn::argmax_rows(golden);
-
-    // The paper only injects into inferences that are correct to begin with.
-    std::vector<std::int64_t> eligible;
-    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
-      if (golden_top1[i] == batch.labels[i]) {
-        eligible.push_back(static_cast<std::int64_t>(i));
-      } else {
-        ++result.skipped;
-      }
+  if (threads == 1) {
+    while (!merge_attempt(result, run_attempt(fi, ds, config, next_attempt),
+                          target)) {
+      ++next_attempt;
+      PFI_CHECK(next_attempt < cap)
+          << "campaign gave up after " << next_attempt
+          << " attempts with only " << result.trials << "/" << target
+          << " trials — the model almost never classifies correctly";
     }
-    if (eligible.empty()) continue;
+    return result;
+  }
 
-    for (std::int64_t rep = 0; rep < config.injections_per_image; ++rep) {
-      NeuronLocation loc;
-      loc.batch = config.same_fault_across_batch
-                      ? kAllBatchElements
-                      : eligible[rng.next_below(eligible.size())];
-      if (config.one_fault_per_layer) {
-        for (std::int64_t l = 0; l < fi.num_layers(); ++l) {
-          NeuronLocation per = fi.random_neuron_location(rng, l);
-          per.batch = loc.batch;
-          fi.declare_neuron_fault(per, config.error_model);
-        }
-      } else {
-        const NeuronLocation drawn =
-            fi.random_neuron_location(rng, config.layer);
-        loc.layer = drawn.layer;
-        loc.c = drawn.c;
-        loc.h = drawn.h;
-        loc.w = drawn.w;
-        fi.declare_neuron_fault(loc, config.error_model);
+  WorkerSet set(fi, threads);
+  util::ThreadPool pool(static_cast<std::size_t>(threads));
+  bool done = false;
+  while (!done) {
+    // Size the wave from the observed trial yield per attempt (first wave:
+    // assume the maximum, so we under- rather than over-commit).
+    const std::uint64_t remaining = target - result.trials;
+    const double yield =
+        next_attempt > 0
+            ? std::max(0.25, static_cast<double>(result.trials) /
+                                 static_cast<double>(next_attempt))
+            : static_cast<double>(max_yield);
+    const auto estimate = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(remaining) / yield));
+    // Cap waves at 8 attempts per worker: attempts past the trial target are
+    // computed but discarded, so a huge final wave is pure waste, while the
+    // per-wave barrier costs only microseconds.
+    const std::int64_t wave =
+        std::clamp<std::int64_t>(((estimate + threads - 1) / threads) * threads,
+                                 threads, threads * 8);
+
+    std::vector<AttemptOutcome> outcomes(static_cast<std::size_t>(wave));
+    const std::int64_t base = next_attempt;
+    pool.run(static_cast<std::size_t>(threads), [&](std::size_t g) {
+      // Worker g owns replica g and the wave's attempts congruent to g, so
+      // no injector is touched by two tasks.
+      for (std::int64_t i = static_cast<std::int64_t>(g); i < wave;
+           i += threads) {
+        outcomes[static_cast<std::size_t>(i)] =
+            run_attempt(*set.workers[g], ds, config, base + i);
       }
-      const Tensor faulty = fi.forward(batch.images);
-      fi.clear();
-
-      if (has_non_finite(faulty)) ++result.non_finite;
-
-      // Score each eligible element the fault touched.
-      for (const std::int64_t row : eligible) {
-        if (loc.batch != kAllBatchElements && loc.batch != row) continue;
-        ++result.trials;
-        if (is_corrupted(golden, faulty, row, config.criterion)) {
-          ++result.corruptions;
-        }
-        if (result.trials >= static_cast<std::uint64_t>(config.trials)) break;
-      }
-      if (result.trials >= static_cast<std::uint64_t>(config.trials)) break;
+    });
+    for (std::int64_t i = 0; i < wave && !done; ++i) {
+      done = merge_attempt(result, outcomes[static_cast<std::size_t>(i)],
+                           target);
     }
+    next_attempt += wave;
+    PFI_CHECK(done || next_attempt < cap)
+        << "campaign gave up after " << next_attempt << " attempts with only "
+        << result.trials << "/" << target
+        << " trials — the model almost never classifies correctly";
   }
   return result;
 }
@@ -128,40 +278,74 @@ CampaignResult run_weight_campaign(FaultInjector& fi,
       << "]";
   PFI_CHECK(config.error_model.apply != nullptr)
       << "weight campaign error model is unset";
+  PFI_CHECK(config.threads >= 0) << "weight campaign threads=" << config.threads;
 
-  Rng rng(config.seed);
   fi.model().eval();
-  CampaignResult result;
 
-  for (std::int64_t f = 0; f < config.faults; ++f) {
-    // Draw the evaluation images first and compute golden outcomes with
-    // pristine weights.
+  // One fault = one independent unit: draw images, corrupt one weight,
+  // score every image, restore. All randomness is derived from the fault
+  // index, so the per-fault tallies are a pure function of (config, f).
+  auto run_fault = [&](FaultInjector& worker, std::int64_t f) {
+    const auto fu = static_cast<std::uint64_t>(f);
+    Rng rng(derive_seed(config.seed, fu, kDrawStream));
+    worker.reseed(derive_seed(config.seed, fu, kInjectorStream));
+
+    CampaignResult local;
     const auto batch = ds.sample_batch(config.images_per_fault, rng);
-    fi.clear();
-    const Tensor golden = fi.forward(batch.images).clone();
+    worker.clear();
+    const Tensor golden = worker.forward(batch.images).clone();
     const auto golden_top1 = nn::argmax_rows(golden);
 
-    const WeightLocation loc = fi.random_weight_location(rng, config.layer);
-    fi.declare_weight_fault(loc, config.error_model);
-    const Tensor faulty = fi.forward(batch.images);
+    const WeightLocation loc = worker.random_weight_location(rng, config.layer);
+    worker.declare_weight_fault(loc, config.error_model);
+    const Tensor faulty = worker.forward(batch.images);
 
-    bool any_non_finite = false;
-    for (const float v : faulty.data()) any_non_finite |= !std::isfinite(v);
-    if (any_non_finite) ++result.non_finite;
+    if (has_non_finite(faulty)) ++local.non_finite;
 
     for (std::size_t i = 0; i < batch.labels.size(); ++i) {
       if (golden_top1[i] != batch.labels[i]) {
-        ++result.skipped;  // golden already wrong: not a valid experiment
+        ++local.skipped;  // golden already wrong: not a valid experiment
         continue;
       }
-      ++result.trials;
+      ++local.trials;
       if (is_corrupted(golden, faulty, static_cast<std::int64_t>(i),
                        config.criterion)) {
-        ++result.corruptions;
+        ++local.corruptions;
       }
     }
-    fi.clear();  // restore the weight
+    worker.clear();  // restore the weight
+    return local;
+  };
+
+  auto accumulate = [](CampaignResult& acc, const CampaignResult& d) {
+    acc.trials += d.trials;
+    acc.skipped += d.skipped;
+    acc.corruptions += d.corruptions;
+    acc.non_finite += d.non_finite;
+  };
+
+  const std::int64_t threads =
+      resolve_threads(config.threads,
+                      std::max<std::int64_t>(1, config.faults / 4));
+  CampaignResult result;
+  if (threads == 1) {
+    for (std::int64_t f = 0; f < config.faults; ++f) {
+      accumulate(result, run_fault(fi, f));
+    }
+    return result;
   }
+
+  WorkerSet set(fi, threads);
+  util::ThreadPool pool(static_cast<std::size_t>(threads));
+  std::vector<CampaignResult> partial(static_cast<std::size_t>(threads));
+  pool.run(static_cast<std::size_t>(threads), [&](std::size_t g) {
+    for (std::int64_t f = static_cast<std::int64_t>(g); f < config.faults;
+         f += threads) {
+      accumulate(partial[g], run_fault(*set.workers[g], f));
+    }
+  });
+  // uint64 sums commute, so any shard order folds to the same counts.
+  for (const auto& p : partial) accumulate(result, p);
   return result;
 }
 

@@ -7,6 +7,14 @@
 //   3. declare one fault at a random location, run the faulty inference;
 //   4. count an output corruption when the Top-1 class changes;
 //   5. report the corruption probability with its Wilson confidence interval.
+//
+// Execution model: trials are independent experiments, so the runner shards
+// them across a thread pool (CampaignConfig::threads). Every trial draws its
+// randomness from a counter-derived seed (derive_seed(seed, trial_index)),
+// never from a shared sequential stream, and each worker operates on its own
+// deep model replica (FaultInjector::replicate()). Consequence, guaranteed
+// by tests: a campaign produces BIT-IDENTICAL CampaignResult counts for any
+// thread count, including 1.
 #pragma once
 
 #include "core/fault_injector.hpp"
@@ -41,6 +49,11 @@ struct CampaignConfig {
   /// layer (the Sec. IV-B / IV-D error model) instead of a single fault at
   /// one random location. `layer` is ignored in this mode.
   bool one_fault_per_layer = false;
+  /// Worker threads to shard trials across. 0 = hardware concurrency;
+  /// 1 = run inline on the caller's injector. Workers beyond the first get
+  /// a deep model replica each, so memory grows linearly with threads.
+  /// Results are bit-identical for every value of this knob.
+  std::int64_t threads = 0;
 };
 
 /// Campaign outcome.
@@ -51,9 +64,13 @@ struct CampaignResult {
   std::uint64_t non_finite = 0;   ///< faulty runs with NaN/Inf logits
 
   /// Corruption probability with 99% Wilson interval (the paper's Fig. 4
-  /// error bars).
+  /// error bars). With zero trials there is no evidence at all, so the
+  /// result is the degenerate "know nothing" proportion: point estimate 0
+  /// with the vacuous interval [0, 1] — NOT a misleading 0/1 Wilson
+  /// interval that would read as a confident measurement.
   Proportion corruption_probability() const {
-    return wilson_interval(corruptions, std::max<std::uint64_t>(1, trials));
+    if (trials == 0) return Proportion{0.0, 0.0, 1.0};
+    return wilson_interval(corruptions, trials);
   }
 };
 
@@ -80,6 +97,9 @@ struct WeightCampaignConfig {
   std::int64_t layer = -1;              ///< -1: any conv layer
   CorruptionCriterion criterion = CorruptionCriterion::kTop1Mismatch;
   std::uint64_t seed = 7;
+  /// Worker threads to shard faults across (same semantics and determinism
+  /// guarantee as CampaignConfig::threads).
+  std::int64_t threads = 0;
 };
 
 CampaignResult run_weight_campaign(FaultInjector& fi,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "nn/serialize.hpp"
 #include "util/bits.hpp"
 
 namespace pfi::core {
@@ -233,6 +234,14 @@ WeightLocation FaultInjector::random_weight_location(Rng& rng,
   loc.kh = rng.next_int(0, w.size(2) - 1);
   loc.kw = rng.next_int(0, w.size(3) - 1);
   return loc;
+}
+
+std::unique_ptr<FaultInjector> FaultInjector::replicate() const {
+  PFI_CHECK(weight_undo_.empty() && active_neuron_faults() == 0)
+      << "replicate() requires a quiescent injector — call clear() first so "
+         "the replica starts from golden weights";
+  auto model_copy = nn::clone_model(*model_);
+  return std::make_unique<FaultInjector>(std::move(model_copy), config_);
 }
 
 void FaultInjector::clear() {

@@ -116,6 +116,20 @@ class FaultInjector {
   /// Remove all declared neuron faults and restore all perturbed weights.
   void clear();
 
+  /// Reseed the injector's internal RNG (the one stochastic error models
+  /// draw from via InjectionContext::rng). The campaign engine reseeds with
+  /// a counter-derived per-trial seed so random error-model draws do not
+  /// depend on how trials are sharded across threads.
+  void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
+  /// Build an independent deep replica: the model is cloned via
+  /// nn::clone_model (fresh storage, identical weights and batch-norm
+  /// statistics), then instrumented with the same FiConfig. Replicas share
+  /// nothing mutable with this injector, so each can run forwards on its
+  /// own thread. Requires a quiescent injector (no armed faults, no
+  /// perturbed weights) so the replica is golden.
+  std::unique_ptr<FaultInjector> replicate() const;
+
   // -- Execution ------------------------------------------------------------------
   /// Run the instrumented model; shape-checked against the config.
   Tensor forward(const Tensor& input);

@@ -36,6 +36,12 @@ class PerturbationLayer final : public nn::Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override { return grad_output; }
   std::string kind() const override { return "PerturbationLayer"; }
+  std::shared_ptr<nn::Module> clone_structure() const override {
+    auto copy = std::make_shared<PerturbationLayer>();
+    copy->faults_ = faults_;
+    copy->rng_ = rng_;
+    return copy;
+  }
 
  private:
   struct Armed {

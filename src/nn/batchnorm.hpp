@@ -18,6 +18,9 @@ class BatchNorm2d final : public Module {
   Tensor backward(const Tensor& grad_output) override;
 
   std::string kind() const override { return "BatchNorm2d"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<BatchNorm2d>(channels_, eps_, momentum_);
+  }
   std::vector<Parameter*> local_parameters() override;
 
   Parameter& gamma() { return gamma_; }

@@ -35,6 +35,14 @@ std::vector<Module*> Sequential::children() {
   return out;
 }
 
+std::shared_ptr<Module> Sequential::clone_structure() const {
+  auto copy = std::make_shared<Sequential>();
+  // push() re-derives the same positional child names, so a structural
+  // clone's parameter paths match the source's exactly.
+  for (const auto& m : items_) copy->push(m->clone_structure());
+  return copy;
+}
+
 Module& Sequential::at(std::size_t i) {
   PFI_CHECK(i < items_.size())
       << "Sequential index " << i << " out of range (size " << items_.size()
@@ -73,6 +81,11 @@ Tensor Residual::backward(const Tensor& grad_output) {
 
 std::vector<Module*> Residual::children() {
   return {main_.get(), shortcut_.get()};
+}
+
+std::shared_ptr<Module> Residual::clone_structure() const {
+  return std::make_shared<Residual>(main_->clone_structure(),
+                                    shortcut_->clone_structure());
 }
 
 // -------------------------------------------------------------- Concat ------
@@ -147,6 +160,13 @@ Tensor Concat::backward(const Tensor& grad_output) {
     c_off += bc;
   }
   return grad_input;
+}
+
+std::shared_ptr<Module> Concat::clone_structure() const {
+  std::vector<ModulePtr> branches;
+  branches.reserve(branches_.size());
+  for (const auto& b : branches_) branches.push_back(b->clone_structure());
+  return std::make_shared<Concat>(std::move(branches));
 }
 
 std::vector<Module*> Concat::children() {

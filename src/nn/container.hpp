@@ -35,6 +35,7 @@ class Sequential final : public Module {
   Tensor backward(const Tensor& grad_output) override;
 
   std::string kind() const override { return "Sequential"; }
+  std::shared_ptr<Module> clone_structure() const override;
   std::vector<Module*> children() override;
   std::size_t size() const { return items_.size(); }
   Module& at(std::size_t i);
@@ -52,6 +53,7 @@ class Residual final : public Module {
   Tensor backward(const Tensor& grad_output) override;
 
   std::string kind() const override { return "Residual"; }
+  std::shared_ptr<Module> clone_structure() const override;
   std::vector<Module*> children() override;
 
  private:
@@ -69,6 +71,7 @@ class Concat final : public Module {
   Tensor backward(const Tensor& grad_output) override;
 
   std::string kind() const override { return "Concat"; }
+  std::shared_ptr<Module> clone_structure() const override;
   std::vector<Module*> children() override;
 
  private:

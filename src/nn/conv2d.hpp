@@ -34,6 +34,10 @@ class Conv2d final : public Module {
   Tensor backward(const Tensor& grad_output) override;
 
   std::string kind() const override { return "Conv2d"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    Rng rng(0);  // throwaway init; clone_model overwrites the parameters
+    return std::make_shared<Conv2d>(opts_, rng);
+  }
   std::vector<Parameter*> local_parameters() override;
 
   const Conv2dOptions& options() const { return opts_; }

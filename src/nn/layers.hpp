@@ -15,6 +15,9 @@ class ReLU final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "ReLU"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<ReLU>();
+  }
 
  private:
   Tensor cached_input_;
@@ -27,6 +30,9 @@ class LeakyReLU final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "LeakyReLU"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<LeakyReLU>(slope_);
+  }
 
  private:
   float slope_;
@@ -39,6 +45,9 @@ class Sigmoid final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "Sigmoid"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<Sigmoid>();
+  }
 
  private:
   Tensor cached_output_;
@@ -51,6 +60,9 @@ class Softmax final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "Softmax"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<Softmax>();
+  }
 
  private:
   Tensor cached_output_;
@@ -64,6 +76,9 @@ class MaxPool2d final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "MaxPool2d"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<MaxPool2d>(kernel_, stride_, padding_);
+  }
 
   std::int64_t kernel() const { return kernel_; }
   std::int64_t stride() const { return stride_; }
@@ -82,6 +97,9 @@ class AvgPool2d final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "AvgPool2d"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<AvgPool2d>(kernel_, stride_);
+  }
 
  private:
   std::int64_t kernel_, stride_;
@@ -94,6 +112,9 @@ class GlobalAvgPool final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "GlobalAvgPool"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<GlobalAvgPool>();
+  }
 
  private:
   Shape input_shape_;
@@ -105,6 +126,9 @@ class Flatten final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "Flatten"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<Flatten>();
+  }
 
  private:
   Shape input_shape_;
@@ -117,6 +141,10 @@ class Dropout final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "Dropout"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    Rng rng = rng_;  // same stream state as the source
+    return std::make_shared<Dropout>(p_, rng);
+  }
 
  private:
   float p_;
@@ -131,6 +159,9 @@ class ChannelShuffle final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "ChannelShuffle"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<ChannelShuffle>(groups_);
+  }
 
  private:
   Tensor shuffle(const Tensor& x, std::int64_t groups) const;
@@ -143,6 +174,9 @@ class Identity final : public Module {
   Tensor forward(const Tensor& input) override { return input; }
   Tensor backward(const Tensor& grad_output) override { return grad_output; }
   std::string kind() const override { return "Identity"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    return std::make_shared<Identity>();
+  }
 };
 
 }  // namespace pfi::nn

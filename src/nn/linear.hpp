@@ -15,6 +15,10 @@ class Linear final : public Module {
   Tensor backward(const Tensor& grad_output) override;
 
   std::string kind() const override { return "Linear"; }
+  std::shared_ptr<Module> clone_structure() const override {
+    Rng rng(0);  // throwaway init; clone_model overwrites the parameters
+    return std::make_shared<Linear>(in_, out_, rng, has_bias_);
+  }
   std::vector<Parameter*> local_parameters() override;
 
   std::int64_t in_features() const { return in_; }

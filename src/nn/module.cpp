@@ -1,6 +1,13 @@
 #include "nn/module.hpp"
 
+#include "util/error.hpp"
+
 namespace pfi::nn {
+
+std::shared_ptr<Module> Module::clone_structure() const {
+  PFI_CHECK(false) << "module kind '" << kind()
+                   << "' does not implement clone_structure()";
+}
 
 Tensor Module::operator()(const Tensor& input) {
   Tensor in = input;  // shares storage; pre-hooks mutate elements in place

@@ -97,6 +97,13 @@ class Module {
   // -- Module tree ----------------------------------------------------------------
   /// Short type tag, e.g. "Conv2d"; used by the injector to select layers.
   virtual std::string kind() const = 0;
+  /// Structural deep copy: a freshly-constructed module tree with identical
+  /// architecture (hyperparameters, children, wiring) but independent
+  /// storage and no hooks. Parameter VALUES are unspecified (layers with
+  /// random init re-roll them) — use nn::clone_model() for a full replica
+  /// including weights and batch-norm statistics. The default throws for
+  /// kinds that do not support cloning.
+  virtual std::shared_ptr<Module> clone_structure() const;
   /// Name assigned by the enclosing container ("" at the root).
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }

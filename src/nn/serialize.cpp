@@ -114,6 +114,23 @@ void load_parameters(Module& model, const std::string& path) {
       << "restored " << restored << " of " << tensors.size() << " tensors";
 }
 
+std::shared_ptr<Module> clone_model(Module& src) {
+  auto copy = src.clone_structure();
+  // Identical structure => identical pre-order traversal; carry over any
+  // names assigned by hand (containers already re-derive positional names).
+  const auto src_modules = src.modules();
+  const auto dst_modules = copy->modules();
+  PFI_CHECK(src_modules.size() == dst_modules.size())
+      << "clone_model: clone_structure produced " << dst_modules.size()
+      << " modules for a source with " << src_modules.size();
+  for (std::size_t i = 0; i < src_modules.size(); ++i) {
+    dst_modules[i]->set_name(src_modules[i]->name());
+  }
+  copy->train(src.is_training());
+  copy_parameters(src, *copy);
+  return copy;
+}
+
 void copy_parameters(Module& src, Module& dst) {
   const auto from = named_tensors(src);
   auto to = named_tensors(dst);

@@ -32,4 +32,11 @@ void load_parameters(Module& model, const std::string& path);
 /// initialized models (Table I methodology) without touching the RNG.
 void copy_parameters(Module& src, Module& dst);
 
+/// Full deep replica of a model: clone_structure() for the architecture,
+/// then copy_parameters() for weights and batch-norm statistics, plus
+/// module names and train/eval mode. The replica shares no storage with the
+/// source, so the two can run forward passes on different threads — the
+/// parallel campaign engine builds one replica per worker this way.
+std::shared_ptr<Module> clone_model(Module& src);
+
 }  // namespace pfi::nn

@@ -12,6 +12,29 @@
 
 namespace pfi {
 
+/// One splitmix64 step: a strong 64-bit mixer (also the seeding function of
+/// the main generator below).
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Counter-based seed derivation: hash(seed, index[, stream]) -> child seed.
+///
+/// Campaigns use this to give every trial its own decorrelated RNG stream
+/// instead of drawing sequentially from one generator. Because the child
+/// seed depends only on (seed, index, stream) — never on execution order —
+/// a campaign produces bit-identical results no matter how its trials are
+/// sharded across worker threads.
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index,
+                                 std::uint64_t stream = 0) {
+  std::uint64_t z = splitmix64(seed ^ splitmix64(index));
+  if (stream != 0) z = splitmix64(z ^ splitmix64(stream));
+  return z;
+}
+
 /// xoshiro256++ generator with splitmix64 seeding.
 class Rng {
  public:

@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace pfi::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  PFI_CHECK(threads >= 1) << "ThreadPool needs at least one worker";
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run(std::size_t tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+
+  // Per-batch completion state, shared by value so stray tasks can never
+  // outlive the stack frame (they cannot here — we block — but keeping the
+  // state on the heap makes the invariant local and TSan-obvious).
+  struct Batch {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PFI_CHECK(!stopping_) << "ThreadPool::run after shutdown";
+    for (std::size_t i = 0; i < tasks; ++i) {
+      queue_.emplace_back([batch, &fn, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> l(batch->m);
+          if (!batch->error) batch->error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> l(batch->m);
+        if (--batch->remaining == 0) batch->done.notify_all();
+      });
+    }
+  }
+  work_ready_.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch->m);
+  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace pfi::util

@@ -1,0 +1,57 @@
+// A small fixed-size thread pool for campaign-level parallelism.
+//
+// Campaigns are embarrassingly parallel (thousands of independent
+// golden/faulty inference pairs), so the pool only needs two operations:
+// submit a task, and run an indexed batch of tasks to completion. Workers
+// are started once and reused across waves, so per-wave dispatch cost is a
+// mutex round-trip, not a thread spawn.
+//
+// Exceptions thrown by tasks are captured and rethrown on the caller's
+// thread from run() (first one wins), so PFI_CHECK failures inside workers
+// surface with their message intact.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfi::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(0), fn(1), ..., fn(tasks - 1) on the pool and block until every
+  /// call has returned. Rethrows the first task exception, after all tasks
+  /// of the batch have finished.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0 when unknown).
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace pfi::util

@@ -92,6 +92,45 @@ TEST(ErrorModels, RandomBitFlipCoversHighBits) {
   EXPECT_TRUE(saw_large) << "random fp32 flips should sometimes hit exponent";
 }
 
+TEST(ErrorModels, GoldenFp32BitPatterns) {
+  // Pin the exact IEEE-754 bit patterns bit flips must produce, so a broken
+  // bit index convention (LSB-0 vs MSB-0) cannot pass silently.
+  Rng rng(2);
+  const auto ctx = make_ctx(rng);
+  ASSERT_EQ(float_to_bits(1.0f), 0x3f800000u);
+  ASSERT_EQ(float_to_bits(-2.5f), 0xc0200000u);
+  // 1.0f, top exponent bit (30): exponent becomes all-ones -> +Inf.
+  EXPECT_EQ(float_to_bits(single_bit_flip(30).apply(1.0f, ctx)), 0x7f800000u);
+  // 1.0f, exponent LSB (23): exponent 127 -> 126, i.e. exactly 0.5f.
+  EXPECT_EQ(float_to_bits(single_bit_flip(23).apply(1.0f, ctx)), 0x3f000000u);
+  EXPECT_EQ(single_bit_flip(23).apply(1.0f, ctx), 0.5f);
+  // -2.5f, sign bit (31): exactly +2.5f.
+  EXPECT_EQ(float_to_bits(single_bit_flip(31).apply(-2.5f, ctx)), 0x40200000u);
+  EXPECT_EQ(single_bit_flip(31).apply(-2.5f, ctx), 2.5f);
+  // -2.5f, exponent bit 24: exponent 128 -> 130, value * 2^2 -> -10.0f.
+  EXPECT_EQ(float_to_bits(single_bit_flip(24).apply(-2.5f, ctx)), 0xc1200000u);
+  EXPECT_EQ(single_bit_flip(24).apply(-2.5f, ctx), -10.0f);
+}
+
+TEST(ErrorModels, GoldenInt8QuantizedBitPatterns) {
+  // INT8 flips happen in the fake-quantized domain: quantize, flip the code,
+  // dequantize. With absmax 2.0 the scale is 2/127 and every expected value
+  // is an exact multiple of it.
+  Rng rng(3);
+  const auto ctx = make_ctx(rng, DType::kInt8);
+  const float scale = 2.0f / 127.0f;
+  ASSERT_FLOAT_EQ(ctx.qparams.scale, scale);
+  // 1.0f / scale = 63.5, round-to-even -> code 64 (0x40).
+  ASSERT_EQ(quant::quantize_value(1.0f, ctx.qparams), 64);
+  // Sign bit (7): 0x40 ^ 0x80 = 0xc0 = -64.
+  EXPECT_EQ(single_bit_flip(7).apply(1.0f, ctx), -64.0f * scale);
+  // LSB (0): 0x40 ^ 0x01 = 0x41 = 65.
+  EXPECT_EQ(single_bit_flip(0).apply(1.0f, ctx), 65.0f * scale);
+  // -2.5f saturates to code -127 (0x81); bit 6: 0x81 ^ 0x40 = 0xc1 = -63.
+  ASSERT_EQ(quant::quantize_value(-2.5f, ctx.qparams), -127);
+  EXPECT_EQ(single_bit_flip(6).apply(-2.5f, ctx), -63.0f * scale);
+}
+
 TEST(ErrorModels, MultiBitFlipIsInvolutionForEvenApplication) {
   // Flipping the same k distinct bits twice restores the value; flipping
   // once must change it.

@@ -1,8 +1,11 @@
 // Tests for backward hooks, run_backward propagation, gradient clipping,
-// and hook interactions added for Grad-CAM / IBP support.
+// hook interactions added for Grad-CAM / IBP support, and the FaultInjector
+// hook/weight lifecycle (instrumentation must leave no trace behind).
 #include <gtest/gtest.h>
 
+#include "core/fault_injector.hpp"
 #include "nn/nn.hpp"
+#include "util/bits.hpp"
 
 namespace pfi::nn {
 namespace {
@@ -117,6 +120,92 @@ TEST(ClipGradNorm, Validation) {
   Rng rng(7);
   Linear fc(1, 1, rng, false);
   EXPECT_THROW(clip_grad_norm({&fc.weight()}, 0.0f), Error);
+}
+
+// --------------------------------------------------- injector lifecycle ----
+
+std::shared_ptr<Sequential> two_conv_model(Rng& rng) {
+  auto seq = std::make_shared<Sequential>();
+  seq->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = 1, .out_channels = 2, .kernel = 3,
+                    .padding = 1},
+      rng);
+  seq->emplace<ReLU>();
+  seq->emplace<Conv2d>(
+      Conv2dOptions{.in_channels = 2, .out_channels = 2, .kernel = 1}, rng);
+  return seq;
+}
+
+std::size_t total_forward_hooks(Module& model) {
+  std::size_t n = 0;
+  for (Module* m : model.modules()) n += m->forward_hook_count();
+  return n;
+}
+
+/// Order-sensitive digest of every parameter's exact bit pattern.
+std::uint64_t parameter_checksum(Module& model) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (Parameter* p : model.parameters()) {
+    for (const float v : p->value.data()) {
+      h = (h ^ float_to_bits(v)) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+TEST(InjectorLifecycle, DestructionRemovesEveryHook) {
+  Rng rng(8);
+  auto model = two_conv_model(rng);
+  ASSERT_EQ(total_forward_hooks(*model), 0u);
+  {
+    core::FaultInjector fi(model, {.input_shape = {1, 4, 4}, .batch_size = 1});
+    EXPECT_GT(total_forward_hooks(*model), 0u)
+        << "construction must instrument the model";
+  }
+  EXPECT_EQ(total_forward_hooks(*model), 0u)
+      << "destruction must leave the model un-instrumented";
+  // The de-instrumented model still runs.
+  EXPECT_NO_THROW((*model)(Tensor({1, 1, 4, 4}, 1.0f)));
+}
+
+TEST(InjectorLifecycle, ClearRestoresWeightsBitExactly) {
+  Rng rng(9);
+  auto model = two_conv_model(rng);
+  core::FaultInjector fi(model, {.input_shape = {1, 4, 4}, .batch_size = 1});
+  const std::uint64_t golden = parameter_checksum(*model);
+
+  Rng pick(10);
+  fi.declare_weight_fault(fi.random_weight_location(pick),
+                          core::constant_value(123.0f));
+  EXPECT_NE(parameter_checksum(*model), golden)
+      << "weight fault must perturb the stored parameter";
+  fi.clear();
+  EXPECT_EQ(parameter_checksum(*model), golden)
+      << "clear() must restore every parameter bit";
+
+  // Several stacked faults, then a single clear().
+  for (int i = 0; i < 4; ++i) {
+    fi.declare_weight_fault(fi.random_weight_location(pick),
+                            core::constant_value(-7.0f + i));
+  }
+  fi.clear();
+  EXPECT_EQ(parameter_checksum(*model), golden);
+}
+
+TEST(InjectorLifecycle, DestructionRestoresPerturbedWeights) {
+  Rng rng(11);
+  auto model = two_conv_model(rng);
+  const std::uint64_t golden = parameter_checksum(*model);
+  {
+    core::FaultInjector fi(model,
+                           {.input_shape = {1, 4, 4}, .batch_size = 1});
+    Rng pick(12);
+    fi.declare_weight_fault(fi.random_weight_location(pick),
+                            core::constant_value(1e5f));
+    EXPECT_NE(parameter_checksum(*model), golden);
+  }
+  EXPECT_EQ(parameter_checksum(*model), golden)
+      << "injector destruction must undo weight perturbations";
 }
 
 }  // namespace
