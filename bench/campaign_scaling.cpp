@@ -9,10 +9,16 @@
 // to ~1x with a small scheduling overhead; run on a multi-core host to see
 // the speedup.
 //
-// Environment knobs: PFI_TRIALS (default 200), PFI_MAX_THREADS (default 8).
+// Environment knobs: PFI_TRIALS (default 200), PFI_MAX_THREADS (default 8),
+// PFI_CAMPAIGN_TRACE=1 attaches a TraceSink to every run — the trace-on vs
+// trace-off comparison behind the EXPERIMENTS.md overhead table — and
+// additionally checks the merged JSONL is byte-identical across thread
+// counts.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "core/campaign.hpp"
 #include "models/zoo.hpp"
@@ -31,6 +37,12 @@ int main() {
   using namespace pfi;
   const std::int64_t trials = env_int("PFI_TRIALS", 200);
   const std::int64_t max_threads = env_int("PFI_MAX_THREADS", 8);
+  const bool tracing = env_int("PFI_CAMPAIGN_TRACE", 0) != 0;
+  if (tracing && !trace::kEnabled) {
+    std::printf("PFI_CAMPAIGN_TRACE=1 but tracing is compiled out "
+                "(PFI_TRACE=OFF)\n");
+    return 1;
+  }
 
   data::SyntheticDataset ds(data::cifar10_like());
   const auto spec = ds.spec();
@@ -44,16 +56,18 @@ int main() {
       model, {.input_shape = {3, spec.height, spec.width}, .batch_size = 4});
 
   std::printf("=== Campaign scaling: neuron campaign on resnet18 (%lld "
-              "trials) ===\n",
-              static_cast<long long>(trials));
+              "trials, trace %s) ===\n",
+              static_cast<long long>(trials), tracing ? "ON" : "off");
   std::printf("hardware threads: %zu\n\n",
               util::ThreadPool::hardware_threads());
   std::printf("%8s %12s %12s %10s %12s\n", "threads", "seconds", "trials/s",
               "speedup", "identical");
 
   core::CampaignResult reference;
+  std::string reference_jsonl;
   double base_seconds = 0.0;
   for (std::int64_t threads = 1; threads <= max_threads; threads *= 2) {
+    trace::TraceSink sink;
     core::CampaignConfig cfg;
     cfg.trials = trials;
     cfg.error_model = core::single_bit_flip();
@@ -61,20 +75,25 @@ int main() {
     cfg.batch_size = 4;
     cfg.injections_per_image = 4;
     cfg.threads = threads;
+    if (tracing) cfg.trace = &sink;
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = core::run_classification_campaign(fi, ds, cfg);
     const auto t1 = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    const std::string jsonl =
+        tracing ? trace::trace_to_jsonl(sink.events()) : std::string();
 
     if (threads == 1) {
       reference = r;
+      reference_jsonl = jsonl;
       base_seconds = seconds;
     }
     const bool identical = r.trials == reference.trials &&
                            r.skipped == reference.skipped &&
                            r.corruptions == reference.corruptions &&
-                           r.non_finite == reference.non_finite;
+                           r.non_finite == reference.non_finite &&
+                           jsonl == reference_jsonl;
     std::printf("%8lld %12.3f %12.1f %9.2fx %12s\n",
                 static_cast<long long>(threads), seconds,
                 static_cast<double>(r.trials) / seconds,
@@ -86,6 +105,15 @@ int main() {
     }
   }
 
+  if (tracing) {
+    std::printf("\nAll thread counts produced byte-identical trace JSONL "
+                "(%zu events).\n",
+                reference_jsonl.empty()
+                    ? static_cast<std::size_t>(0)
+                    : static_cast<std::size_t>(
+                          std::count(reference_jsonl.begin(),
+                                     reference_jsonl.end(), '\n')));
+  }
   std::printf("\nAll thread counts produced bit-identical campaign counts "
               "(trials=%llu corruptions=%llu skipped=%llu non_finite=%llu).\n",
               static_cast<unsigned long long>(reference.trials),

@@ -8,16 +8,21 @@
 // random-value neuron fault — plus:
 //   * the Sec. III-C batch sweep (batch 1 -> 64) showing amortized overhead,
 //   * an ablation (DESIGN.md Sec. 6.1): instrumented-but-idle hooks vs no
-//     injector at all, measuring the cost of the "single check per layer".
+//     injector at all, measuring the cost of the "single check per layer",
+//   * a per-layer breakdown (printed after the timers): a Profiler attached
+//     to one representative network reports each hook's own wall time, the
+//     layer-resolved version of the aggregate Fig. 3 claim.
 //
 // Expected shape: base and pfi times are within noise of each other
 // everywhere, matching the paper's claim.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <memory>
 
 #include "core/fault_injector.hpp"
+#include "core/profile.hpp"
 #include "models/zoo.hpp"
 
 namespace {
@@ -91,6 +96,33 @@ void bench_bare_model(benchmark::State& state, const std::string& dataset,
   }
 }
 
+/// Per-layer hook cost on one representative network: run `reps` forwards
+/// idle and `reps` with a declared fault, each under a fresh Profiler, and
+/// print both tables. The "hook us/call" column is the per-layer Fig. 3
+/// number; the activation columns come along for free.
+void print_per_layer_profile(const std::string& net, int reps) {
+  Workload& w = get_workload("cifar10", net, 1);
+  trace::Profiler profiler;
+  w.injector->set_profiler(&profiler);
+
+  w.injector->clear();
+  for (int i = 0; i < reps; ++i) (void)w.injector->forward(w.input);
+  std::printf("\n=== per-layer profile: %s, idle hooks (%d forwards) ===\n%s",
+              net.c_str(), reps, profiler.table().c_str());
+
+  profiler.reset_stats();
+  Rng loc_rng(42);
+  w.injector->declare_neuron_fault(w.injector->random_neuron_location(loc_rng),
+                                   core::random_value());
+  for (int i = 0; i < reps; ++i) (void)w.injector->forward(w.input);
+  std::printf("\n=== per-layer profile: %s, one armed fault (%d forwards) "
+              "===\n%s",
+              net.c_str(), reps, profiler.table().c_str());
+
+  w.injector->clear();
+  w.injector->set_profiler(nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,5 +168,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  print_per_layer_profile("squeezenet", 50);
   return 0;
 }

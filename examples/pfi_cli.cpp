@@ -6,9 +6,13 @@
 //           [--dtype fp32|fp16|int8] [--error MODEL] [--trials N]
 //           [--layer L] [--per-layer] [--epochs N] [--seed S]
 //           [--threads N] [--save PATH] [--load PATH] [--list-models]
+//           [--trace PATH] [--profile]
 //
 // Error models: bitflip | bitflip:BIT | random | random:LO:HI | zero |
 //               const:V | noise:MAG
+//
+// --trace PATH writes one JSON object per injection (JSONL) after the
+// campaign; --profile prints per-layer activation stats and hook overhead.
 //
 // Examples:
 //   pfi_cli --model resnet18 --dtype int8 --error bitflip --trials 2000
@@ -20,6 +24,7 @@
 #include <string>
 
 #include "core/campaign.hpp"
+#include "core/profile.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
 
@@ -40,6 +45,8 @@ struct CliOptions {
   std::int64_t threads = 0;  // 0 = hardware concurrency
   std::string save_path;
   std::string load_path;
+  std::string trace_path;
+  bool profile = false;
 };
 
 [[noreturn]] void usage_and_exit(const char* msg) {
@@ -53,6 +60,7 @@ struct CliOptions {
                " [--seed S]\n"
                "               [--threads N] [--save PATH] [--load PATH]"
                " [--list-models]\n"
+               "               [--trace PATH] [--profile]\n"
                "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
                " zero | const:V | noise:MAG\n");
   std::exit(msg == nullptr ? 0 : 2);
@@ -128,6 +136,8 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--threads") opt.threads = std::atoll(need_value(i));
     else if (a == "--save") opt.save_path = need_value(i);
     else if (a == "--load") opt.load_path = need_value(i);
+    else if (a == "--trace") opt.trace_path = need_value(i);
+    else if (a == "--profile") opt.profile = true;
     else usage_and_exit(("unknown flag '" + a + "'").c_str());
   }
   return opt;
@@ -178,6 +188,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(fi.num_layers()),
               static_cast<long long>(fi.total_neurons()));
 
+  trace::TraceSink sink;
+  trace::Profiler profiler;
+  if (opt.profile) fi.set_profiler(&profiler);
+
   core::CampaignConfig cfg;
   cfg.trials = opt.trials;
   cfg.threads = opt.threads;
@@ -186,6 +200,14 @@ int main(int argc, char** argv) {
   cfg.one_fault_per_layer = opt.per_layer;
   cfg.injections_per_image = 4;
   cfg.seed = opt.seed + 2;
+  if (!opt.trace_path.empty()) {
+    if constexpr (!trace::kEnabled) {
+      std::fprintf(stderr,
+                   "error: --trace requires a build with PFI_TRACE=ON\n");
+      return 2;
+    }
+    cfg.trace = &sink;
+  }
   std::printf("campaign: %lld trials, error model %s, dtype %s%s\n",
               static_cast<long long>(opt.trials), cfg.error_model.name.c_str(),
               opt.dtype.c_str(), opt.per_layer ? ", one fault per layer" : "");
@@ -203,5 +225,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.non_finite));
   std::printf("  P(misclassification) %.4f%%  [99%% CI %.4f%%, %.4f%%]\n",
               100.0 * p.value, 100.0 * p.lo, 100.0 * p.hi);
+
+  if (!opt.trace_path.empty()) {
+    trace::write_trace_jsonl(opt.trace_path, sink.events());
+    std::printf("\ntrace: %zu injection events written to %s\n",
+                sink.events().size(), opt.trace_path.c_str());
+  }
+  if (opt.profile) {
+    // Replicas do not inherit the profiler, so with --threads > 1 these
+    // stats cover the primary worker's share of the campaign.
+    std::printf("\nper-layer profile (primary worker):\n%s",
+                profiler.table().c_str());
+  }
   return 0;
 }

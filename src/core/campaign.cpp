@@ -77,8 +77,32 @@ struct AttemptOutcome {
   struct Rep {
     bool non_finite = false;
     std::vector<std::uint8_t> corrupted;  // per scored row, in score order
+    // Trace payload (only populated when the campaign is tracing): the
+    // rep's injection events and, optionally, its faulty logits. Kept on
+    // the rep so the ordered merge can discard them with it.
+    std::uint64_t attempt = 0;
+    std::int32_t rep_index = 0;
+    std::vector<trace::InjectionEvent> events;
+    Tensor logits;
   };
   std::vector<Rep> reps;
+};
+
+/// Attach a worker-local sink to an injector for one attempt, restoring
+/// whatever sink was attached before (exception-safe).
+class ScopedSink {
+ public:
+  ScopedSink(FaultInjector& fi, trace::TraceSink* sink)
+      : fi_(fi), previous_(fi.trace_sink()) {
+    fi_.set_trace_sink(sink);
+  }
+  ~ScopedSink() { fi_.set_trace_sink(previous_); }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  FaultInjector& fi_;
+  trace::TraceSink* previous_;
 };
 
 /// One self-contained attempt. All randomness comes from seeds derived from
@@ -90,6 +114,12 @@ AttemptOutcome run_attempt(FaultInjector& fi,
   const auto a = static_cast<std::uint64_t>(attempt);
   Rng rng(derive_seed(config.seed, a, kDrawStream));
   fi.reseed(derive_seed(config.seed, a, kInjectorStream));
+
+  // Worker-local trace buffer: single-threaded, lock-free; the merge step
+  // moves its contents into the caller's sink in attempt order.
+  const bool tracing = config.trace != nullptr;
+  trace::TraceSink local(tracing && config.trace->capture_logits());
+  ScopedSink sink_guard(fi, tracing ? &local : fi.trace_sink());
 
   AttemptOutcome out;
   const auto batch = ds.sample_batch(config.batch_size, rng);
@@ -112,6 +142,7 @@ AttemptOutcome run_attempt(FaultInjector& fi,
 
   out.reps.reserve(static_cast<std::size_t>(config.injections_per_image));
   for (std::int64_t rep = 0; rep < config.injections_per_image; ++rep) {
+    if (tracing) local.set_context(a, static_cast<std::int32_t>(rep));
     NeuronLocation loc;
     loc.batch = config.same_fault_across_batch
                     ? kAllBatchElements
@@ -135,6 +166,12 @@ AttemptOutcome run_attempt(FaultInjector& fi,
 
     AttemptOutcome::Rep r;
     r.non_finite = has_non_finite(faulty);
+    if (tracing) {
+      r.attempt = a;
+      r.rep_index = static_cast<std::int32_t>(rep);
+      r.events = local.take_events();
+      if (local.capture_logits()) r.logits = faulty.clone();
+    }
     // Score each eligible element the fault touched.
     for (const std::int64_t row : eligible) {
       if (loc.batch != kAllBatchElements && loc.batch != row) continue;
@@ -151,12 +188,22 @@ AttemptOutcome run_attempt(FaultInjector& fi,
 /// only up to the target. Returns true once the target is reached. Because
 /// attempts are merged strictly in index order, the folded result is the
 /// same whether the outcomes were computed serially or by a pool.
-bool merge_attempt(CampaignResult& acc, const AttemptOutcome& outcome,
-                   std::uint64_t target) {
+bool merge_attempt(CampaignResult& acc, AttemptOutcome& outcome,
+                   std::uint64_t target, trace::TraceSink* sink) {
   acc.skipped += outcome.skipped;
-  for (const auto& rep : outcome.reps) {
+  for (auto& rep : outcome.reps) {
     if (acc.trials >= target) break;
     if (rep.non_finite) ++acc.non_finite;
+    if (sink != nullptr) {
+      // The rep made the cut, so its trace ships: its events are stamped
+      // with the first trial index it feeds and appended in merge order.
+      for (trace::InjectionEvent& ev : rep.events) ev.trial = acc.trials;
+      sink->append(std::move(rep.events));
+      if (sink->capture_logits() && rep.logits.defined()) {
+        sink->append_logits(
+            {rep.attempt, rep.rep_index, std::move(rep.logits)});
+      }
+    }
     for (const std::uint8_t corrupted : rep.corrupted) {
       ++acc.trials;
       acc.corruptions += corrupted;
@@ -211,8 +258,9 @@ CampaignResult run_classification_campaign(FaultInjector& fi,
   std::int64_t next_attempt = 0;
 
   if (threads == 1) {
-    while (!merge_attempt(result, run_attempt(fi, ds, config, next_attempt),
-                          target)) {
+    for (;;) {
+      AttemptOutcome outcome = run_attempt(fi, ds, config, next_attempt);
+      if (merge_attempt(result, outcome, target, config.trace)) break;
       ++next_attempt;
       PFI_CHECK(next_attempt < cap)
           << "campaign gave up after " << next_attempt
@@ -256,7 +304,7 @@ CampaignResult run_classification_campaign(FaultInjector& fi,
     });
     for (std::int64_t i = 0; i < wave && !done; ++i) {
       done = merge_attempt(result, outcomes[static_cast<std::size_t>(i)],
-                           target);
+                           target, config.trace);
     }
     next_attempt += wave;
     PFI_CHECK(done || next_attempt < cap)
@@ -281,16 +329,26 @@ CampaignResult run_weight_campaign(FaultInjector& fi,
   PFI_CHECK(config.threads >= 0) << "weight campaign threads=" << config.threads;
 
   fi.model().eval();
+  const bool tracing = config.trace != nullptr;
 
   // One fault = one independent unit: draw images, corrupt one weight,
   // score every image, restore. All randomness is derived from the fault
-  // index, so the per-fault tallies are a pure function of (config, f).
+  // index, so the per-fault outcome is a pure function of (config, f).
+  struct FaultOutcome {
+    CampaignResult counts;
+    std::vector<trace::InjectionEvent> events;
+    Tensor logits;
+  };
   auto run_fault = [&](FaultInjector& worker, std::int64_t f) {
     const auto fu = static_cast<std::uint64_t>(f);
     Rng rng(derive_seed(config.seed, fu, kDrawStream));
     worker.reseed(derive_seed(config.seed, fu, kInjectorStream));
 
-    CampaignResult local;
+    trace::TraceSink local(tracing && config.trace->capture_logits());
+    ScopedSink sink_guard(worker, tracing ? &local : worker.trace_sink());
+    if (tracing) local.set_context(fu, 0);
+
+    FaultOutcome out;
     const auto batch = ds.sample_batch(config.images_per_fault, rng);
     worker.clear();
     const Tensor golden = worker.forward(batch.images).clone();
@@ -300,53 +358,88 @@ CampaignResult run_weight_campaign(FaultInjector& fi,
     worker.declare_weight_fault(loc, config.error_model);
     const Tensor faulty = worker.forward(batch.images);
 
-    if (has_non_finite(faulty)) ++local.non_finite;
+    if (has_non_finite(faulty)) ++out.counts.non_finite;
 
     for (std::size_t i = 0; i < batch.labels.size(); ++i) {
       if (golden_top1[i] != batch.labels[i]) {
-        ++local.skipped;  // golden already wrong: not a valid experiment
+        ++out.counts.skipped;  // golden already wrong: not a valid experiment
         continue;
       }
-      ++local.trials;
+      ++out.counts.trials;
       if (is_corrupted(golden, faulty, static_cast<std::int64_t>(i),
                        config.criterion)) {
-        ++local.corruptions;
+        ++out.counts.corruptions;
       }
     }
     worker.clear();  // restore the weight
-    return local;
+    if (tracing) {
+      out.events = local.take_events();
+      // A weight fault is declared offline: the event stream already holds
+      // it, and every image of the batch scores against the same faulty
+      // forward, so one logits record per fault suffices.
+      if (local.capture_logits()) out.logits = faulty.clone();
+    }
+    return out;
   };
 
-  auto accumulate = [](CampaignResult& acc, const CampaignResult& d) {
-    acc.trials += d.trials;
-    acc.skipped += d.skipped;
-    acc.corruptions += d.corruptions;
-    acc.non_finite += d.non_finite;
+  // Merged strictly in fault-index order, so the folded counts AND the
+  // trace stream are identical for every thread count.
+  CampaignResult result;
+  auto merge_fault = [&](FaultOutcome& out, std::int64_t f) {
+    result.trials += out.counts.trials;
+    result.skipped += out.counts.skipped;
+    result.corruptions += out.counts.corruptions;
+    result.non_finite += out.counts.non_finite;
+    if (tracing) {
+      for (trace::InjectionEvent& ev : out.events) {
+        ev.trial = static_cast<std::uint64_t>(f);
+      }
+      config.trace->append(std::move(out.events));
+      if (config.trace->capture_logits() && out.logits.defined()) {
+        config.trace->append_logits(
+            {static_cast<std::uint64_t>(f), 0, std::move(out.logits)});
+      }
+    }
   };
 
   const std::int64_t threads =
       resolve_threads(config.threads,
                       std::max<std::int64_t>(1, config.faults / 4));
-  CampaignResult result;
   if (threads == 1) {
     for (std::int64_t f = 0; f < config.faults; ++f) {
-      accumulate(result, run_fault(fi, f));
+      FaultOutcome out = run_fault(fi, f);
+      merge_fault(out, f);
     }
     return result;
   }
 
   WorkerSet set(fi, threads);
   util::ThreadPool pool(static_cast<std::size_t>(threads));
-  std::vector<CampaignResult> partial(static_cast<std::size_t>(threads));
+  std::vector<FaultOutcome> outcomes(static_cast<std::size_t>(config.faults));
   pool.run(static_cast<std::size_t>(threads), [&](std::size_t g) {
     for (std::int64_t f = static_cast<std::int64_t>(g); f < config.faults;
          f += threads) {
-      accumulate(partial[g], run_fault(*set.workers[g], f));
+      outcomes[static_cast<std::size_t>(f)] = run_fault(*set.workers[g], f);
     }
   });
-  // uint64 sums commute, so any shard order folds to the same counts.
-  for (const auto& p : partial) accumulate(result, p);
+  for (std::int64_t f = 0; f < config.faults; ++f) {
+    merge_fault(outcomes[static_cast<std::size_t>(f)], f);
+  }
   return result;
+}
+
+data::Batch campaign_attempt_batch(const data::SyntheticDataset& ds,
+                                   const CampaignConfig& config,
+                                   std::uint64_t attempt) {
+  Rng rng(derive_seed(config.seed, attempt, kDrawStream));
+  return ds.sample_batch(config.batch_size, rng);
+}
+
+data::Batch weight_campaign_fault_batch(const data::SyntheticDataset& ds,
+                                        const WeightCampaignConfig& config,
+                                        std::uint64_t fault_index) {
+  Rng rng(derive_seed(config.seed, fault_index, kDrawStream));
+  return ds.sample_batch(config.images_per_fault, rng);
 }
 
 std::vector<CampaignResult> run_per_layer_campaign(

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/fault_injector.hpp"
+#include "core/trace.hpp"
 #include "data/synthetic.hpp"
 #include "util/stats.hpp"
 
@@ -54,6 +55,14 @@ struct CampaignConfig {
   /// a deep model replica each, so memory grows linearly with threads.
   /// Results are bit-identical for every value of this knob.
   std::int64_t threads = 0;
+  /// Optional injection trace: when set, every injection performed by a
+  /// counted trial lands here as an InjectionEvent, merged across workers
+  /// strictly in attempt order — the merged stream (and its JSONL
+  /// serialization) is bit-identical for every thread count, like the
+  /// counts. Injections from attempts/reps beyond the trial target are
+  /// discarded with them. The runner manages per-worker sinks internally;
+  /// any sink already attached to the injector is saved and restored.
+  trace::TraceSink* trace = nullptr;
 };
 
 /// Campaign outcome.
@@ -100,10 +109,26 @@ struct WeightCampaignConfig {
   /// Worker threads to shard faults across (same semantics and determinism
   /// guarantee as CampaignConfig::threads).
   std::int64_t threads = 0;
+  /// Optional injection trace (same semantics as CampaignConfig::trace);
+  /// weight-fault events merge in fault-index order.
+  trace::TraceSink* trace = nullptr;
 };
 
 CampaignResult run_weight_campaign(FaultInjector& fi,
                                    const data::SyntheticDataset& ds,
                                    const WeightCampaignConfig& config);
+
+/// Re-derive the exact input batch attempt `attempt` of a classification
+/// campaign drew (all attempt randomness is a pure function of
+/// (config.seed, attempt)). This is the replay half of a trace: events name
+/// the injections, this names the inputs they corrupted.
+data::Batch campaign_attempt_batch(const data::SyntheticDataset& ds,
+                                   const CampaignConfig& config,
+                                   std::uint64_t attempt);
+
+/// Weight-campaign analogue: the batch fault `fault_index` was scored on.
+data::Batch weight_campaign_fault_batch(const data::SyntheticDataset& ds,
+                                        const WeightCampaignConfig& config,
+                                        std::uint64_t fault_index);
 
 }  // namespace pfi::core

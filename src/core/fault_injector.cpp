@@ -29,6 +29,14 @@ FaultInjector::FaultInjector(std::shared_ptr<nn::Module> model, FiConfig config)
       << "model has no instrumentable (Conv2d) layers";
   faults_.resize(layers_.size());
 
+  // Dotted module paths: the stable layer identity exported traces carry.
+  layer_paths_.resize(layers_.size());
+  for (const auto& [path, m] : model_->named_modules()) {
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      if (layers_[i] == m) layer_paths_[i] = path;
+    }
+  }
+
   // Install the hooks up front; each hook body starts with the O(1)
   // emptiness check the paper's overhead argument rests on.
   hook_handles_.reserve(layers_.size());
@@ -81,6 +89,44 @@ nn::Module& FaultInjector::layer(std::int64_t i) const {
       << "layer " << i << " out of range; model has " << num_layers()
       << " instrumented layers";
   return *layers_[static_cast<std::size_t>(i)];
+}
+
+const std::string& FaultInjector::layer_path(std::int64_t i) const {
+  PFI_CHECK(i >= 0 && i < num_layers())
+      << "layer " << i << " out of range; model has " << num_layers()
+      << " instrumented layers";
+  return layer_paths_[static_cast<std::size_t>(i)];
+}
+
+void FaultInjector::set_profiler(trace::Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ == nullptr) return;
+  std::vector<trace::LayerProfile> table;
+  table.reserve(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    table.push_back({.name = layer_paths_[i], .kind = layers_[i]->kind()});
+  }
+  profiler_->init(std::move(table));
+}
+
+void FaultInjector::emit_event(trace::FaultKind kind, std::int64_t layer,
+                               const std::int64_t (&coords)[4],
+                               std::int64_t flat, float pre, float post,
+                               const std::string& model_name,
+                               const quant::QuantParams& qparams) {
+  trace::InjectionEvent ev;
+  ev.kind = kind;
+  ev.layer = layer;
+  ev.layer_name = layer_paths_[static_cast<std::size_t>(layer)];
+  ev.layer_kind = layers_[static_cast<std::size_t>(layer)]->kind();
+  ev.dtype = config_.dtype;
+  for (int i = 0; i < 4; ++i) ev.coords[i] = coords[i];
+  ev.flat = flat;
+  ev.pre = pre;
+  ev.post = post;
+  ev.bit = trace::diff_bit(pre, post, config_.dtype, qparams);
+  ev.model = model_name;
+  sink_->record(std::move(ev));
 }
 
 void FaultInjector::declare_neuron_fault(const NeuronLocation& loc,
@@ -162,9 +208,17 @@ void FaultInjector::declare_weight_fault(const WeightLocation& loc,
   ctx.rng = &rng_;
 
   // Offline corruption: mutate now, remember how to undo.
-  weight_undo_.push_back({&conv.weight(), flat, w[flat]});
-  w[flat] = model.apply(w[flat], ctx);
+  const float pre = w[flat];
+  weight_undo_.push_back({&conv.weight(), flat, pre});
+  w[flat] = model.apply(pre, ctx);
   ++injections_;
+  if constexpr (trace::kEnabled) {
+    if (sink_ != nullptr) {
+      const std::int64_t coords[4] = {loc.out_c, loc.in_c, loc.kh, loc.kw};
+      emit_event(trace::FaultKind::kWeight, loc.layer, coords, flat, pre,
+                 w[flat], model.name, ctx.qparams);
+    }
+  }
 }
 
 NeuronLocation FaultInjector::random_neuron_location(Rng& rng,
@@ -293,8 +347,14 @@ std::size_t FaultInjector::active_neuron_faults() const {
 
 void FaultInjector::hook_body(std::int64_t layer_index, Tensor& output) {
   auto& layer_faults = faults_[static_cast<std::size_t>(layer_index)];
-  // Fast path — the paper's "only a single check on every layer".
-  if (layer_faults.empty() && config_.dtype == DType::kFloat32) return;
+  // Fast path — the paper's "only a single check on every layer". With a
+  // profiler attached the hook has observation work even when idle, so the
+  // early-out is skipped (and the cost of that work is itself measured).
+  if (layer_faults.empty() && config_.dtype == DType::kFloat32 &&
+      profiler_ == nullptr) {
+    return;
+  }
+  trace::HookTimer hook_timer(profiler_, layer_index);
 
   quant::QuantParams qp;
   switch (config_.dtype) {
@@ -312,6 +372,9 @@ void FaultInjector::hook_body(std::int64_t layer_index, Tensor& output) {
       quant::fake_quantize_(output, qp);
       break;
   }
+  // Activation profile of the (post-dtype-emulation) output — the healthy
+  // range injections perturb.
+  if (profiler_ != nullptr) profiler_->observe(layer_index, output.data());
   if (layer_faults.empty()) return;
 
   PFI_CHECK(output.dim() == 4)
@@ -346,8 +409,16 @@ void FaultInjector::hook_body(std::int64_t layer_index, Tensor& output) {
       if (fault.scope == FaultScope::kNeuron) {
         const std::int64_t flat = output.offset_of(b, loc.c, loc.h, loc.w);
         ctx.flat_index = flat;
-        output[flat] = fault.model.apply(output[flat], ctx);
+        const float pre = output[flat];
+        output[flat] = fault.model.apply(pre, ctx);
         ++injections_;
+        if constexpr (trace::kEnabled) {
+          if (sink_ != nullptr) {
+            const std::int64_t coords[4] = {b, loc.c, loc.h, loc.w};
+            emit_event(trace::FaultKind::kNeuron, layer_index, coords, flat,
+                       pre, output[flat], fault.model.name, qp);
+          }
+        }
         continue;
       }
       // Fmap / layer scope: corrupt every spatial position of the selected
@@ -357,8 +428,16 @@ void FaultInjector::hook_body(std::int64_t layer_index, Tensor& output) {
           for (std::int64_t w = 0; w < output.size(3); ++w) {
             const std::int64_t flat = output.offset_of(b, c, h, w);
             ctx.flat_index = flat;
-            output[flat] = fault.model.apply(output[flat], ctx);
+            const float pre = output[flat];
+            output[flat] = fault.model.apply(pre, ctx);
             ++injections_;
+            if constexpr (trace::kEnabled) {
+              if (sink_ != nullptr) {
+                const std::int64_t coords[4] = {b, c, h, w};
+                emit_event(trace::FaultKind::kNeuron, layer_index, coords,
+                           flat, pre, output[flat], fault.model.name, qp);
+              }
+            }
           }
         }
       }

@@ -31,6 +31,8 @@
 #include <optional>
 
 #include "core/error_models.hpp"
+#include "core/profile.hpp"
+#include "core/trace.hpp"
 #include "nn/nn.hpp"
 
 namespace pfi::core {
@@ -134,6 +136,26 @@ class FaultInjector {
   /// Run the instrumented model; shape-checked against the config.
   Tensor forward(const Tensor& input);
 
+  // -- Observability (the pfi::trace layer) -----------------------------------------
+  /// Attach a TraceSink: every subsequent injection (neuron and weight)
+  /// emits an InjectionEvent into it. Pass nullptr to detach. The sink is
+  /// single-threaded — campaign workers each attach their own. With the
+  /// sink detached (the default) the injection path pays one branch; in a
+  /// -DPFI_TRACE=OFF build the emission code is compiled out entirely.
+  void set_trace_sink(trace::TraceSink* sink) { sink_ = sink; }
+  trace::TraceSink* trace_sink() const { return sink_; }
+
+  /// Attach a Profiler: the hook then records per-layer activation
+  /// min/max/mean and its own per-layer wall time (see profile.hpp). The
+  /// profiler's layer table is (re)initialized from this injector's
+  /// instrumented layers. Pass nullptr to detach.
+  void set_profiler(trace::Profiler* profiler);
+  trace::Profiler* profiler() const { return profiler_; }
+
+  /// Dotted module path of instrumented layer i (e.g. "features.3"), the
+  /// stable identifier used in exported traces.
+  const std::string& layer_path(std::int64_t i) const;
+
   // -- Introspection ----------------------------------------------------------------
   std::size_t active_neuron_faults() const;
   std::uint64_t injections_performed() const { return injections_; }
@@ -162,9 +184,16 @@ class FaultInjector {
 
   void hook_body(std::int64_t layer_index, Tensor& output);
 
+  /// Emit one InjectionEvent into the attached sink (trace builds only).
+  void emit_event(trace::FaultKind kind, std::int64_t layer,
+                  const std::int64_t (&coords)[4], std::int64_t flat,
+                  float pre, float post, const std::string& model_name,
+                  const quant::QuantParams& qparams);
+
   std::shared_ptr<nn::Module> model_;
   FiConfig config_;
   std::vector<nn::Module*> layers_;
+  std::vector<std::string> layer_paths_;
   std::vector<nn::HookHandle> hook_handles_;
   std::vector<Shape> layer_shapes_;
   std::vector<std::vector<ArmedFault>> faults_;  // per layer
@@ -172,6 +201,8 @@ class FaultInjector {
   std::int64_t total_neurons_ = 0;
   std::uint64_t injections_ = 0;
   Rng rng_;
+  trace::TraceSink* sink_ = nullptr;
+  trace::Profiler* profiler_ = nullptr;
 };
 
 /// Convenience for the paper's Fig. 5 detection study: declare one random

@@ -1,0 +1,40 @@
+#include "core/profile.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace pfi::trace {
+
+void Profiler::reset_stats() {
+  for (LayerProfile& p : layers_) {
+    const LayerProfile fresh{.name = p.name, .kind = p.kind};
+    p = fresh;
+  }
+}
+
+std::string Profiler::table() const {
+  std::size_t name_width = 6;  // fits the "layer" header and "<root>"
+  for (const LayerProfile& p : layers_) {
+    name_width = std::max(name_width, p.name.size());
+  }
+  const int name_col = static_cast<int>(name_width) + 2;
+  std::ostringstream os;
+  os << std::left << std::setw(name_col) << "layer" << std::setw(10) << "kind"
+     << std::right << std::setw(9) << "forwards" << std::setw(12) << "act min"
+     << std::setw(12) << "act max" << std::setw(12) << "act mean"
+     << std::setw(14) << "hook us/call" << '\n';
+  for (const LayerProfile& p : layers_) {
+    os << std::left << std::setw(name_col)
+       << (p.name.empty() ? std::string("<root>") : p.name) << std::setw(10)
+       << p.kind << std::right << std::setw(9) << p.forwards << std::fixed
+       << std::setprecision(4) << std::setw(12)
+       << (p.count == 0 ? 0.0 : p.min) << std::setw(12)
+       << (p.count == 0 ? 0.0 : p.max) << std::setw(12) << p.mean()
+       << std::setprecision(3) << std::setw(14) << p.hook_us_per_call()
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pfi::trace

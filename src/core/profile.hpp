@@ -1,0 +1,114 @@
+// Per-layer runtime observability for the fault injector, built on the same
+// forward hooks that perform injection:
+//
+//  * activation profiles — running min / max / mean of every instrumented
+//    layer's (post-dtype-emulation) output, the per-layer visibility that
+//    turns a fault injector into an analysis tool (error maps need to know
+//    the healthy activation range they are perturbing);
+//
+//  * hook timing — a scoped HookTimer around the injector's hook body
+//    measures exactly what the paper's Fig. 3 claims is negligible: the
+//    per-layer cost of the instrumentation itself, separated from the
+//    model's own compute.
+//
+// A Profiler is single-threaded like a TraceSink: attach one per injector
+// (campaign workers would each need their own). When no profiler is
+// attached the injector's hot path pays one pointer compare.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pfi::trace {
+
+/// Running statistics for one instrumented layer.
+struct LayerProfile {
+  std::string name;           ///< dotted module path
+  std::string kind;           ///< module kind, e.g. "Conv2d"
+  std::uint64_t forwards = 0; ///< hook invocations observed
+  std::uint64_t count = 0;    ///< activations observed across all forwards
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  std::uint64_t hook_ns = 0;     ///< total time inside the injection hook
+  std::uint64_t hook_calls = 0;  ///< timed hook entries
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  double hook_us_per_call() const {
+    return hook_calls == 0
+               ? 0.0
+               : static_cast<double>(hook_ns) / 1e3 /
+                     static_cast<double>(hook_calls);
+  }
+};
+
+/// Accumulates LayerProfiles for one injector. The injector initializes the
+/// layer table when the profiler is attached and feeds it from its hook.
+class Profiler {
+ public:
+  /// (Re)initialize the table; called by FaultInjector::set_profiler.
+  void init(std::vector<LayerProfile> layers) { layers_ = std::move(layers); }
+
+  /// Fold one forward's output activations into layer `layer`'s profile.
+  void observe(std::int64_t layer, std::span<const float> activations) {
+    LayerProfile& p = layers_[static_cast<std::size_t>(layer)];
+    ++p.forwards;
+    for (const float v : activations) {
+      const double d = v;
+      if (d < p.min) p.min = d;
+      if (d > p.max) p.max = d;
+      p.sum += d;
+    }
+    p.count += activations.size();
+  }
+
+  void add_hook_time(std::int64_t layer, std::uint64_t ns) {
+    LayerProfile& p = layers_[static_cast<std::size_t>(layer)];
+    p.hook_ns += ns;
+    ++p.hook_calls;
+  }
+
+  const std::vector<LayerProfile>& layers() const { return layers_; }
+
+  /// Zero the accumulated statistics, keeping the layer table.
+  void reset_stats();
+
+  /// Aligned text table: one row per layer with activation range/mean and
+  /// per-call hook overhead — the per-layer numbers behind Fig. 3.
+  std::string table() const;
+
+ private:
+  std::vector<LayerProfile> layers_;
+};
+
+/// Scoped timer charging its lifetime to one layer's hook accounting.
+/// Instantiated with a null profiler it costs a single branch.
+class HookTimer {
+ public:
+  HookTimer(Profiler* profiler, std::int64_t layer)
+      : profiler_(profiler), layer_(layer) {
+    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~HookTimer() {
+    if (profiler_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    profiler_->add_hook_time(layer_, static_cast<std::uint64_t>(ns));
+  }
+  HookTimer(const HookTimer&) = delete;
+  HookTimer& operator=(const HookTimer&) = delete;
+
+ private:
+  Profiler* profiler_;
+  std::int64_t layer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pfi::trace

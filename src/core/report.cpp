@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/strings.hpp"
+
 namespace pfi::core {
 
 void write_campaign_csv(const std::string& path,
@@ -12,11 +14,11 @@ void write_campaign_csv(const std::string& path,
   PFI_CHECK(out.good()) << "cannot open '" << path << "' for writing";
   out << "label,trials,skipped,corruptions,non_finite,p,ci_lo,ci_hi\n";
   for (const auto& row : rows) {
-    PFI_CHECK(row.label.find(',') == std::string::npos &&
-              row.label.find('\n') == std::string::npos)
-        << "campaign label '" << row.label << "' contains CSV delimiters";
+    // Labels come from user-chosen module names, so they can contain
+    // anything; RFC 4180 quoting keeps hostile labels one field wide.
     const auto p = row.result.corruption_probability();
-    out << row.label << ',' << row.result.trials << ',' << row.result.skipped
+    out << util::csv_field(row.label) << ',' << row.result.trials << ','
+        << row.result.skipped
         << ',' << row.result.corruptions << ',' << row.result.non_finite
         << ',' << std::setprecision(10) << p.value << ',' << p.lo << ','
         << p.hi << '\n';

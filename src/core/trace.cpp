@@ -1,0 +1,249 @@
+#include "core/trace.hpp"
+
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "core/fault_injector.hpp"
+#include "util/bits.hpp"
+#include "util/strings.hpp"
+
+namespace pfi::trace {
+
+std::string fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNeuron: return "neuron";
+    case FaultKind::kWeight: return "weight";
+  }
+  PFI_CHECK(false) << "unreachable fault kind";
+}
+
+std::int32_t diff_bit(float pre, float post, core::DType dtype,
+                      const quant::QuantParams& qparams) {
+  std::uint32_t x = 0;
+  switch (dtype) {
+    case core::DType::kFloat32:
+      x = float_to_bits(pre) ^ float_to_bits(post);
+      break;
+    case core::DType::kFloat16:
+      x = static_cast<std::uint32_t>(
+          std::bit_cast<std::uint16_t>(static_cast<_Float16>(pre)) ^
+          std::bit_cast<std::uint16_t>(static_cast<_Float16>(post)));
+      break;
+    case core::DType::kInt8:
+      x = static_cast<std::uint32_t>(
+          static_cast<std::uint8_t>(quant::quantize_value(pre, qparams)) ^
+          static_cast<std::uint8_t>(quant::quantize_value(post, qparams)));
+      break;
+  }
+  return std::popcount(x) == 1 ? std::countr_zero(x) : -1;
+}
+
+namespace {
+
+/// Decimal rendering for the human-readable value fields. Non-finite values
+/// become null (JSON has no Inf/NaN literal); the hex bits field is always
+/// authoritative.
+std::string json_number(float v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(9);  // max_digits10 for binary32
+  os << v;
+  return os.str();
+}
+
+/// Find `"key":` at object level and return the raw value text after it.
+/// Sufficient for the writer's own output (keys never appear inside our
+/// escaped strings as `"key":` because the colon ends the match).
+std::string raw_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  // Scan outside string literals so hostile layer names containing
+  // "key": text cannot shadow a real field.
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      if (line.compare(i, needle.size(), needle) == 0) {
+        const std::size_t start = i + needle.size();
+        std::size_t end = start;
+        PFI_CHECK(start < line.size()) << "truncated value for key '" << key
+                                       << "' in: " << line;
+        if (line[start] == '"') {  // string value: scan to closing quote
+          ++end;
+          while (end < line.size() && line[end] != '"') {
+            if (line[end] == '\\') ++end;
+            ++end;
+          }
+          PFI_CHECK(end < line.size()) << "unterminated string for key '"
+                                       << key << "' in: " << line;
+          return line.substr(start, end - start + 1);
+        }
+        if (line[start] == '[') {  // array value: scan to the closing bracket
+          while (end < line.size() && line[end] != ']') ++end;
+          PFI_CHECK(end < line.size()) << "unterminated array for key '"
+                                       << key << "' in: " << line;
+          return line.substr(start, end - start + 1);
+        }
+        while (end < line.size() && line[end] != ',' && line[end] != '}') {
+          ++end;
+        }
+        return line.substr(start, end - start);
+      }
+      in_string = true;
+    }
+  }
+  PFI_CHECK(false) << "key '" << key << "' not found in trace line: " << line;
+}
+
+std::string string_field(const std::string& line, const std::string& key) {
+  const std::string raw = raw_field(line, key);
+  PFI_CHECK(raw.size() >= 2 && raw.front() == '"' && raw.back() == '"')
+      << "key '" << key << "' is not a string in: " << line;
+  return util::json_unescape(raw.substr(1, raw.size() - 2));
+}
+
+std::int64_t int_field(const std::string& line, const std::string& key) {
+  return std::stoll(raw_field(line, key));
+}
+
+core::DType dtype_from_name(const std::string& name) {
+  if (name == "fp32") return core::DType::kFloat32;
+  if (name == "fp16") return core::DType::kFloat16;
+  if (name == "int8") return core::DType::kInt8;
+  PFI_CHECK(false) << "unknown dtype '" << name << "' in trace";
+}
+
+}  // namespace
+
+std::string event_to_json(const InjectionEvent& ev) {
+  std::ostringstream os;
+  os << "{\"trial\":" << ev.trial << ",\"attempt\":" << ev.attempt
+     << ",\"rep\":" << ev.rep << ",\"kind\":\"" << fault_kind_name(ev.kind)
+     << "\",\"layer\":" << ev.layer << ",\"layer_name\":\""
+     << util::json_escape(ev.layer_name) << "\",\"layer_kind\":\""
+     << util::json_escape(ev.layer_kind) << "\",\"dtype\":\""
+     << core::dtype_name(ev.dtype) << "\",\"coords\":[" << ev.coords[0] << ","
+     << ev.coords[1] << "," << ev.coords[2] << "," << ev.coords[3]
+     << "],\"flat\":" << ev.flat << ",\"bit\":" << ev.bit
+     << ",\"pre\":" << json_number(ev.pre) << ",\"pre_bits\":\""
+     << util::float_bits_hex(ev.pre) << "\",\"post\":" << json_number(ev.post)
+     << ",\"post_bits\":\"" << util::float_bits_hex(ev.post)
+     << "\",\"model\":\"" << util::json_escape(ev.model) << "\"}";
+  return os.str();
+}
+
+InjectionEvent event_from_json(const std::string& line) {
+  InjectionEvent ev;
+  ev.trial = static_cast<std::uint64_t>(int_field(line, "trial"));
+  ev.attempt = static_cast<std::uint64_t>(int_field(line, "attempt"));
+  ev.rep = static_cast<std::int32_t>(int_field(line, "rep"));
+  const std::string kind = string_field(line, "kind");
+  PFI_CHECK(kind == "neuron" || kind == "weight")
+      << "unknown fault kind '" << kind << "' in trace";
+  ev.kind = kind == "neuron" ? FaultKind::kNeuron : FaultKind::kWeight;
+  ev.layer = int_field(line, "layer");
+  ev.layer_name = string_field(line, "layer_name");
+  ev.layer_kind = string_field(line, "layer_kind");
+  ev.dtype = dtype_from_name(string_field(line, "dtype"));
+  const std::string coords = raw_field(line, "coords");
+  PFI_CHECK(coords.size() >= 2 && coords.front() == '[')
+      << "bad coords '" << coords << "' in trace";
+  std::istringstream cs(coords.substr(1));
+  char sep = ',';
+  for (int i = 0; i < 4; ++i) {
+    cs >> ev.coords[i] >> sep;
+  }
+  ev.flat = int_field(line, "flat");
+  ev.bit = static_cast<std::int32_t>(int_field(line, "bit"));
+  ev.pre = util::float_from_bits_hex(string_field(line, "pre_bits"));
+  ev.post = util::float_from_bits_hex(string_field(line, "post_bits"));
+  ev.model = string_field(line, "model");
+  return ev;
+}
+
+std::string trace_to_jsonl(const std::vector<InjectionEvent>& events) {
+  std::string out;
+  for (const InjectionEvent& ev : events) {
+    out += event_to_json(ev);
+    out += '\n';
+  }
+  return out;
+}
+
+void write_trace_jsonl(const std::string& path,
+                       const std::vector<InjectionEvent>& events) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  PFI_CHECK(out.good()) << "cannot open '" << path << "' for writing";
+  out << trace_to_jsonl(events);
+  PFI_CHECK(out.good()) << "write to '" << path << "' failed";
+}
+
+std::vector<InjectionEvent> read_trace_jsonl(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PFI_CHECK(in.good()) << "cannot open trace '" << path << "'";
+  std::vector<InjectionEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    events.push_back(event_from_json(line));
+  }
+  return events;
+}
+
+std::vector<std::vector<InjectionEvent>> split_reps(
+    const std::vector<InjectionEvent>& events) {
+  std::vector<std::vector<InjectionEvent>> reps;
+  for (const InjectionEvent& ev : events) {
+    if (reps.empty() || reps.back().back().attempt != ev.attempt ||
+        reps.back().back().rep != ev.rep) {
+      reps.emplace_back();
+    }
+    reps.back().push_back(ev);
+  }
+  return reps;
+}
+
+void TraceReplayer::arm(std::span<const InjectionEvent> rep_events) {
+  for (const InjectionEvent& ev : rep_events) {
+    PFI_CHECK(ev.dtype == fi_.dtype())
+        << "trace event recorded at dtype " << core::dtype_name(ev.dtype)
+        << " cannot replay on an injector configured for "
+        << core::dtype_name(fi_.dtype());
+    // A constant fault writes the recorded post value at the recorded
+    // position; because the hook applies it after dtype emulation, exactly
+    // where the original model ran, the corrupted tensor is reproduced
+    // bit-for-bit regardless of what the original error model computed.
+    if (ev.kind == FaultKind::kNeuron) {
+      fi_.declare_neuron_fault({.layer = ev.layer,
+                                .batch = ev.coords[0],
+                                .c = ev.coords[1],
+                                .h = ev.coords[2],
+                                .w = ev.coords[3]},
+                               core::constant_value(ev.post));
+    } else {
+      fi_.declare_weight_fault({.layer = ev.layer,
+                                .out_c = ev.coords[0],
+                                .in_c = ev.coords[1],
+                                .kh = ev.coords[2],
+                                .kw = ev.coords[3]},
+                               core::constant_value(ev.post));
+    }
+  }
+}
+
+Tensor TraceReplayer::replay(const Tensor& input,
+                             std::span<const InjectionEvent> rep_events) {
+  fi_.clear();
+  arm(rep_events);
+  Tensor out = fi_.forward(input);
+  fi_.clear();
+  return out;
+}
+
+}  // namespace pfi::trace

@@ -1,0 +1,213 @@
+// pfi::trace — structured injection-event observability.
+//
+// Every injection the FaultInjector performs (neuron or weight) can emit an
+// InjectionEvent into a TraceSink: which trial and attempt it belonged to,
+// which layer (by index and dotted module path), the exact tensor
+// coordinates, the pre- and post-injection values (bit-exact), the flipped
+// bit when the corruption was a one-bit flip, and the error-model id.
+//
+// Design discipline, mirroring the PR 1 campaign engine:
+//
+//  * One sink per worker, touched by exactly one thread — no locks anywhere
+//    on the injection path. The campaign runner merges worker sinks into the
+//    caller's sink strictly in attempt order, so the merged event stream is
+//    BIT-IDENTICAL for any thread count (pinned by tests, like the counts).
+//
+//  * Events are bit-faithful: pre/post values serialize as IEEE-754 hex bit
+//    patterns, never decimal, so a JSONL round trip loses nothing — even
+//    NaN/Inf payloads from exponent flips survive exactly.
+//
+//  * TraceReplayer turns a recorded rep (one corrupted forward pass) back
+//    into armed faults on a fresh injector and reproduces the original
+//    corrupted logits bit-exactly. A trace is therefore a complete,
+//    auditable record of a campaign, and the replay path is the test oracle
+//    that pins the hook mechanism against recorded reality.
+//
+// Compile-time kill switch: configuring with -DPFI_TRACE=OFF defines
+// PFI_TRACE_DISABLED, which turns every TraceSink mutation into an inline
+// no-op and compiles the event-construction code out of the injector's hook
+// (kEnabled is false, the `if constexpr` around emission drops the body).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/error_models.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pfi::core {
+class FaultInjector;
+}  // namespace pfi::core
+
+namespace pfi::trace {
+
+/// False when the build was configured with -DPFI_TRACE=OFF; all recording
+/// compiles away to nothing in that case.
+#ifdef PFI_TRACE_DISABLED
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// What was corrupted: a neuron in a layer's output fmap, or a weight.
+enum class FaultKind { kNeuron, kWeight };
+
+/// "neuron" / "weight".
+std::string fault_kind_name(FaultKind kind);
+
+/// One injection, as it actually happened.
+struct InjectionEvent {
+  std::uint64_t trial = 0;    ///< global trial index (assigned at merge)
+  std::uint64_t attempt = 0;  ///< campaign attempt / weight-fault index
+  std::int32_t rep = 0;       ///< injection rep within the attempt
+  FaultKind kind = FaultKind::kNeuron;
+  std::int64_t layer = 0;     ///< instrumented layer index
+  std::string layer_name;     ///< dotted module path, e.g. "features.3"
+  std::string layer_kind;     ///< module kind, e.g. "Conv2d"
+  core::DType dtype = core::DType::kFloat32;
+  /// Neuron events: (batch, c, h, w) of the corrupted activation.
+  /// Weight events: (out_c, in_c, kh, kw) of the corrupted filter tap.
+  std::int64_t coords[4] = {0, 0, 0, 0};
+  std::int64_t flat = 0;      ///< flat index within the output/weight tensor
+  /// Index of the flipped bit in the dtype's own representation (fp32 word,
+  /// fp16 word, or INT8 quantized code) when pre and post differ by exactly
+  /// one bit in that domain; -1 for every other corruption shape.
+  std::int32_t bit = -1;
+  float pre = 0.0f;           ///< value before injection (post-quantization)
+  float post = 0.0f;          ///< value the error model produced
+  std::string model;          ///< error-model id, e.g. "single_bit_flip[30]"
+};
+
+/// The flipped-bit attribution for a (pre, post) pair in the given dtype's
+/// representation domain; -1 unless exactly one bit differs.
+std::int32_t diff_bit(float pre, float post, core::DType dtype,
+                      const quant::QuantParams& qparams);
+
+/// Per-worker event buffer. Single-threaded by construction (each campaign
+/// worker owns one); the only cross-thread motion is the ordered merge.
+class TraceSink {
+ public:
+  TraceSink() = default;
+  /// `capture_logits` additionally records the faulty output tensor of every
+  /// traced rep — the oracle TraceReplayer tests verify against.
+  explicit TraceSink(bool capture_logits) : capture_logits_(capture_logits) {}
+
+  /// Stamp subsequent events with (attempt, rep). The campaign runner calls
+  /// this before every injected forward pass.
+  void set_context(std::uint64_t attempt, std::int32_t rep) {
+    attempt_ = attempt;
+    rep_ = rep;
+  }
+
+  /// Record one injection. Compiles to nothing when tracing is disabled.
+  void record(InjectionEvent ev) {
+    if constexpr (!kEnabled) return;
+    ev.attempt = attempt_;
+    ev.rep = rep_;
+    events_.push_back(std::move(ev));
+  }
+
+  /// The faulty logits of one recorded rep (kept only with capture_logits).
+  struct RepLogits {
+    std::uint64_t attempt = 0;
+    std::int32_t rep = 0;
+    Tensor logits;
+  };
+
+  /// Record the faulty output of the current (attempt, rep). No-op unless
+  /// capture_logits was requested (and tracing is compiled in).
+  void record_logits(const Tensor& logits) {
+    if constexpr (!kEnabled) return;
+    if (!capture_logits_) return;
+    logits_.push_back({attempt_, rep_, logits.clone()});
+  }
+
+  bool capture_logits() const { return kEnabled && capture_logits_; }
+
+  const std::vector<InjectionEvent>& events() const { return events_; }
+  const std::vector<RepLogits>& logits() const { return logits_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Move out everything recorded since the last take/clear.
+  std::vector<InjectionEvent> take_events() {
+    return std::exchange(events_, {});
+  }
+  std::vector<RepLogits> take_logits() { return std::exchange(logits_, {}); }
+
+  /// Ordered-merge entry points used by the campaign runner.
+  void append(std::vector<InjectionEvent> events) {
+    events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                   std::make_move_iterator(events.end()));
+  }
+  void append_logits(RepLogits rep) { logits_.push_back(std::move(rep)); }
+
+  void clear() {
+    events_.clear();
+    logits_.clear();
+  }
+
+ private:
+  std::uint64_t attempt_ = 0;
+  std::int32_t rep_ = 0;
+  bool capture_logits_ = false;
+  std::vector<InjectionEvent> events_;
+  std::vector<RepLogits> logits_;
+};
+
+// -- JSONL serialization --------------------------------------------------------
+
+/// One event as a single-line JSON object. Values carry both a readable
+/// decimal field and the authoritative hex bit pattern.
+std::string event_to_json(const InjectionEvent& ev);
+
+/// Parse one line produced by event_to_json.
+InjectionEvent event_from_json(const std::string& line);
+
+/// All events, one JSON object per line. This exact byte stream is what the
+/// thread-count-invariance tests compare.
+std::string trace_to_jsonl(const std::vector<InjectionEvent>& events);
+
+/// Write trace_to_jsonl(events) to `path`.
+void write_trace_jsonl(const std::string& path,
+                       const std::vector<InjectionEvent>& events);
+
+/// Read a JSONL trace back; inverse of write_trace_jsonl.
+std::vector<InjectionEvent> read_trace_jsonl(const std::string& path);
+
+// -- Replay --------------------------------------------------------------------
+
+/// Split a merged event stream into reps — maximal runs of events sharing
+/// (attempt, rep), in stream order. Each rep is one corrupted forward pass
+/// and the unit TraceReplayer replays.
+std::vector<std::vector<InjectionEvent>> split_reps(
+    const std::vector<InjectionEvent>& events);
+
+/// Re-applies a recorded trace onto a (fresh or reused) injector replica:
+/// every event becomes a constant-value fault at the recorded coordinates,
+/// so the replayed forward writes the exact recorded post values into the
+/// exact recorded positions — reproducing the original corrupted forward
+/// pass bit-for-bit, whatever error model originally produced the values.
+class TraceReplayer {
+ public:
+  /// The injector must share the original's dtype (checked per event) and
+  /// model architecture; typically FaultInjector::replicate() of the
+  /// campaign injector, or the campaign injector itself after the run.
+  explicit TraceReplayer(core::FaultInjector& fi) : fi_(fi) {}
+
+  /// Arm one recorded rep's events as constant faults. The caller runs the
+  /// forward and clears; use replay() for the one-shot path.
+  void arm(std::span<const InjectionEvent> rep_events);
+
+  /// Arm `rep_events`, forward `input`, clear, return the corrupted logits.
+  Tensor replay(const Tensor& input,
+                std::span<const InjectionEvent> rep_events);
+
+ private:
+  core::FaultInjector& fi_;
+};
+
+}  // namespace pfi::trace

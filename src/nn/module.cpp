@@ -73,6 +73,25 @@ std::vector<Module*> Module::modules() {
   return out;
 }
 
+namespace {
+
+void collect_named(Module& m, const std::string& prefix,
+                   std::vector<std::pair<std::string, Module*>>& out) {
+  const std::string base =
+      prefix.empty() ? m.name()
+                     : (m.name().empty() ? prefix : prefix + "." + m.name());
+  out.emplace_back(base, &m);
+  for (Module* child : m.children()) collect_named(*child, base, out);
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, Module*>> Module::named_modules() {
+  std::vector<std::pair<std::string, Module*>> out;
+  collect_named(*this, "", out);
+  return out;
+}
+
 std::vector<Parameter*> Module::parameters() {
   std::vector<Parameter*> out;
   collect_parameters("", out);

@@ -112,6 +112,13 @@ class Module {
   /// This module plus all descendants, pre-order.
   std::vector<Module*> modules();
 
+  /// (dotted path, module) for this module and all descendants, pre-order —
+  /// the same dotted naming parameters() produces ("features.0", ...). The
+  /// root's own name is its prefix ("" for an unnamed root). The trace
+  /// subsystem uses these paths to identify instrumented layers stably in
+  /// exported traces.
+  std::vector<std::pair<std::string, Module*>> named_modules();
+
   // -- Parameters -------------------------------------------------------------------
   /// This module's own parameters (not descendants').
   virtual std::vector<Parameter*> local_parameters() { return {}; }

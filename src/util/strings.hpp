@@ -1,0 +1,107 @@
+// Text-encoding helpers shared by the report writers: CSV field quoting
+// (RFC 4180), JSON string escaping, and exact float <-> hex-bits round
+// trips for the trace subsystem's bit-faithful serialization.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace pfi::util {
+
+/// Quote a CSV field per RFC 4180: fields containing a comma, double quote,
+/// CR, or LF are wrapped in double quotes with embedded quotes doubled.
+/// Clean fields pass through unchanged.
+inline std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Escape a string for embedding inside a JSON string literal (without the
+/// surrounding quotes): backslash, double quote, and control characters.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Undo json_escape (\", \\, \n, \r, \t, \uXXXX for XXXX < 0x80).
+inline std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    PFI_CHECK(i + 1 < s.size()) << "dangling escape in JSON string '" << s
+                                << "'";
+    const char e = s[++i];
+    switch (e) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        PFI_CHECK(i + 4 < s.size()) << "truncated \\u escape in '" << s << "'";
+        const unsigned long code = std::stoul(s.substr(i + 1, 4), nullptr, 16);
+        PFI_CHECK(code < 0x80) << "non-ASCII \\u escape " << code;
+        out.push_back(static_cast<char>(code));
+        i += 4;
+        break;
+      }
+      default:
+        PFI_CHECK(false) << "unknown escape '\\" << e << "' in '" << s << "'";
+    }
+  }
+  return out;
+}
+
+/// Exact 8-hex-digit encoding of a float's IEEE-754 bit pattern. The trace
+/// serialization round-trips values through this, never through decimal,
+/// so replay is bit-faithful even for NaN/Inf payloads.
+inline std::string float_bits_hex(float v) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", std::bit_cast<std::uint32_t>(v));
+  return buf;
+}
+
+/// Inverse of float_bits_hex.
+inline float float_from_bits_hex(const std::string& hex) {
+  PFI_CHECK(hex.size() == 8) << "float bits hex '" << hex
+                             << "' must be 8 digits";
+  return std::bit_cast<float>(
+      static_cast<std::uint32_t>(std::stoul(hex, nullptr, 16)));
+}
+
+}  // namespace pfi::util

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "core/campaign.hpp"
 #include "core/fault_injector.hpp"
@@ -727,10 +728,21 @@ TEST(Report, CsvRoundTripParses) {
   std::remove(path.c_str());
 }
 
-TEST(Report, CsvRejectsDelimiterInLabel) {
-  std::vector<CampaignRow> rows{{"bad,label", CampaignResult{}}};
+TEST(Report, CsvQuotesHostileLabels) {
+  // Labels with CSV metacharacters must come out RFC 4180-quoted, one field
+  // wide, instead of corrupting the row structure.
+  std::vector<CampaignRow> rows{{"bad,label \"x\"\nstill bad", CampaignResult{}}};
   rows[0].result.trials = 1;
-  EXPECT_THROW(write_campaign_csv("/tmp/pfi_test_bad.csv", rows), Error);
+  const std::string path = "/tmp/pfi_test_hostile.csv";
+  write_campaign_csv(path, rows);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"bad,label \"\"x\"\"\nstill bad\",1,0,0,0,"),
+            std::string::npos)
+      << content;
+  std::remove(path.c_str());
 }
 
 TEST(Report, TableContainsRowsAndPercentages) {

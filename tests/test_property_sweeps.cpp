@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <string>
 #include <tuple>
 
 #include "core/campaign.hpp"
@@ -201,6 +203,86 @@ TEST_P(ErrorModelSweep, Fp32FlipIsInvolutionThroughTheModelContext) {
 
 INSTANTIATE_TEST_SUITE_P(AllBits, ErrorModelSweep,
                          ::testing::Values(0, 5, 10, 15, 20, 23, 26, 29, 31));
+
+// ----------------------------------------------------- trace replay sweep ----
+
+// Property: for random (model, seed, dtype) campaigns, (a) the merged trace
+// JSONL is byte-identical at 1 and 4 threads, and (b) replaying every
+// recorded rep with TraceReplayer reproduces the recorded faulty logits
+// bit-for-bit — the trace is a complete record of what the campaign did.
+
+struct ReplaySweepCase {
+  const char* model;
+  std::uint64_t seed;  ///< model seed; campaign seed is seed + 1
+  core::DType dtype;
+};
+
+struct TracedRun {
+  std::shared_ptr<nn::Sequential> model;
+  std::unique_ptr<core::FaultInjector> fi;
+  trace::TraceSink sink;
+  core::CampaignConfig cfg;
+  TracedRun() : sink(/*capture_logits=*/true) {}
+};
+
+std::unique_ptr<TracedRun> traced_campaign(const ReplaySweepCase& c,
+                                           std::int64_t threads) {
+  auto run = std::make_unique<TracedRun>();
+  Rng rng(c.seed);
+  run->model = models::make_model(c.model, {.num_classes = 10}, rng);
+  run->fi = std::make_unique<core::FaultInjector>(
+      run->model, core::FiConfig{.input_shape = {3, 32, 32}, .batch_size = 4,
+                                 .dtype = c.dtype});
+  run->cfg.trials = 8;
+  run->cfg.error_model = core::single_bit_flip();
+  run->cfg.seed = c.seed + 1;
+  run->cfg.batch_size = 4;
+  run->cfg.injections_per_image = 2;
+  run->cfg.threads = threads;
+  run->cfg.trace = &run->sink;
+  data::SyntheticDataset ds(data::cifar10_like());
+  core::run_classification_campaign(*run->fi, ds, run->cfg);
+  return run;
+}
+
+class TraceReplaySweep : public ::testing::TestWithParam<ReplaySweepCase> {};
+
+TEST_P(TraceReplaySweep, JsonlThreadInvariantAndReplayBitExact) {
+  if constexpr (!trace::kEnabled) GTEST_SKIP() << "trace compiled out";
+  const auto c = GetParam();
+  auto serial = traced_campaign(c, 1);
+  auto parallel = traced_campaign(c, 4);
+
+  const std::string jsonl = trace::trace_to_jsonl(serial->sink.events());
+  EXPECT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl, trace::trace_to_jsonl(parallel->sink.events()));
+
+  data::SyntheticDataset ds(data::cifar10_like());
+  for (TracedRun* run : {serial.get(), parallel.get()}) {
+    const auto reps = trace::split_reps(run->sink.events());
+    ASSERT_EQ(reps.size(), run->sink.logits().size());
+    trace::TraceReplayer replayer(*run->fi);
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      const auto& rl = run->sink.logits()[i];
+      const auto batch = core::campaign_attempt_batch(ds, run->cfg, rl.attempt);
+      const Tensor replayed = replayer.replay(batch.images, reps[i]);
+      EXPECT_TRUE(allclose(rl.logits, replayed, 0.0f))
+          << c.model << " threads=" << run->cfg.threads << " rep " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TraceReplaySweep,
+    ::testing::Values(ReplaySweepCase{"squeezenet", 90, core::DType::kFloat32},
+                      ReplaySweepCase{"squeezenet", 123, core::DType::kInt8},
+                      ReplaySweepCase{"alexnet", 55, core::DType::kFloat32},
+                      ReplaySweepCase{"mobilenet", 77, core::DType::kFloat32}),
+    [](const auto& info) {
+      return std::string(info.param.model) + "_s" +
+             std::to_string(info.param.seed) + "_" +
+             core::dtype_name(info.param.dtype);
+    });
 
 }  // namespace
 }  // namespace pfi
