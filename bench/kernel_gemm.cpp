@@ -1,0 +1,165 @@
+// GEMM microbenchmark for pfi::kernels: naive reference vs the blocked
+// (packed, register-tiled, AVX2-dispatched) kernel on the im2col GEMM
+// shapes that AlexNet and ResNet18 actually run during a CIFAR campaign.
+//
+// Shapes are derived at runtime from the zoo models themselves: for every
+// Conv2d, the forward GEMM per group is
+//   M = out_channels / groups,  K = (in_channels / groups) * k * k,
+//   N = H_out * W_out
+// so the numbers here are exactly the problems `FaultInjector::forward`
+// spends its time in. Prints GFLOP/s for both kernels plus the speedup,
+// then a weighted total (each shape weighted by groups x its flop count).
+//
+// Environment knobs: PFI_BENCH_REPS_MS (target ms per measurement, default
+// 300), PFI_KERNEL_THREADS (intra-op threads for the blocked kernel,
+// default 1 — the campaign engine parallelizes across trials instead).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/fault_injector.hpp"
+#include "kernels/kernels.hpp"
+#include "models/zoo.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace pfi;
+
+struct GemmShape {
+  std::string layer;
+  std::int64_t m = 0, n = 0, k = 0;
+  std::int64_t weight = 1;  // groups x batch occurrences
+};
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+/// im2col GEMM shapes of every Conv2d in `model_name` at CIFAR geometry.
+std::vector<GemmShape> conv_gemm_shapes(const std::string& model_name) {
+  Rng rng(1);
+  auto model = models::make_model(model_name, {.num_classes = 10}, rng);
+  model->eval();
+  core::FaultInjector fi(model, {.input_shape = {3, 32, 32}, .batch_size = 1});
+  std::vector<GemmShape> shapes;
+  for (std::int64_t i = 0; i < fi.num_layers(); ++i) {
+    auto* conv = dynamic_cast<nn::Conv2d*>(&fi.layer(i));
+    if (conv == nullptr) continue;
+    const auto& o = conv->options();
+    const Shape& out = fi.layer_shape(i);  // [N, C, H, W]
+    GemmShape s;
+    s.layer = model_name + "/" + fi.layer_path(i);
+    s.m = o.out_channels / o.groups;
+    s.k = (o.in_channels / o.groups) * o.kernel * o.kernel;
+    s.n = out[2] * out[3];
+    s.weight = o.groups;
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+/// Dedup identical (m, n, k), merging weights, largest flop count first.
+std::vector<GemmShape> dedup(std::vector<GemmShape> in) {
+  std::vector<GemmShape> out;
+  for (auto& s : in) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const GemmShape& o) {
+      return o.m == s.m && o.n == s.n && o.k == s.k;
+    });
+    if (it != out.end()) {
+      it->weight += s.weight;
+    } else {
+      out.push_back(s);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.m * a.n * a.k * a.weight > b.m * b.n * b.k * b.weight;
+  });
+  return out;
+}
+
+/// Seconds per call of `fn`, repeated until ~target_ms of wall time.
+template <typename Fn>
+double time_per_call(Fn&& fn, double target_ms) {
+  fn();  // warm up (and populate pack scratch)
+  int reps = 1;
+  for (;;) {
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) fn();
+    const double ms = sw.elapsed_ms();
+    if (ms >= target_ms || reps > (1 << 24)) return ms * 1e-3 / reps;
+    reps = ms < target_ms / 16.0 ? reps * 8 : reps * 2;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double target_ms = env_double("PFI_BENCH_REPS_MS", 300.0);
+  std::printf("pfi::kernels GEMM microbenchmark (simd %s, %d thread%s)\n",
+              kernels::simd_available() ? "avx2+fma" : "scalar",
+              kernels::threads(), kernels::threads() == 1 ? "" : "s");
+  std::printf("shapes: im2col GEMMs of every conv in alexnet + resnet18 "
+              "(CIFAR geometry, batch 1)\n\n");
+
+  std::vector<GemmShape> shapes;
+  for (const char* name : {"alexnet", "resnet18"}) {
+    auto s = conv_gemm_shapes(name);
+    shapes.insert(shapes.end(), s.begin(), s.end());
+  }
+  shapes = dedup(std::move(shapes));
+
+  std::printf("%-34s %6s %6s %6s | %9s %9s | %7s\n", "layer (first of dup)",
+              "M", "N", "K", "naive", "blocked", "speedup");
+  std::printf("%-34s %6s %6s %6s | %9s %9s |\n", "", "", "", "", "GFLOP/s",
+              "GFLOP/s");
+
+  double naive_total_s = 0.0, blocked_total_s = 0.0, flops_total = 0.0;
+  Rng rng(7);
+  for (const auto& s : shapes) {
+    std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<std::size_t>(s.k * s.n));
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n));
+    std::vector<float> bias(static_cast<std::size_t>(s.m));
+    for (auto& x : a) x = rng.uniform(-1.0f, 1.0f);
+    for (auto& x : b) x = rng.uniform(-1.0f, 1.0f);
+    for (auto& x : bias) x = rng.uniform(-1.0f, 1.0f);
+
+    const double flops = 2.0 * static_cast<double>(s.m) * s.n * s.k;
+    const double t_naive = time_per_call(
+        [&] {
+          kernels::naive_gemm(s.m, s.n, s.k, a.data(), s.k, false, b.data(),
+                              s.n, false, c.data(), s.n,
+                              kernels::Epilogue::kBiasRow, bias.data());
+        },
+        target_ms);
+    const double t_blocked = time_per_call(
+        [&] {
+          kernels::gemm_blocked(s.m, s.n, s.k, a.data(), s.k, false, b.data(),
+                                s.n, false, c.data(), s.n,
+                                kernels::Epilogue::kBiasRow, bias.data());
+        },
+        target_ms);
+
+    std::printf("%-34s %6lld %6lld %6lld | %9.2f %9.2f | %6.2fx\n",
+                s.layer.c_str(), static_cast<long long>(s.m),
+                static_cast<long long>(s.n), static_cast<long long>(s.k),
+                flops / t_naive * 1e-9, flops / t_blocked * 1e-9,
+                t_naive / t_blocked);
+
+    const double w = static_cast<double>(s.weight);
+    naive_total_s += t_naive * w;
+    blocked_total_s += t_blocked * w;
+    flops_total += flops * w;
+  }
+
+  std::printf("\nweighted total (all conv GEMMs, one forward each):\n");
+  std::printf("  naive   : %8.2f GFLOP/s\n", flops_total / naive_total_s * 1e-9);
+  std::printf("  blocked : %8.2f GFLOP/s\n",
+              flops_total / blocked_total_s * 1e-9);
+  std::printf("  speedup : %8.2fx\n", naive_total_s / blocked_total_s);
+  return 0;
+}

@@ -207,10 +207,13 @@ void FaultInjector::declare_weight_fault(const WeightLocation& loc,
   if (config_.dtype == DType::kInt8) ctx.qparams = quant::calibrate(w);
   ctx.rng = &rng_;
 
-  // Offline corruption: mutate now, remember how to undo.
+  // Offline corruption: mutate now, remember how to undo. The mutation
+  // invalidates the layer's packed-weight cache so the next forward packs
+  // the corrupted weights, not a stale golden pack.
   const float pre = w[flat];
-  weight_undo_.push_back({&conv.weight(), flat, pre});
+  weight_undo_.push_back({&conv.weight(), flat, pre, &conv});
   w[flat] = model.apply(pre, ctx);
+  conv.invalidate_weight_packs();
   ++injections_;
   if constexpr (trace::kEnabled) {
     if (sink_ != nullptr) {
@@ -301,9 +304,12 @@ std::unique_ptr<FaultInjector> FaultInjector::replicate() const {
 void FaultInjector::clear() {
   for (auto& f : faults_) f.clear();
   // Undo weight perturbations in reverse declaration order so overlapping
-  // faults restore the true golden value.
+  // faults restore the true golden value, then drop every touched layer's
+  // packed-weight cache: restore must be bit-exact AND never leave a stale
+  // pack of the corrupted weights behind.
   for (auto it = weight_undo_.rbegin(); it != weight_undo_.rend(); ++it) {
     it->param->value[it->flat] = it->original;
+    it->conv->invalidate_weight_packs();
   }
   weight_undo_.clear();
 }

@@ -180,6 +180,9 @@ class FaultInjector {
     nn::Parameter* param;
     std::int64_t flat;
     float original;
+    // The owning layer, so restore can also drop its stale packed-weight
+    // panels (the blocked-GEMM cache keyed on the weight bits).
+    nn::Conv2d* conv;
   };
 
   void hook_body(std::int64_t layer_index, Tensor& output);

@@ -1,0 +1,187 @@
+// pfi::kernels — deterministic tiled compute kernels for the fp32 hot path.
+//
+// Every campaign the library runs is bottlenecked on GEMM: Conv2d lowers to
+// im2col + GEMM per (sample, group), Linear is a GEMM against W^T, and the
+// tensor-level matmul backs everything else. This layer replaces the scalar
+// ikj loops with a cache-blocked, register-tiled kernel (packed A/B panels,
+// MRx16 microkernel, optional AVX2+FMA path behind runtime dispatch) without
+// giving up the library's core guarantee: results are a pure function of the
+// operands, NOT of how the work was tiled or scheduled.
+//
+// Determinism by fixed-k-chain tiling
+// -----------------------------------
+// Each output element C[i,j] is produced by exactly one accumulation chain:
+//
+//     acc = init(epilogue);  for k = 0..K-1 ascending: acc = fma(a_ik, b_kj, acc)
+//
+// The chain is anchored to the element, not the tile. Macro tiles (mc x nc),
+// the k panel size (kc), the microkernel height (mr), and the thread that
+// executes a tile only change WHEN a partial chain is flushed to memory —
+// fp32 stores are exact, so the value is bit-identical for every block
+// configuration and every thread count. The scalar microkernel uses
+// std::fma and the AVX2 path uses vfmadd, which implement the same
+// correctly-rounded fused operation, so runtime dispatch does not change
+// bits either. This is the same guarantee the campaign engine makes at
+// trial granularity (PR 1), pushed down into the kernels.
+//
+// IEEE faithfulness
+// -----------------
+// The old loops skipped zero operands (`if (av == 0.0f) continue;`) as a
+// throughput hack. That silently dropped 0 * Inf -> NaN and NaN propagation
+// — exactly the values fault-injection campaigns create. No kernel in this
+// layer skips any operand: an injected Inf or NaN always reaches the output
+// the way real hardware would propagate it.
+//
+// Escape hatch: PFI_KERNEL=naive routes every GEMM through the retained
+// reference kernel (same IEEE semantics, no tiling) for bisecting numerical
+// differences; PFI_KERNEL_THREADS=N enables intra-op parallelism over the
+// fixed tile grid (default 1 — campaign-level parallelism already saturates
+// the machine, and the tile grid keeps results identical either way).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pfi::kernels {
+
+/// Microkernel width: every packed B panel is kNR columns wide (two AVX2
+/// vectors per row, the register-pressure sweet spot for the 6x16 kernel).
+inline constexpr int kNR = 16;
+
+/// Kernel implementation selector (PFI_KERNEL=naive|blocked).
+enum class Impl { kNaive, kBlocked };
+
+/// Active implementation: PFI_KERNEL env var, read once, overridable for
+/// tests/bisection via set_impl().
+Impl active_impl();
+void set_impl(Impl impl);
+
+/// True when the CPU supports the AVX2+FMA microkernel (runtime dispatch).
+bool simd_available();
+
+/// Cache-block sizes. mc/nc are rounded up to multiples of mr/kNR so macro
+/// tiles always align with packed panel boundaries; mr must be 4, 6, or 8.
+struct BlockConfig {
+  std::int64_t mc = 48;   ///< rows of C per macro tile (multiple of 4, 6, 8)
+  std::int64_t nc = 240;  ///< cols of C per macro tile
+  std::int64_t kc = 256;  ///< k-panel depth flushed to C per pass
+  int mr = 6;             ///< microkernel height (4, 6, or 8; 6 saturates AVX2)
+};
+const BlockConfig& block_config();
+void set_block_config(BlockConfig cfg);
+
+/// Intra-op worker count for the fixed tile grid (PFI_KERNEL_THREADS,
+/// default 1). Values > 1 split the tile grid over an internal pool; the
+/// grid itself never depends on this, so outputs are bit-identical.
+int threads();
+void set_threads(int n);
+
+/// How a microkernel initializes the accumulator chain of the FIRST k panel
+/// (later panels always resume from the partial sums stored in C).
+enum class Epilogue {
+  kZero,        ///< C = A*B
+  kAccumulate,  ///< C += A*B (grad accumulation)
+  kBiasRow,     ///< C = bias[i] + A*B (conv bias, one value per output row)
+  kBiasCol,     ///< C = bias[j] + A*B (linear bias, one value per output col)
+};
+
+/// A matrix packed into microkernel panels. A-side packs hold mr-row panels
+/// of a logical MxK matrix; B-side packs hold kNR-column panels of a logical
+/// KxN matrix. Padding rows/cols are zero-filled.
+struct PackedPanels {
+  std::vector<float> data;
+  std::int64_t k = 0;     ///< shared (inner) dimension
+  std::int64_t span = 0;  ///< M for A-side, N for B-side
+  int panel = 0;          ///< mr for A-side, kNR for B-side
+  bool empty() const { return data.empty(); }
+};
+
+/// Pack logical A(MxK) into mr-row panels. trans_a reads A(m,k) = a[k*lda+m].
+void pack_a(std::int64_t m, std::int64_t k, const float* a, std::int64_t lda,
+            bool trans_a, int mr, PackedPanels& out);
+
+/// Pack logical B(KxN) into kNR-column panels. trans_b reads B(k,n) = b[n*ldb+k].
+void pack_b(std::int64_t k, std::int64_t n, const float* b, std::int64_t ldb,
+            bool trans_b, PackedPanels& out);
+
+/// Blocked GEMM over pre-packed operands: C(MxN, ldc) = epilogue + A*B.
+/// `bias` is required for the bias epilogues (length M for kBiasRow, N for
+/// kBiasCol) and ignored otherwise.
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const PackedPanels& a, const PackedPanels& b, float* c,
+                 std::int64_t ldc, Epilogue epilogue = Epilogue::kZero,
+                 const float* bias = nullptr);
+
+/// Blocked GEMM with a cached A pack and a per-call B operand (the conv
+/// forward shape: A = weights, B = im2col buffer).
+void gemm_prepacked_a(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const PackedPanels& a, const float* b, std::int64_t ldb,
+                      bool trans_b, float* c, std::int64_t ldc,
+                      Epilogue epilogue = Epilogue::kZero,
+                      const float* bias = nullptr);
+
+/// Blocked GEMM with a cached B pack and a per-call A operand (the linear
+/// forward shape: B = W^T, A = activations).
+void gemm_prepacked_b(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float* a, std::int64_t lda, bool trans_a,
+                      const PackedPanels& b, float* c, std::int64_t ldc,
+                      Epilogue epilogue = Epilogue::kZero,
+                      const float* bias = nullptr);
+
+/// Blocked GEMM over raw operands (packs into thread-local scratch).
+void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const float* a, std::int64_t lda, bool trans_a,
+                  const float* b, std::int64_t ldb, bool trans_b, float* c,
+                  std::int64_t ldc, Epilogue epilogue = Epilogue::kZero,
+                  const float* bias = nullptr);
+
+/// Retained IEEE-faithful reference kernel (the old ikj loop minus the
+/// zero-skips): differential-test oracle and the PFI_KERNEL=naive path.
+void naive_gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+                std::int64_t lda, bool trans_a, const float* b,
+                std::int64_t ldb, bool trans_b, float* c, std::int64_t ldc,
+                Epilogue epilogue = Epilogue::kZero,
+                const float* bias = nullptr);
+
+/// Dispatching GEMM: routes to naive_gemm or gemm_blocked per active_impl().
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+          std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
+          bool trans_b, float* c, std::int64_t ldc,
+          Epilogue epilogue = Epilogue::kZero, const float* bias = nullptr);
+
+/// Position-mixed FNV-1a over the exact bit patterns of n floats. A single
+/// flipped bit anywhere always changes the digest — the property weight
+/// injection needs.
+std::uint64_t fingerprint(const float* p, std::int64_t n);
+
+/// Cached packed panels of a module's weight matrix. The pack is reused
+/// while the weight bits are unchanged (verified by fingerprint on every
+/// lookup, so mutation through tensor aliases — the library's injection
+/// mechanism — can never serve a stale pack) and droppable eagerly via
+/// invalidate() (the FaultInjector calls this on every weight-mutation
+/// path so restores free the stale pack immediately).
+class WeightPackCache {
+ public:
+  /// Packed A-side panels of w (logical MxK), repacking when the weight
+  /// bits or the configured mr changed.
+  const PackedPanels& packed_a(std::int64_t m, std::int64_t k, const float* w,
+                               std::int64_t lda, bool trans_a);
+
+  /// Packed B-side panels of w (logical KxN).
+  const PackedPanels& packed_b(std::int64_t k, std::int64_t n, const float* w,
+                               std::int64_t ldb, bool trans_b);
+
+  /// Drop the cached pack (weight mutated or about to be restored).
+  void invalidate() { valid_ = false; }
+  bool cached() const { return valid_; }
+
+ private:
+  PackedPanels packed_;
+  std::uint64_t fp_ = 0;
+  int mr_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace pfi::kernels

@@ -15,6 +15,7 @@ Conv2d::Conv2d(Conv2dOptions opts, Rng& rng) : opts_(opts) {
       << "Conv2d groups=" << opts_.groups << " must divide in="
       << opts_.in_channels << " and out=" << opts_.out_channels;
 
+  packed_.resize(static_cast<std::size_t>(opts_.groups));
   const auto cin_g = opts_.in_channels / opts_.groups;
   weight_.name = "weight";
   weight_.value =
@@ -119,30 +120,39 @@ Tensor Conv2d::forward(const Tensor& input) {
   const auto cout_g = opts_.out_channels / g;
   const auto col_rows = cin_g * opts_.kernel * opts_.kernel;
 
+  const auto spatial = h_out * w_out;
   Tensor output({n_batch, opts_.out_channels, h_out, w_out});
-  Tensor col({col_rows, h_out * w_out});
-  // Weight viewed per group as [cout_g, col_rows].
+  Tensor col({col_rows, spatial});
+  // Weight viewed per group as [cout_g, col_rows]: the GEMM's A operand.
   const Tensor w_mat = weight_.value.reshape({opts_.out_channels, col_rows});
+  const bool blocked = kernels::active_impl() == kernels::Impl::kBlocked;
+  const auto epilogue = opts_.bias ? kernels::Epilogue::kBiasRow
+                                   : kernels::Epilogue::kZero;
 
-  for (std::int64_t n = 0; n < n_batch; ++n) {
-    for (std::int64_t grp = 0; grp < g; ++grp) {
+  // Group-outer so the packed weight panels are looked up once per group
+  // (cache hit: a fingerprint check; miss: one repack) and reused across the
+  // batch.
+  for (std::int64_t grp = 0; grp < g; ++grp) {
+    const auto* wp = w_mat.data().data() + grp * cout_g * col_rows;
+    const float* bp =
+        opts_.bias ? bias_.value.data().data() + grp * cout_g : nullptr;
+    const kernels::PackedPanels* pa = nullptr;
+    if (blocked) {
+      pa = &packed_[static_cast<std::size_t>(grp)].packed_a(
+          cout_g, col_rows, wp, col_rows, false);
+    }
+    for (std::int64_t n = 0; n < n_batch; ++n) {
       im2col(input, n, grp, h_out, w_out, col);
-      const auto* wp = w_mat.data().data() + grp * cout_g * col_rows;
-      const auto* cp = col.data().data();
       auto* op = output.data().data() +
-                 ((n * opts_.out_channels + grp * cout_g) * h_out * w_out);
-      const auto spatial = h_out * w_out;
-      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
-        float* orow = op + oc * spatial;
-        const float b = opts_.bias ? bias_.value[grp * cout_g + oc] : 0.0f;
-        for (std::int64_t j = 0; j < spatial; ++j) orow[j] = b;
-        const float* wrow = wp + oc * col_rows;
-        for (std::int64_t r = 0; r < col_rows; ++r) {
-          const float wv = wrow[r];
-          if (wv == 0.0f) continue;
-          const float* crow = cp + r * spatial;
-          for (std::int64_t j = 0; j < spatial; ++j) orow[j] += wv * crow[j];
-        }
+                 (n * opts_.out_channels + grp * cout_g) * spatial;
+      if (blocked) {
+        kernels::gemm_prepacked_a(cout_g, spatial, col_rows, *pa,
+                                  col.data().data(), spatial, false, op,
+                                  spatial, epilogue, bp);
+      } else {
+        kernels::naive_gemm(cout_g, spatial, col_rows, wp, col_rows, false,
+                            col.data().data(), spatial, false, op, spatial,
+                            epilogue, bp);
       }
     }
   }
@@ -181,17 +191,13 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       const auto* wp = w_mat.data().data() + grp * cout_g * col_rows;
       auto* gwp = gw_mat.data().data() + grp * cout_g * col_rows;
 
-      // grad_weight += grad_out x col^T ; grad_bias += sum(grad_out)
-      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
-        const float* grow = go + oc * spatial;
-        float* gwrow = gwp + oc * col_rows;
-        for (std::int64_t r = 0; r < col_rows; ++r) {
-          const float* crow = cp + r * spatial;
-          float acc = 0.0f;
-          for (std::int64_t j = 0; j < spatial; ++j) acc += grow[j] * crow[j];
-          gwrow[r] += acc;
-        }
-        if (opts_.bias) {
+      // grad_weight += grad_out x col^T (GEMM-T: B is the transposed column
+      // matrix); grad_bias += sum(grad_out).
+      kernels::gemm(cout_g, col_rows, spatial, go, spatial, false, cp, spatial,
+                    true, gwp, col_rows, kernels::Epilogue::kAccumulate);
+      if (opts_.bias) {
+        for (std::int64_t oc = 0; oc < cout_g; ++oc) {
+          const float* grow = go + oc * spatial;
           float acc = 0.0f;
           for (std::int64_t j = 0; j < spatial; ++j) acc += grow[j];
           bias_.grad[grp * cout_g + oc] += acc;
@@ -199,18 +205,9 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       }
 
       // grad_col = W^T x grad_out, then scatter back to grad_input.
-      grad_col.fill(0.0f);
       auto* gcp = grad_col.data().data();
-      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
-        const float* grow = go + oc * spatial;
-        const float* wrow = wp + oc * col_rows;
-        for (std::int64_t r = 0; r < col_rows; ++r) {
-          const float wv = wrow[r];
-          if (wv == 0.0f) continue;
-          float* gcrow = gcp + r * spatial;
-          for (std::int64_t j = 0; j < spatial; ++j) gcrow[j] += wv * grow[j];
-        }
-      }
+      kernels::gemm(col_rows, spatial, cout_g, wp, col_rows, true, go, spatial,
+                    false, gcp, spatial, kernels::Epilogue::kZero);
       col2im(grad_col, n, grp, h_out, w_out, grad_input);
     }
   }

@@ -6,10 +6,17 @@
 // supported because the Fig. 3 model zoo includes grouped (ResNeXt) and
 // depthwise (MobileNet) convolutions.
 //
-// Implementation: im2col + GEMM per (sample, group); backward recomputes the
-// column matrix rather than caching it, trading FLOPs for memory.
+// Implementation: im2col + GEMM per (sample, group), routed through
+// pfi::kernels (cache-blocked, register-tiled, deterministic at any thread
+// count; see kernels/kernels.hpp). The packed weight panels the blocked GEMM
+// consumes are cached per group and invalidated on weight mutation — the
+// FaultInjector's weight injection/restore paths call
+// invalidate_weight_packs(), and a bit-pattern fingerprint re-checked on
+// every forward catches mutation through tensor aliases. Backward recomputes
+// the column matrix rather than caching it, trading FLOPs for memory.
 #pragma once
 
+#include "kernels/kernels.hpp"
 #include "nn/module.hpp"
 #include "util/rng.hpp"
 
@@ -50,6 +57,14 @@ class Conv2d final : public Module {
     return (in + 2 * opts_.padding - opts_.kernel) / opts_.stride + 1;
   }
 
+  /// Drop the cached packed-weight panels. Call after mutating the weight
+  /// tensor (weight injection, restore) so repeated forwards never consume a
+  /// stale pack; forwards also verify a weight fingerprint, so this is an
+  /// eager-release hook, not the only line of defense.
+  void invalidate_weight_packs() {
+    for (auto& p : packed_) p.invalidate();
+  }
+
  private:
   /// Expand one sample's group-slice of input into a column matrix of shape
   /// [cin_per_group * k * k, h_out * w_out].
@@ -63,6 +78,8 @@ class Conv2d final : public Module {
   Parameter weight_;  // [out_channels, in_channels/groups, k, k]
   Parameter bias_;    // [out_channels]
   Tensor cached_input_;
+  // Packed weight panels for the blocked GEMM, one cache per group.
+  std::vector<kernels::WeightPackCache> packed_;
 };
 
 }  // namespace pfi::nn

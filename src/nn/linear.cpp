@@ -34,15 +34,18 @@ Tensor Linear::forward(const Tensor& input) {
   const auto* x = input.data().data();
   const auto* w = weight_.value.data().data();
   auto* y = output.data().data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* xr = x + i * in_;
-    float* yr = y + i * out_;
-    for (std::int64_t o = 0; o < out_; ++o) {
-      const float* wr = w + o * in_;
-      float acc = has_bias_ ? bias_.value[o] : 0.0f;
-      for (std::int64_t k = 0; k < in_; ++k) acc += xr[k] * wr[k];
-      yr[o] = acc;
-    }
+  // y = x W^T + b: the GEMM's B operand is W transposed, packed once and
+  // cached until the weight bits change.
+  const auto epilogue =
+      has_bias_ ? kernels::Epilogue::kBiasCol : kernels::Epilogue::kZero;
+  const float* bp = has_bias_ ? bias_.value.data().data() : nullptr;
+  if (kernels::active_impl() == kernels::Impl::kBlocked) {
+    const auto& pb = packed_.packed_b(in_, out_, w, in_, true);
+    kernels::gemm_prepacked_b(n, out_, in_, x, in_, false, pb, y, out_,
+                              epilogue, bp);
+  } else {
+    kernels::naive_gemm(n, out_, in_, x, in_, false, w, in_, true, y, out_,
+                        epilogue, bp);
   }
   return output;
 }
@@ -62,22 +65,18 @@ Tensor Linear::backward(const Tensor& grad_output) {
   auto* gw = weight_.grad.data().data();
   auto* gx = grad_input.data().data();
 
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* xr = x + i * in_;
-    const float* gr = g + i * out_;
-    float* gxr = gx + i * in_;
-    for (std::int64_t o = 0; o < out_; ++o) {
-      const float go = gr[o];
-      if (has_bias_) bias_.grad[o] += go;
-      if (go == 0.0f) continue;
-      const float* wr = w + o * in_;
-      float* gwr = gw + o * in_;
-      for (std::int64_t k = 0; k < in_; ++k) {
-        gwr[k] += go * xr[k];
-        gxr[k] += go * wr[k];
-      }
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* gr = g + i * out_;
+      for (std::int64_t o = 0; o < out_; ++o) bias_.grad[o] += gr[o];
     }
   }
+  // grad_W += g^T x, grad_x = g W. No zero-skip: a zero gradient against an
+  // injected Inf/NaN weight must still propagate NaN, as hardware would.
+  kernels::gemm(out_, in_, n, g, out_, true, x, in_, false, gw, in_,
+                kernels::Epilogue::kAccumulate);
+  kernels::gemm(n, in_, out_, g, out_, false, w, in_, false, gx, in_,
+                kernels::Epilogue::kZero);
   return grad_input;
 }
 

@@ -1,6 +1,11 @@
 // Fully-connected layer: y = x W^T + b.
+//
+// Forward and backward route through pfi::kernels (see kernels/kernels.hpp).
+// The packed W^T panels the blocked GEMM consumes are cached and invalidated
+// on weight mutation, mirroring Conv2d.
 #pragma once
 
+#include "kernels/kernels.hpp"
 #include "nn/module.hpp"
 #include "util/rng.hpp"
 
@@ -27,6 +32,9 @@ class Linear final : public Module {
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
 
+  /// Drop the cached packed-weight panels (see Conv2d::invalidate_weight_packs).
+  void invalidate_weight_packs() { packed_.invalidate(); }
+
  private:
   std::int64_t in_ = 0;
   std::int64_t out_ = 0;
@@ -34,6 +42,7 @@ class Linear final : public Module {
   Parameter weight_;  // [out, in]
   Parameter bias_;    // [out]
   Tensor cached_input_;
+  kernels::WeightPackCache packed_;  // packed panels of W^T
 };
 
 }  // namespace pfi::nn

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "kernels/kernels.hpp"
+
 namespace pfi {
 
 std::string shape_to_string(const Shape& s) {
@@ -202,19 +204,11 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   PFI_CHECK(k == k2) << "matmul inner dims differ: " << a.to_string() << " x "
                      << b.to_string();
   Tensor c({m, n});
-  const auto* pa = a.data().data();
-  const auto* pb = b.data().data();
-  auto* pc = c.data().data();
-  // ikj loop order: unit-stride access on B and C.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Routed through pfi::kernels (PFI_KERNEL selects the blocked or the
+  // naive reference path); both are IEEE-faithful — no zero-skip — so
+  // injected Inf/NaN propagate through matrix products.
+  kernels::gemm(m, n, k, a.data().data(), k, false, b.data().data(), n, false,
+                c.data().data(), n, kernels::Epilogue::kZero);
   return c;
 }
 

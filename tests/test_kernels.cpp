@@ -1,0 +1,490 @@
+// Differential harness for pfi::kernels.
+//
+// The blocked kernel is validated three ways:
+//  1. against a double-precision oracle with an error bound scaled by the
+//     accumulation depth (ULP-tight: the bound is a few float ULPs of the
+//     worst-case partial-sum magnitude),
+//  2. against the retained naive reference kernel on a randomized shape
+//     sweep (M/N/K 1..67, both transposes, every epilogue),
+//  3. for bit-identity: the same problem must produce byte-identical output
+//     at every thread count and every block configuration — the kernel-level
+//     extension of the campaign engine's determinism guarantee.
+//
+// Also here: IEEE-faithfulness regressions for the zero-skip bug (0 * Inf
+// must produce NaN; NaN must propagate), and the packed-weight-cache
+// coherence tests for Conv2d/Linear (mutation through tensor aliases — the
+// fault injector's mechanism — must never be served a stale pack).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "nn/nn.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace pfi::kernels {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kQNaN = std::numeric_limits<float>::quiet_NaN();
+
+/// Restores the kernel configuration after every test.
+class Kernels : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    set_impl(Impl::kBlocked);
+    set_block_config(BlockConfig{});
+    set_threads(1);
+  }
+};
+using KernelsConv = Kernels;
+using KernelsLinear = Kernels;
+using KernelsCache = Kernels;
+using KernelsIeee = Kernels;
+
+std::vector<float> random_matrix(std::int64_t n, Rng& rng, float lo = -2.0f,
+                                 float hi = 2.0f) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+float logical_a(const std::vector<float>& a, std::int64_t lda, bool trans,
+                std::int64_t i, std::int64_t k) {
+  return trans ? a[static_cast<std::size_t>(k * lda + i)]
+               : a[static_cast<std::size_t>(i * lda + k)];
+}
+
+float logical_b(const std::vector<float>& b, std::int64_t ldb, bool trans,
+                std::int64_t k, std::int64_t j) {
+  return trans ? b[static_cast<std::size_t>(j * ldb + k)]
+               : b[static_cast<std::size_t>(k * ldb + j)];
+}
+
+/// Double-precision oracle plus the per-element worst-case float error
+/// bound: (K + 2) rounding steps of a chain whose partial sums are bounded
+/// by sum_k |a_ik * b_kj| (+ |bias|).
+void oracle(std::int64_t m, std::int64_t n, std::int64_t k,
+            const std::vector<float>& a, std::int64_t lda, bool ta,
+            const std::vector<float>& b, std::int64_t ldb, bool tb,
+            Epilogue ep, const float* bias, const std::vector<float>& c0,
+            std::vector<double>& ref, std::vector<double>& bound) {
+  ref.assign(static_cast<std::size_t>(m * n), 0.0);
+  bound.assign(static_cast<std::size_t>(m * n), 0.0);
+  constexpr double eps = 1.19209290e-07;  // float machine epsilon
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0, mag = 0.0;
+      switch (ep) {
+        case Epilogue::kZero: break;
+        case Epilogue::kAccumulate:
+          acc = c0[static_cast<std::size_t>(i * n + j)];
+          break;
+        case Epilogue::kBiasRow: acc = bias[i]; break;
+        case Epilogue::kBiasCol: acc = bias[j]; break;
+      }
+      mag = std::abs(acc);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const double av = logical_a(a, lda, ta, i, kk);
+        const double bv = logical_b(b, ldb, tb, kk, j);
+        acc += av * bv;
+        mag += std::abs(av * bv);
+      }
+      ref[static_cast<std::size_t>(i * n + j)] = acc;
+      bound[static_cast<std::size_t>(i * n + j)] =
+          static_cast<double>(k + 2) * eps * mag + 1e-30;
+    }
+  }
+}
+
+void expect_within_bound(const std::vector<float>& got,
+                         const std::vector<double>& ref,
+                         const std::vector<double>& bound, const char* what) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_LE(std::abs(static_cast<double>(got[i]) - ref[i]), bound[i])
+        << what << " diverges from the double oracle at flat index " << i
+        << ": got " << got[i] << ", want " << ref[i];
+  }
+}
+
+// ------------------------------------------------------ differential sweep ----
+
+TEST_F(Kernels, BlockedAndNaiveMatchOracleOnShapeSweep) {
+  Rng rng(0x5eed);
+  const std::int64_t dims[] = {1, 2, 3, 5, 8, 13, 31, 67};
+  int case_index = 0;
+  for (const auto m : dims) {
+    for (const auto n : dims) {
+      for (const auto k : dims) {
+        // Rotate transposes and epilogues across the sweep so every
+        // combination appears many times without an 8^3 x 16 blow-up.
+        const bool ta = (case_index & 1) != 0;
+        const bool tb = (case_index & 2) != 0;
+        const Epilogue ep = static_cast<Epilogue>((case_index >> 2) & 3);
+        ++case_index;
+        const std::int64_t lda = ta ? m : k;
+        const std::int64_t ldb = tb ? k : n;
+        const auto a = random_matrix(m * k, rng);
+        const auto b = random_matrix(k * n, rng);
+        const auto bias = random_matrix(std::max(m, n), rng);
+        const auto c0 = random_matrix(m * n, rng);
+
+        std::vector<double> ref, bound;
+        oracle(m, n, k, a, lda, ta, b, ldb, tb, ep, bias.data(), c0, ref,
+               bound);
+
+        auto c_naive = c0;
+        naive_gemm(m, n, k, a.data(), lda, ta, b.data(), ldb, tb,
+                   c_naive.data(), n, ep, bias.data());
+        expect_within_bound(c_naive, ref, bound, "naive_gemm");
+
+        auto c_blocked = c0;
+        gemm_blocked(m, n, k, a.data(), lda, ta, b.data(), ldb, tb,
+                     c_blocked.data(), n, ep, bias.data());
+        expect_within_bound(c_blocked, ref, bound, "gemm_blocked");
+      }
+    }
+  }
+}
+
+TEST_F(Kernels, DispatchHonorsSetImpl) {
+  Rng rng(7);
+  const std::int64_t m = 9, n = 11, k = 13;
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> via_naive_api(m * n), via_dispatch(m * n);
+  naive_gemm(m, n, k, a.data(), k, false, b.data(), n, false,
+             via_naive_api.data(), n);
+  set_impl(Impl::kNaive);
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, via_dispatch.data(),
+       n);
+  EXPECT_EQ(std::memcmp(via_naive_api.data(), via_dispatch.data(),
+                        via_dispatch.size() * sizeof(float)),
+            0)
+      << "PFI_KERNEL=naive dispatch must be the reference kernel, bit for bit";
+}
+
+TEST_F(Kernels, ZeroDepthGemmAppliesEpilogueOnly) {
+  const std::int64_t m = 3, n = 4;
+  const std::vector<float> bias{10.0f, 20.0f, 30.0f, 40.0f};
+  std::vector<float> c(m * n, 7.0f);
+  PackedPanels a, b;
+  pack_a(m, 0, nullptr, 0, false, 8, a);
+  pack_b(0, n, nullptr, n, false, b);
+  gemm_packed(m, n, 0, a, b, c.data(), n, Epilogue::kBiasCol, bias.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      EXPECT_EQ(c[static_cast<std::size_t>(i * n + j)],
+                bias[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+// --------------------------------------------------------- bit identity ----
+
+std::vector<float> run_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                               const std::vector<float>& a,
+                               const std::vector<float>& b,
+                               const std::vector<float>& bias) {
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm_blocked(m, n, k, a.data(), k, false, b.data(), n, false, c.data(), n,
+               Epilogue::kBiasRow, bias.data());
+  return c;
+}
+
+TEST_F(Kernels, BitIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  const std::int64_t m = 61, n = 53, k = 137;
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  const auto bias = random_matrix(m, rng);
+  // Force a multi-tile grid so > 1 worker actually participates.
+  set_block_config({.mc = 16, .nc = 16, .kc = 32, .mr = 8});
+  const auto baseline = run_blocked(m, n, k, a, b, bias);
+  for (const int t : {2, 3, 4}) {
+    set_threads(t);
+    const auto c = run_blocked(m, n, k, a, b, bias);
+    EXPECT_EQ(std::memcmp(baseline.data(), c.data(),
+                          c.size() * sizeof(float)),
+              0)
+        << "thread count " << t << " changed output bits";
+  }
+}
+
+TEST_F(Kernels, BitIdenticalAcrossBlockConfigurations) {
+  Rng rng(12);
+  const std::int64_t m = 67, n = 45, k = 129;
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  const auto bias = random_matrix(m, rng);
+  const auto baseline = run_blocked(m, n, k, a, b, bias);
+  const BlockConfig configs[] = {
+      {.mc = 8, .nc = 8, .kc = 8, .mr = 4},
+      {.mc = 8, .nc = 16, .kc = 1, .mr = 8},
+      {.mc = 16, .nc = 8, .kc = 7, .mr = 4},
+      {.mc = 32, .nc = 24, .kc = 64, .mr = 8},
+      {.mc = 256, .nc = 512, .kc = 1024, .mr = 8},  // one tile, one panel
+      {.mc = 40, .nc = 40, .kc = 33, .mr = 4},
+  };
+  for (const auto& cfg : configs) {
+    set_block_config(cfg);
+    for (const int t : {1, 2, 4}) {
+      set_threads(t);
+      const auto c = run_blocked(m, n, k, a, b, bias);
+      EXPECT_EQ(std::memcmp(baseline.data(), c.data(),
+                            c.size() * sizeof(float)),
+                0)
+          << "block config mc=" << cfg.mc << " nc=" << cfg.nc
+          << " kc=" << cfg.kc << " mr=" << cfg.mr << " threads=" << t
+          << " changed output bits";
+    }
+  }
+}
+
+// ------------------------------------------------------- IEEE faithfulness ----
+
+TEST_F(KernelsIeee, ZeroTimesInfProducesNaNInBothKernels) {
+  // The old zero-skip dropped this term entirely and returned a finite
+  // number — masking exactly the Inf an error model injected.
+  const std::int64_t m = 2, n = 3, k = 4;
+  std::vector<float> a(m * k, 1.0f);
+  std::vector<float> b(k * n, 1.0f);
+  a[0 * k + 2] = 0.0f;           // A(0,2) = 0
+  for (std::int64_t j = 0; j < n; ++j) b[2 * n + j] = kInf;  // B(2,*) = Inf
+  for (const bool blocked : {false, true}) {
+    std::vector<float> c(m * n, 0.0f);
+    if (blocked) {
+      gemm_blocked(m, n, k, a.data(), k, false, b.data(), n, false, c.data(),
+                   n);
+    } else {
+      naive_gemm(m, n, k, a.data(), k, false, b.data(), n, false, c.data(), n);
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      EXPECT_TRUE(std::isnan(c[static_cast<std::size_t>(j)]))
+          << (blocked ? "blocked" : "naive") << " kernel dropped 0 * Inf at j="
+          << j;
+      EXPECT_TRUE(std::isinf(c[static_cast<std::size_t>(n + j)]))
+          << "row without the zero must see the Inf";
+    }
+  }
+}
+
+TEST_F(KernelsIeee, NaNOperandPropagatesThroughZeroPartner) {
+  const std::int64_t m = 1, n = 2, k = 3;
+  std::vector<float> a{0.0f, 0.0f, 0.0f};
+  std::vector<float> b(k * n, 5.0f);
+  b[1 * n + 0] = kQNaN;  // B(1,0) = NaN against a zero activation
+  for (const bool blocked : {false, true}) {
+    std::vector<float> c(m * n, 0.0f);
+    if (blocked) {
+      gemm_blocked(m, n, k, a.data(), k, false, b.data(), n, false, c.data(),
+                   n);
+    } else {
+      naive_gemm(m, n, k, a.data(), k, false, b.data(), n, false, c.data(), n);
+    }
+    EXPECT_TRUE(std::isnan(c[0]));
+    EXPECT_EQ(c[1], 0.0f);
+  }
+}
+
+TEST_F(KernelsIeee, MatmulPropagatesInfAgainstZeroActivation) {
+  // tensor::matmul regression: activation 0 times injected Inf weight.
+  Tensor a({1, 2}, std::vector<float>{0.0f, 1.0f});
+  Tensor b({2, 2}, std::vector<float>{kInf, 2.0f, 3.0f, 4.0f});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c[0])) << "0 * Inf must reach the matmul output";
+  EXPECT_EQ(c[1], 4.0f);
+}
+
+TEST_F(KernelsIeee, ConvZeroWeightTimesInfActivationIsNaN) {
+  // Conv2d regression: a weight injected to exactly 0.0 (stuck-at-zero
+  // model) must still multiply an Inf activation and yield NaN; the old
+  // `if (wv == 0.0f) continue;` silently produced a finite output.
+  Rng rng(3);
+  nn::Conv2d conv(
+      nn::Conv2dOptions{.in_channels = 2, .out_channels = 1, .kernel = 1},
+      rng);
+  conv.weight().value.fill(0.0f);
+  conv.invalidate_weight_packs();
+  Tensor x({1, 2, 2, 2}, 1.0f);
+  x.at(0, 0, 0, 0) = kInf;
+  const Tensor y = conv(x);
+  EXPECT_TRUE(std::isnan(y.at(0, 0, 0, 0)))
+      << "zero weight x Inf activation must be NaN, not skipped";
+  EXPECT_TRUE(std::isfinite(y.at(0, 0, 1, 1)))
+      << "positions away from the Inf stay finite";
+}
+
+// ------------------------------------------------- module differentials ----
+
+/// Largest |a - b| over two same-shaped tensors.
+float tensor_max_diff(const Tensor& a, const Tensor& b) {
+  return a.max_abs_diff(b);
+}
+
+/// Bit-compare two tensors.
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(float)) == 0;
+}
+
+TEST_F(KernelsConv, ForwardMatchesNaiveAcrossConfigSweep) {
+  struct Case {
+    std::int64_t cin, cout, kernel, stride, padding, groups, h;
+    bool bias;
+  };
+  const Case cases[] = {
+      {2, 3, 1, 1, 0, 1, 5, true},    // 1x1
+      {3, 4, 3, 1, 1, 1, 7, true},    // the workhorse 3x3
+      {3, 2, 3, 2, 1, 1, 9, false},   // strided
+      {4, 4, 2, 2, 0, 1, 8, true},    // even kernel, no pad
+      {2, 2, 7, 1, 3, 1, 9, true},    // k=7 (AlexNet-style front)
+      {4, 6, 3, 1, 1, 2, 6, true},    // grouped
+      {3, 3, 3, 1, 1, 3, 6, false},   // depthwise
+      {4, 8, 5, 2, 2, 2, 11, true},   // grouped + strided + k=5
+  };
+  Rng rng(21);
+  for (const auto& cs : cases) {
+    nn::Conv2d conv(
+        nn::Conv2dOptions{.in_channels = cs.cin, .out_channels = cs.cout,
+                          .kernel = cs.kernel, .stride = cs.stride,
+                          .padding = cs.padding, .groups = cs.groups,
+                          .bias = cs.bias},
+        rng);
+    const Tensor x = Tensor::rand({2, cs.cin, cs.h, cs.h}, rng, -1.0f, 1.0f);
+    set_impl(Impl::kNaive);
+    const Tensor y_ref = conv(x).clone();
+    set_impl(Impl::kBlocked);
+    const Tensor y_blk = conv(x).clone();
+    // The blocked kernel runs the same bias + ascending-k fma chain the
+    // reference compiles to; allow a few ULPs in case the reference was not
+    // contracted.
+    EXPECT_LE(tensor_max_diff(y_ref, y_blk),
+              1e-5f * static_cast<float>(cs.cin * cs.kernel * cs.kernel))
+        << "conv k=" << cs.kernel << " s=" << cs.stride << " p=" << cs.padding
+        << " g=" << cs.groups;
+    // And the blocked result is bit-stable across threads and block sizes.
+    set_block_config({.mc = 8, .nc = 8, .kc = 8, .mr = 4});
+    set_threads(4);
+    const Tensor y_tiled = conv(x).clone();
+    EXPECT_TRUE(bit_equal(y_blk, y_tiled))
+        << "conv output bits changed with tiling/threads";
+    set_block_config(BlockConfig{});
+    set_threads(1);
+  }
+}
+
+TEST_F(KernelsLinear, ForwardAndBackwardMatchNaive) {
+  Rng rng(22);
+  for (const bool bias : {true, false}) {
+    nn::Linear fc(13, 9, rng, bias);
+    const Tensor x = Tensor::rand({4, 13}, rng, -1.0f, 1.0f);
+    const Tensor g = Tensor::rand({4, 9}, rng, -1.0f, 1.0f);
+
+    set_impl(Impl::kNaive);
+    const Tensor y_ref = fc(x).clone();
+    fc.zero_grad();
+    const Tensor gx_ref = fc.backward(g).clone();
+    const Tensor gw_ref = fc.weight().grad.clone();
+
+    set_impl(Impl::kBlocked);
+    const Tensor y_blk = fc(x).clone();
+    fc.zero_grad();
+    const Tensor gx_blk = fc.backward(g).clone();
+    const Tensor gw_blk = fc.weight().grad.clone();
+
+    EXPECT_LE(tensor_max_diff(y_ref, y_blk), 1e-5f);
+    EXPECT_LE(tensor_max_diff(gx_ref, gx_blk), 1e-5f);
+    EXPECT_LE(tensor_max_diff(gw_ref, gw_blk), 1e-5f);
+  }
+}
+
+TEST_F(KernelsConv, ModelForwardBitIdenticalAcrossThreads) {
+  // End-to-end: a small conv stack through Module::operator() must produce
+  // byte-identical activations at any intra-op thread count.
+  Rng rng(23);
+  auto seq = std::make_shared<nn::Sequential>();
+  seq->emplace<nn::Conv2d>(
+      nn::Conv2dOptions{.in_channels = 3, .out_channels = 8, .kernel = 3,
+                        .padding = 1},
+      rng);
+  seq->emplace<nn::ReLU>();
+  seq->emplace<nn::Conv2d>(
+      nn::Conv2dOptions{.in_channels = 8, .out_channels = 4, .kernel = 3,
+                        .stride = 2, .padding = 1},
+      rng);
+  const Tensor x = Tensor::rand({2, 3, 16, 16}, rng, -1.0f, 1.0f);
+  set_block_config({.mc = 8, .nc = 16, .kc = 16, .mr = 8});
+  const Tensor y1 = (*seq)(x).clone();
+  for (const int t : {2, 4}) {
+    set_threads(t);
+    const Tensor yt = (*seq)(x).clone();
+    EXPECT_TRUE(bit_equal(y1, yt)) << "threads=" << t;
+  }
+}
+
+// ------------------------------------------------------ packed-weight cache ----
+
+TEST_F(KernelsCache, AliasedWeightMutationIsNeverServedStale)
+{
+  // The fault injector mutates weights through tensor aliases; the pack
+  // cache must catch that via the fingerprint even without an explicit
+  // invalidate() call.
+  Rng rng(31);
+  nn::Conv2d conv(
+      nn::Conv2dOptions{.in_channels = 2, .out_channels = 3, .kernel = 3,
+                        .padding = 1},
+      rng);
+  const Tensor x = Tensor::rand({1, 2, 5, 5}, rng, -1.0f, 1.0f);
+  const Tensor y0 = conv(x).clone();
+  const Tensor y0_again = conv(x).clone();  // served from the cached pack
+  EXPECT_TRUE(bit_equal(y0, y0_again));
+
+  Tensor alias = conv.weight().value;  // shared storage, like the injector
+  const float golden = alias[0];
+  alias[0] = 42.0f;  // no invalidate() on purpose
+  const Tensor y_mut = conv(x).clone();
+  EXPECT_FALSE(bit_equal(y0, y_mut))
+      << "stale pack served after aliased weight mutation";
+
+  alias[0] = golden;
+  const Tensor y_back = conv(x).clone();
+  EXPECT_TRUE(bit_equal(y0, y_back))
+      << "restoring the weight bits must restore the output bits";
+}
+
+TEST_F(KernelsCache, InvalidateDropsThePack) {
+  Rng rng(32);
+  nn::Linear fc(6, 5, rng);
+  const Tensor x = Tensor::rand({2, 6}, rng, -1.0f, 1.0f);
+  const Tensor y0 = fc(x).clone();
+  fc.invalidate_weight_packs();
+  const Tensor y1 = fc(x).clone();  // repacked from scratch
+  EXPECT_TRUE(bit_equal(y0, y1));
+}
+
+TEST_F(KernelsCache, FingerprintDetectsSingleBitFlips) {
+  std::vector<float> w(64, 1.5f);
+  const auto fp0 = fingerprint(w.data(), 64);
+  for (const int bit : {0, 11, 22, 31}) {
+    for (const std::size_t at : {std::size_t{0}, std::size_t{63}}) {
+      auto bits = float_to_bits(w[at]);
+      bits ^= (1u << bit);
+      const float saved = w[at];
+      w[at] = bits_to_float(bits);
+      EXPECT_NE(fingerprint(w.data(), 64), fp0)
+          << "bit " << bit << " at element " << at << " not detected";
+      w[at] = saved;
+    }
+  }
+  EXPECT_EQ(fingerprint(w.data(), 64), fp0);
+}
+
+}  // namespace
+}  // namespace pfi::kernels

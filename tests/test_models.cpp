@@ -111,7 +111,10 @@ TEST(Trainer, ResNet18LearnsSyntheticCifar) {
   Rng rng(42);
   data::SyntheticDataset ds(data::cifar10_like());
   auto model = make_model("resnet18", {.num_classes = 10}, rng);
-  const TrainConfig cfg{.epochs = 3,
+  // 4 epochs (3 before PR 3): routing backward through pfi::kernels changed
+  // gradient accumulation order, and this short synthetic trajectory needs
+  // one more epoch to clear the same accuracy bar under the new rounding.
+  const TrainConfig cfg{.epochs = 4,
                         .batches_per_epoch = 30,
                         .batch_size = 16,
                         .lr = 0.05f,

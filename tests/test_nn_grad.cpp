@@ -8,6 +8,7 @@
 #include <cmath>
 #include <functional>
 
+#include "kernels/kernels.hpp"
 #include "nn/nn.hpp"
 
 namespace pfi::nn {
@@ -110,6 +111,72 @@ TEST(Grad, Conv2dDepthwise) {
                     .padding = 1, .groups = 3, .bias = false},
       rng);
   check_gradients(conv, Tensor::rand({1, 3, 4, 4}, rng, -1.0f, 1.0f));
+}
+
+// --- kernel-routed backward coverage (PR 3) -------------------------------
+// Conv2d/Linear backward now runs through pfi::kernels GEMMs; these cases
+// exercise every routing: grad-weight GEMM-T, accumulate epilogue, the k=7
+// and 1x1 im2col shapes, and stride+groups combined.
+
+TEST(Grad, Conv2dKernel7WidePadding) {
+  Rng rng(31);
+  Conv2d conv(
+      Conv2dOptions{.in_channels = 2, .out_channels = 2, .kernel = 7,
+                    .padding = 3},
+      rng);
+  check_gradients(conv, Tensor::rand({1, 2, 8, 8}, rng, -1.0f, 1.0f));
+}
+
+TEST(Grad, Conv2dOneByOne) {
+  Rng rng(32);
+  Conv2d conv(
+      Conv2dOptions{.in_channels = 3, .out_channels = 4, .kernel = 1}, rng);
+  check_gradients(conv, Tensor::rand({2, 3, 3, 3}, rng, -1.0f, 1.0f));
+}
+
+TEST(Grad, Conv2dStridedGrouped) {
+  Rng rng(33);
+  Conv2d conv(
+      Conv2dOptions{.in_channels = 4, .out_channels = 6, .kernel = 3,
+                    .stride = 2, .padding = 1, .groups = 2},
+      rng);
+  check_gradients(conv, Tensor::rand({2, 4, 5, 5}, rng, -1.0f, 1.0f));
+}
+
+TEST(Grad, LinearWide) {
+  Rng rng(34);
+  Linear fc(17, 11, rng);
+  check_gradients(fc, Tensor::rand({4, 17}, rng, -1.0f, 1.0f));
+}
+
+TEST(Grad, KernelImplsAgreeOnGradients) {
+  // The analytic gradients must agree whichever kernel computes them: run
+  // the same backward under PFI_KERNEL=naive and the blocked path.
+  Rng rng(35);
+  Conv2d conv(
+      Conv2dOptions{.in_channels = 3, .out_channels = 4, .kernel = 3,
+                    .padding = 1, .groups = 1},
+      rng);
+  const Tensor x = Tensor::rand({2, 3, 5, 5}, rng, -1.0f, 1.0f);
+  const Tensor y0 = conv(x);
+  const Tensor r = Tensor::rand(y0.shape(), rng, -1.0f, 1.0f);
+
+  const auto prev = kernels::active_impl();
+  kernels::set_impl(kernels::Impl::kNaive);
+  conv.zero_grad();
+  conv(x);
+  const Tensor gx_naive = conv.backward(r).clone();
+  const Tensor gw_naive = conv.weight().grad.clone();
+
+  kernels::set_impl(kernels::Impl::kBlocked);
+  conv.zero_grad();
+  conv(x);
+  const Tensor gx_blocked = conv.backward(r).clone();
+  const Tensor gw_blocked = conv.weight().grad.clone();
+  kernels::set_impl(prev);
+
+  EXPECT_LE(gx_naive.max_abs_diff(gx_blocked), 1e-5f);
+  EXPECT_LE(gw_naive.max_abs_diff(gw_blocked), 1e-5f);
 }
 
 TEST(Grad, ReLUAwayFromKink) {

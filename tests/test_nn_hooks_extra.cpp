@@ -3,6 +3,8 @@
 // hook/weight lifecycle (instrumentation must leave no trace behind).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/fault_injector.hpp"
 #include "nn/nn.hpp"
 #include "util/bits.hpp"
@@ -190,6 +192,55 @@ TEST(InjectorLifecycle, ClearRestoresWeightsBitExactly) {
   }
   fi.clear();
   EXPECT_EQ(parameter_checksum(*model), golden);
+}
+
+TEST(InjectorLifecycle, WeightFaultsInvalidatePackedWeightCaches) {
+  // The blocked GEMM caches packed weight panels on each Conv2d. A weight
+  // fault mutates the parameter through an alias, so a stale pack would
+  // make the faulty forward silently compute with GOLDEN weights. The
+  // sequence golden -> inject -> faulty -> clear -> golden must show the
+  // corruption and then restore the golden output bit-for-bit.
+  Rng rng(13);
+  auto model = two_conv_model(rng);
+  core::FaultInjector fi(model, {.input_shape = {1, 4, 4}, .batch_size = 1});
+  Rng drng(14);
+  const Tensor x = Tensor::rand({1, 1, 4, 4}, drng, -1.0f, 1.0f);
+  const Tensor y_golden = fi.forward(x).clone();
+  // Warm the pack caches again so the injection below hits a cached state.
+  fi.forward(x);
+
+  fi.declare_weight_fault({.layer = 0, .out_c = 0, .in_c = 0, .kh = 1,
+                           .kw = 1},
+                          core::constant_value(40.0f));
+  const Tensor y_faulty = fi.forward(x).clone();
+  EXPECT_GT(y_faulty.max_abs_diff(y_golden), 0.0f)
+      << "stale packed panels: faulty forward reproduced the golden output";
+
+  fi.clear();
+  const Tensor y_restored = fi.forward(x).clone();
+  EXPECT_EQ(y_restored.max_abs_diff(y_golden), 0.0f)
+      << "clear() must restore the golden output bit-for-bit";
+}
+
+TEST(InjectorIeee, StuckAtZeroWeightTimesInfActivationYieldsNaN) {
+  // Regression for the zero-skip bug: a weight stuck at exactly 0.0
+  // multiplying an Inf activation must produce NaN (0 x Inf), not be
+  // skipped. Layer 0 injects Inf into channel 0; layer 2 (the 1x1 conv)
+  // has its weight connecting channel 0 stuck at zero.
+  Rng rng(15);
+  auto model = two_conv_model(rng);
+  core::FaultInjector fi(model, {.input_shape = {1, 4, 4}, .batch_size = 1});
+  fi.declare_neuron_fault({.layer = 0, .batch = 0, .c = 0, .h = 2, .w = 2},
+                          core::constant_value(
+                              std::numeric_limits<float>::infinity()));
+  fi.declare_weight_fault({.layer = 1, .out_c = 0, .in_c = 0, .kh = 0,
+                           .kw = 0},
+                          core::constant_value(0.0f));
+  Rng drng(16);
+  const Tensor y = fi.forward(Tensor::rand({1, 1, 4, 4}, drng, 0.1f, 1.0f));
+  // ReLU passes +Inf through; the zeroed 1x1 weight must turn it into NaN.
+  EXPECT_TRUE(std::isnan(y.at(0, 0, 2, 2)))
+      << "zero weight x Inf activation was skipped instead of producing NaN";
 }
 
 TEST(InjectorLifecycle, DestructionRestoresPerturbedWeights) {
