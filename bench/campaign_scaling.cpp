@@ -13,14 +13,18 @@
 // PFI_CAMPAIGN_TRACE=1 attaches a TraceSink to every run — the trace-on vs
 // trace-off comparison behind the EXPERIMENTS.md overhead table — and
 // additionally checks the merged JSONL is byte-identical across thread
-// counts.
+// counts. PFI_CAMPAIGN_CHECKPOINT=1 additionally attaches a per-wave durable
+// checkpointer (plus a streaming trace file when tracing is on), so the
+// crash-safety machinery's fsync cost shows up in the same trials/s table.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
 #include "models/zoo.hpp"
 #include "util/thread_pool.hpp"
 
@@ -38,6 +42,7 @@ int main() {
   const std::int64_t trials = env_int("PFI_TRIALS", 200);
   const std::int64_t max_threads = env_int("PFI_MAX_THREADS", 8);
   const bool tracing = env_int("PFI_CAMPAIGN_TRACE", 0) != 0;
+  const bool checkpointing = env_int("PFI_CAMPAIGN_CHECKPOINT", 0) != 0;
   if (tracing && !trace::kEnabled) {
     std::printf("PFI_CAMPAIGN_TRACE=1 but tracing is compiled out "
                 "(PFI_TRACE=OFF)\n");
@@ -56,8 +61,9 @@ int main() {
       model, {.input_shape = {3, spec.height, spec.width}, .batch_size = 4});
 
   std::printf("=== Campaign scaling: neuron campaign on resnet18 (%lld "
-              "trials, trace %s) ===\n",
-              static_cast<long long>(trials), tracing ? "ON" : "off");
+              "trials, trace %s, checkpoint %s) ===\n",
+              static_cast<long long>(trials), tracing ? "ON" : "off",
+              checkpointing ? "ON" : "off");
   std::printf("hardware threads: %zu\n\n",
               util::ThreadPool::hardware_threads());
   std::printf("%8s %12s %12s %10s %12s\n", "threads", "seconds", "trials/s",
@@ -76,6 +82,15 @@ int main() {
     cfg.injections_per_image = 4;
     cfg.threads = threads;
     if (tracing) cfg.trace = &sink;
+    std::unique_ptr<core::CampaignCheckpointer> ckpt;
+    std::string ckpt_path;
+    if (checkpointing) {
+      ckpt_path = "campaign_scaling-t" + std::to_string(threads) + ".ckpt";
+      ckpt = std::make_unique<core::CampaignCheckpointer>(
+          ckpt_path, tracing ? ckpt_path + ".jsonl" : std::string());
+      ckpt->begin(core::campaign_fingerprint(cfg, "campaign_scaling"));
+      cfg.checkpoint = ckpt.get();
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = core::run_classification_campaign(fi, ds, cfg);
@@ -83,6 +98,10 @@ int main() {
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     const std::string jsonl =
         tracing ? trace::trace_to_jsonl(sink.events()) : std::string();
+    if (checkpointing) {
+      std::remove(ckpt_path.c_str());
+      if (tracing) std::remove((ckpt_path + ".jsonl").c_str());
+    }
 
     if (threads == 1) {
       reference = r;

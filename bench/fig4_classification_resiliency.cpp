@@ -15,10 +15,17 @@
 //
 // Environment knobs: PFI_TRIALS (default 1200), PFI_EPOCHS (default 3),
 // PFI_THREADS (default 0 = hardware concurrency).
+// Crash safety: PFI_CHECKPOINT=PREFIX persists one checkpoint per network
+// at PREFIX-<network>.ckpt after every campaign wave; with PFI_RESUME=1 an
+// interrupted sweep continues where it stopped, reproducing the
+// uninterrupted numbers exactly.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
 
@@ -29,6 +36,11 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return v != nullptr ? std::atoll(v) : fallback;
 }
 
+std::string env_str(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
+
 }  // namespace
 
 int main() {
@@ -36,6 +48,8 @@ int main() {
   const std::int64_t trials = env_int("PFI_TRIALS", 1200);
   const std::int64_t epochs = env_int("PFI_EPOCHS", 3);
   const std::int64_t threads = env_int("PFI_THREADS", 0);
+  const std::string checkpoint_prefix = env_str("PFI_CHECKPOINT");
+  const bool resume = env_int("PFI_RESUME", 0) != 0;
 
   data::SyntheticDataset ds(data::imagenet_like());
   const auto spec = ds.spec();
@@ -80,6 +94,16 @@ int main() {
     cfg.seed = 17;
     cfg.injections_per_image = 8;  // amortize the golden inference
     cfg.threads = threads;
+    std::unique_ptr<core::CampaignCheckpointer> ckpt;
+    if (!checkpoint_prefix.empty()) {
+      ckpt = std::make_unique<core::CampaignCheckpointer>(
+          checkpoint_prefix + "-" + name + ".ckpt");
+      const std::uint64_t fp =
+          core::campaign_fingerprint(cfg, "fig4|" + name);
+      if (resume) ckpt->resume(fp);
+      else ckpt->begin(fp);
+      cfg.checkpoint = ckpt.get();
+    }
     const auto r = core::run_classification_campaign(fi, ds, cfg);
     const auto p = r.corruption_probability();
     std::printf("%-12s %8.1f%% %8lld %12llu   %6.3f%% [%.3f, %.3f]%% %9llu\n",

@@ -18,10 +18,17 @@
 // least no more) post-training misclassifications.
 //
 // Environment knobs: PFI_TRIALS (default 1500), PFI_EPOCHS (default 4).
+// PFI_CHECKPOINT=PREFIX checkpoints the two post-training campaigns at
+// PREFIX-{baseline,pytorchfi}.ckpt; PFI_RESUME=1 continues an interrupted
+// run exactly (training is deterministic, so the resumed campaign sees
+// bit-identical weights).
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
 
@@ -32,6 +39,11 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return v != nullptr ? std::atoll(v) : fallback;
 }
 
+std::string env_str(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
+
 }  // namespace
 
 int main() {
@@ -39,6 +51,8 @@ int main() {
   const std::int64_t trials = env_int("PFI_TRIALS", 1500);
   const std::int64_t epochs = env_int("PFI_EPOCHS", 3);
   const std::int64_t threads = env_int("PFI_THREADS", 0);
+  const std::string checkpoint_prefix = env_str("PFI_CHECKPOINT");
+  const bool resume = env_int("PFI_RESUME", 0) != 0;
 
   data::SyntheticDataset ds(data::cifar10_like());
   const models::TrainConfig train_cfg{.epochs = epochs,
@@ -86,7 +100,8 @@ int main() {
     // Post-training resiliency campaign (identical for both models): one
     // fault per layer, as during FI training, at a magnitude calibrated for
     // statistically resolvable corruption counts (DESIGN.md Sec. 7).
-    auto campaign = [&](const std::shared_ptr<nn::Sequential>& m) {
+    auto campaign = [&](const std::shared_ptr<nn::Sequential>& m,
+                        const std::string& label) {
       core::FaultInjector cfi(m,
                               {.input_shape = {3, 32, 32}, .batch_size = 1});
       core::CampaignConfig cfg;
@@ -96,10 +111,20 @@ int main() {
       cfg.threads = threads;
       cfg.error_model = core::random_value(-512.0f, 512.0f);
       cfg.seed = 21;
+      std::unique_ptr<core::CampaignCheckpointer> ckpt;
+      if (!checkpoint_prefix.empty()) {
+        ckpt = std::make_unique<core::CampaignCheckpointer>(
+            checkpoint_prefix + "-" + label + ".ckpt");
+        const std::uint64_t fp =
+            core::campaign_fingerprint(cfg, "table1|" + label);
+        if (resume) ckpt->resume(fp);
+        else ckpt->begin(fp);
+        cfg.checkpoint = ckpt.get();
+      }
       return core::run_classification_campaign(cfi, ds, cfg);
     };
-    const auto base_camp = campaign(baseline);
-    const auto fi_camp = campaign(resilient);
+    const auto base_camp = campaign(baseline, "baseline");
+    const auto fi_camp = campaign(resilient, "pytorchfi");
 
     std::printf("\n%-36s %14s %14s\n", "", "Baseline", "PyTorchFI");
     std::printf("%-36s %13.1fs %13.1fs\n", "Training time",

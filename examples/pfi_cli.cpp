@@ -6,27 +6,36 @@
 //           [--dtype fp32|fp16|int8] [--error MODEL] [--trials N]
 //           [--layer L] [--per-layer] [--epochs N] [--seed S]
 //           [--threads N] [--save PATH] [--load PATH] [--list-models]
-//           [--trace PATH] [--profile]
+//           [--trace PATH] [--profile] [--checkpoint PATH] [--resume]
 //
 // Error models: bitflip | bitflip:BIT | random | random:LO:HI | zero |
 //               const:V | noise:MAG
 //
-// --trace PATH writes one JSON object per injection (JSONL) after the
-// campaign; --profile prints per-layer activation stats and hook overhead.
+// --trace PATH writes one JSON object per injection (JSONL);
+// --profile prints per-layer activation stats and hook overhead.
+// --checkpoint PATH makes the campaign crash-safe: state is persisted
+// atomically after every merged wave and the trace (when requested)
+// streams to disk incrementally instead of one end-of-run dump. Add
+// --resume to continue an interrupted campaign; the finished run's CSV-able
+// counters and trace JSONL are byte-identical to an uninterrupted run.
 //
 // Examples:
 //   pfi_cli --model resnet18 --dtype int8 --error bitflip --trials 2000
 //   pfi_cli --model vgg19 --dataset imagenet --error random:-100:100
 //   pfi_cli --model squeezenet --error const:10000 --layer 3
+//   pfi_cli --trials 100000 --checkpoint run.ckpt --trace run.jsonl --resume
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
 #include "core/profile.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -46,6 +55,8 @@ struct CliOptions {
   std::string save_path;
   std::string load_path;
   std::string trace_path;
+  std::string checkpoint_path;
+  bool resume = false;
   bool profile = false;
 };
 
@@ -60,7 +71,8 @@ struct CliOptions {
                " [--seed S]\n"
                "               [--threads N] [--save PATH] [--load PATH]"
                " [--list-models]\n"
-               "               [--trace PATH] [--profile]\n"
+               "               [--trace PATH] [--profile]"
+               " [--checkpoint PATH] [--resume]\n"
                "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
                " zero | const:V | noise:MAG\n");
   std::exit(msg == nullptr ? 0 : 2);
@@ -111,6 +123,32 @@ data::SyntheticSpec parse_dataset(const std::string& s) {
   usage_and_exit(("unknown dataset '" + s + "'").c_str());
 }
 
+/// Strict numeric flag parsing: "--trials abc" used to atoll() to a silent
+/// 0-trial campaign and "--threads -3" passed straight through; now any
+/// non-numeric text, trailing junk, or out-of-range value is a usage error
+/// naming the flag.
+std::int64_t parse_int_flag(const char* flag, const char* text,
+                            std::int64_t lo, std::int64_t hi) {
+  const auto v = util::parse_int(text, lo, hi);
+  if (!v.has_value()) {
+    usage_and_exit((std::string(flag) + " expects an integer in [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) +
+                    "], got '" + text + "'")
+                       .c_str());
+  }
+  return *v;
+}
+
+std::uint64_t parse_uint_flag(const char* flag, const char* text) {
+  const auto v = util::parse_uint(text);
+  if (!v.has_value()) {
+    usage_and_exit((std::string(flag) +
+                    " expects an unsigned integer, got '" + text + "'")
+                       .c_str());
+  }
+  return *v;
+}
+
 CliOptions parse_args(int argc, char** argv) {
   CliOptions opt;
   auto need_value = [&](int& i) -> const char* {
@@ -128,17 +166,26 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--dataset") opt.dataset = need_value(i);
     else if (a == "--dtype") opt.dtype = need_value(i);
     else if (a == "--error") opt.error = need_value(i);
-    else if (a == "--trials") opt.trials = std::atoll(need_value(i));
-    else if (a == "--layer") opt.layer = std::atoll(need_value(i));
+    else if (a == "--trials")
+      opt.trials = parse_int_flag("--trials", need_value(i), 1, 1'000'000'000);
+    else if (a == "--layer")
+      opt.layer = parse_int_flag("--layer", need_value(i), -1, 1'000'000);
     else if (a == "--per-layer") opt.per_layer = true;
-    else if (a == "--epochs") opt.epochs = std::atoll(need_value(i));
-    else if (a == "--seed") opt.seed = std::strtoull(need_value(i), nullptr, 10);
-    else if (a == "--threads") opt.threads = std::atoll(need_value(i));
+    else if (a == "--epochs")
+      opt.epochs = parse_int_flag("--epochs", need_value(i), 0, 1'000'000);
+    else if (a == "--seed") opt.seed = parse_uint_flag("--seed", need_value(i));
+    else if (a == "--threads")
+      opt.threads = parse_int_flag("--threads", need_value(i), 0, 4096);
     else if (a == "--save") opt.save_path = need_value(i);
     else if (a == "--load") opt.load_path = need_value(i);
     else if (a == "--trace") opt.trace_path = need_value(i);
+    else if (a == "--checkpoint") opt.checkpoint_path = need_value(i);
+    else if (a == "--resume") opt.resume = true;
     else if (a == "--profile") opt.profile = true;
     else usage_and_exit(("unknown flag '" + a + "'").c_str());
+  }
+  if (opt.resume && opt.checkpoint_path.empty()) {
+    usage_and_exit("--resume requires --checkpoint PATH");
   }
   return opt;
 }
@@ -208,6 +255,36 @@ int main(int argc, char** argv) {
     }
     cfg.trace = &sink;
   }
+
+  // Crash safety: persist campaign state after every merged wave and stream
+  // the trace (when requested) instead of dumping it at the end. The
+  // fingerprint covers the campaign config plus the model/dataset/dtype
+  // identity, so a checkpoint can't silently resume a different experiment.
+  std::unique_ptr<core::CampaignCheckpointer> checkpointer;
+  if (!opt.checkpoint_path.empty()) {
+    checkpointer = std::make_unique<core::CampaignCheckpointer>(
+        opt.checkpoint_path, opt.trace_path);
+    const std::string context = opt.model + "|" + opt.dataset + "|" +
+                                opt.dtype + "|" + opt.error + "|epochs=" +
+                                std::to_string(opt.epochs) +
+                                "|load=" + opt.load_path;
+    const std::uint64_t fp = core::campaign_fingerprint(cfg, context);
+    if (opt.resume && checkpointer->resume(fp)) {
+      std::printf("resuming from %s: %llu trials already folded, next "
+                  "attempt %llu%s\n",
+                  opt.checkpoint_path.c_str(),
+                  static_cast<unsigned long long>(
+                      checkpointer->result().trials),
+                  static_cast<unsigned long long>(checkpointer->next_unit()),
+                  checkpointer->done() ? " (already complete)" : "");
+    } else {
+      if (!opt.resume) checkpointer->begin(fp);
+      std::printf("checkpointing to %s after every wave\n",
+                  opt.checkpoint_path.c_str());
+    }
+    cfg.checkpoint = checkpointer.get();
+  }
+
   std::printf("campaign: %lld trials, error model %s, dtype %s%s\n",
               static_cast<long long>(opt.trials), cfg.error_model.name.c_str(),
               opt.dtype.c_str(), opt.per_layer ? ", one fault per layer" : "");
@@ -225,11 +302,25 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.non_finite));
   std::printf("  P(misclassification) %.4f%%  [99%% CI %.4f%%, %.4f%%]\n",
               100.0 * p.value, 100.0 * p.lo, 100.0 * p.hi);
+  if (r.gave_up != 0) {
+    std::printf("  WARNING: gave up at the attempt cap — the numbers above "
+                "are PARTIAL (%llu of %lld requested trials)\n",
+                static_cast<unsigned long long>(r.trials),
+                static_cast<long long>(opt.trials));
+  }
 
   if (!opt.trace_path.empty()) {
-    trace::write_trace_jsonl(opt.trace_path, sink.events());
-    std::printf("\ntrace: %zu injection events written to %s\n",
-                sink.events().size(), opt.trace_path.c_str());
+    if (cfg.checkpoint != nullptr) {
+      // The checkpointer streamed the trace wave-by-wave; the file already
+      // holds the full (resume-consistent) event history. Rewriting it here
+      // would destroy the prefix from earlier runs.
+      std::printf("\ntrace: streamed to %s (%zu events this run)\n",
+                  opt.trace_path.c_str(), sink.events().size());
+    } else {
+      trace::write_trace_jsonl(opt.trace_path, sink.events());
+      std::printf("\ntrace: %zu injection events written to %s\n",
+                  sink.events().size(), opt.trace_path.c_str());
+    }
   }
   if (opt.profile) {
     // Replicas do not inherit the profiler, so with --threads > 1 these

@@ -24,6 +24,8 @@
 
 namespace pfi::core {
 
+class CampaignCheckpointer;
+
 /// What counts as an output corruption (paper Sec. IV-A lists these as
 /// alternative vulnerability criteria worth studying).
 enum class CorruptionCriterion {
@@ -63,14 +65,38 @@ struct CampaignConfig {
   /// discarded with them. The runner manages per-worker sinks internally;
   /// any sink already attached to the injector is saved and restored.
   trace::TraceSink* trace = nullptr;
+  /// Give-up threshold: a campaign that has burned this many attempts
+  /// without reaching `trials` stops and returns its partial result with
+  /// `gave_up` set (see CampaignResult). 0 = the default formula
+  /// (10'000 + trials * 1'000), which only a model that almost never
+  /// classifies correctly can hit.
+  std::int64_t attempt_cap = 0;
+  /// Optional crash safety: when set, the runner folds attempts in waves
+  /// and after every merged wave (a) appends the wave's trace events to the
+  /// checkpointer's streaming JSONL file and (b) atomically persists a
+  /// versioned checkpoint (folded result + next attempt index). A kill at
+  /// any moment loses at most one in-flight wave; resuming from the
+  /// checkpoint reproduces the uninterrupted run's CampaignResult, CSV, and
+  /// trace JSONL byte-for-byte, at any thread count. The checkpointer must
+  /// have been begin()- or resume()-initialized with this config's
+  /// fingerprint; the runner starts from its result()/next_attempt().
+  CampaignCheckpointer* checkpoint = nullptr;
 };
 
-/// Campaign outcome.
+/// Campaign outcome. Plain counters only (no pointers, no padding
+/// surprises): the checkpoint subsystem persists this struct field-by-field
+/// and the round-trip golden test memcmp's it.
 struct CampaignResult {
   std::uint64_t trials = 0;       ///< injections into correctly-classified runs
   std::uint64_t skipped = 0;      ///< inputs skipped (golden run already wrong)
   std::uint64_t corruptions = 0;  ///< criterion triggered
   std::uint64_t non_finite = 0;   ///< faulty runs with NaN/Inf logits
+  /// 1 when the campaign hit its attempt cap before reaching the trial
+  /// target and returned this PARTIAL result instead of aborting (the
+  /// counters above cover only the attempts actually folded). Surfaced by
+  /// campaign_table / write_campaign_csv; uint64 so the struct stays a flat
+  /// array of counters for checkpointing.
+  std::uint64_t gave_up = 0;
 
   /// Corruption probability with 99% Wilson interval (the paper's Fig. 4
   /// error bars). With zero trials there is no evidence at all, so the
@@ -112,6 +138,9 @@ struct WeightCampaignConfig {
   /// Optional injection trace (same semantics as CampaignConfig::trace);
   /// weight-fault events merge in fault-index order.
   trace::TraceSink* trace = nullptr;
+  /// Optional crash safety (same semantics as CampaignConfig::checkpoint);
+  /// the checkpoint's unit counter is the next weight-fault index.
+  CampaignCheckpointer* checkpoint = nullptr;
 };
 
 CampaignResult run_weight_campaign(FaultInjector& fi,

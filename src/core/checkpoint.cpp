@@ -1,0 +1,182 @@
+#include "core/checkpoint.hpp"
+
+#include <sstream>
+
+#include "util/fileio.hpp"
+#include "util/parse.hpp"
+
+namespace pfi::core {
+
+namespace {
+
+/// FNV-1a 64-bit over a string; the fingerprint accumulator.
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h = 14695981039346656037ull) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string criterion_name(CorruptionCriterion c) {
+  switch (c) {
+    case CorruptionCriterion::kTop1Mismatch: return "top1";
+    case CorruptionCriterion::kTop1NotInTop5: return "top5";
+    case CorruptionCriterion::kNonFiniteOutput: return "nonfinite";
+  }
+  PFI_CHECK(false) << "unreachable criterion";
+}
+
+/// Extract the integer after `"key":` in a single-line JSON object written
+/// by checkpoint_to_json (fixed keys, integer values only).
+std::uint64_t json_uint_field(const std::string& text, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = text.find(needle);
+  PFI_CHECK(at != std::string::npos)
+      << "checkpoint is missing field '" << key << "': " << text;
+  std::size_t end = at + needle.size();
+  while (end < text.size() && text[end] != ',' && text[end] != '}') ++end;
+  const auto value =
+      util::parse_uint(text.substr(at + needle.size(), end - at - needle.size()));
+  PFI_CHECK(value.has_value())
+      << "checkpoint field '" << key << "' is not an integer: " << text;
+  return *value;
+}
+
+}  // namespace
+
+std::string checkpoint_to_json(const CheckpointState& state) {
+  std::ostringstream os;
+  os << "{\"version\":" << state.version
+     << ",\"fingerprint\":" << state.fingerprint
+     << ",\"trials\":" << state.result.trials
+     << ",\"skipped\":" << state.result.skipped
+     << ",\"corruptions\":" << state.result.corruptions
+     << ",\"non_finite\":" << state.result.non_finite
+     << ",\"gave_up\":" << state.result.gave_up
+     << ",\"next_unit\":" << state.next_unit
+     << ",\"trace_bytes\":" << state.trace_bytes
+     << ",\"done\":" << state.done << "}\n";
+  return os.str();
+}
+
+CheckpointState checkpoint_from_json(const std::string& text) {
+  CheckpointState state;
+  state.version = json_uint_field(text, "version");
+  PFI_CHECK(state.version == kCheckpointVersion)
+      << "checkpoint version " << state.version
+      << " is not supported (this build writes version " << kCheckpointVersion
+      << ")";
+  state.fingerprint = json_uint_field(text, "fingerprint");
+  state.result.trials = json_uint_field(text, "trials");
+  state.result.skipped = json_uint_field(text, "skipped");
+  state.result.corruptions = json_uint_field(text, "corruptions");
+  state.result.non_finite = json_uint_field(text, "non_finite");
+  state.result.gave_up = json_uint_field(text, "gave_up");
+  state.next_unit = json_uint_field(text, "next_unit");
+  state.trace_bytes = json_uint_field(text, "trace_bytes");
+  state.done = json_uint_field(text, "done");
+  return state;
+}
+
+std::uint64_t campaign_fingerprint(const CampaignConfig& config,
+                                   std::string_view context) {
+  std::ostringstream os;
+  os << "classification|trials=" << config.trials << "|model="
+     << config.error_model.name << "|layer=" << config.layer
+     << "|criterion=" << criterion_name(config.criterion)
+     << "|seed=" << config.seed
+     << "|same_fault=" << (config.same_fault_across_batch ? 1 : 0)
+     << "|batch=" << config.batch_size
+     << "|ipi=" << config.injections_per_image
+     << "|per_layer=" << (config.one_fault_per_layer ? 1 : 0)
+     << "|cap=" << config.attempt_cap << "|ctx=";
+  return fnv1a(context, fnv1a(os.str()));
+}
+
+std::uint64_t weight_campaign_fingerprint(const WeightCampaignConfig& config,
+                                          std::string_view context) {
+  std::ostringstream os;
+  os << "weight|faults=" << config.faults
+     << "|ipf=" << config.images_per_fault
+     << "|model=" << config.error_model.name << "|layer=" << config.layer
+     << "|criterion=" << criterion_name(config.criterion)
+     << "|seed=" << config.seed << "|ctx=";
+  return fnv1a(context, fnv1a(os.str()));
+}
+
+CampaignCheckpointer::CampaignCheckpointer(std::string checkpoint_path,
+                                           std::string trace_path)
+    : path_(std::move(checkpoint_path)), trace_path_(std::move(trace_path)) {
+  PFI_CHECK(!path_.empty()) << "checkpoint path must not be empty";
+}
+
+void CampaignCheckpointer::begin(std::uint64_t fingerprint) {
+  state_ = CheckpointState{};
+  state_.fingerprint = fingerprint;
+  commits_ = 0;
+  if (!trace_path_.empty() && util::file_exists(trace_path_)) {
+    util::truncate_file(trace_path_, 0);
+  }
+}
+
+bool CampaignCheckpointer::resume(std::uint64_t fingerprint) {
+  if (!util::file_exists(path_)) {
+    begin(fingerprint);
+    return false;
+  }
+  state_ = checkpoint_from_json(util::read_file(path_));
+  PFI_CHECK(state_.fingerprint == fingerprint)
+      << "checkpoint '" << path_ << "' was written by a different campaign "
+      << "configuration (fingerprint " << state_.fingerprint
+      << ", this config is " << fingerprint
+      << ") — refusing to resume; delete the checkpoint to start over";
+  commits_ = 0;
+  if (!trace_path_.empty()) {
+    const std::int64_t size = util::file_size(trace_path_);
+    if (state_.trace_bytes == 0 && size < 0) {
+      // Nothing committed and nothing on disk: a fresh stream.
+    } else {
+      PFI_CHECK(size >= 0 &&
+                static_cast<std::uint64_t>(size) >= state_.trace_bytes)
+          << "streaming trace '" << trace_path_ << "' holds " << size
+          << " bytes but the checkpoint committed " << state_.trace_bytes
+          << " — the trace file was lost or rewritten; cannot resume";
+      if (static_cast<std::uint64_t>(size) > state_.trace_bytes) {
+        // Torn tail: an append from a killed wave that never reached its
+        // checkpoint. Those events will be regenerated bit-identically.
+        util::truncate_file(trace_path_, state_.trace_bytes);
+      }
+    }
+  }
+  return true;
+}
+
+void CampaignCheckpointer::commit(
+    const CampaignResult& folded, std::uint64_t next_unit, bool done,
+    std::span<const trace::InjectionEvent> new_events) {
+  if (!trace_path_.empty() && !new_events.empty()) {
+    std::string jsonl;
+    for (const trace::InjectionEvent& ev : new_events) {
+      jsonl += trace::event_to_json(ev);
+      jsonl += '\n';
+    }
+    state_.trace_bytes = util::append_file_sync(trace_path_, jsonl);
+  } else if (!trace_path_.empty() && state_.trace_bytes == 0 &&
+             !util::file_exists(trace_path_)) {
+    // Make the stream exist even before the first event, so a resume that
+    // committed zero events still finds a (0-byte) file.
+    state_.trace_bytes = util::append_file_sync(trace_path_, "");
+  }
+  state_.result = folded;
+  state_.next_unit = next_unit;
+  state_.done = done ? 1 : 0;
+  util::atomic_write_file(path_, checkpoint_to_json(state_));
+  ++commits_;
+  if (fail_after_ != 0 && commits_ >= fail_after_) {
+    throw CampaignAborted("checkpoint crash-injection: simulated kill after " +
+                          std::to_string(commits_) + " commits");
+  }
+}
+
+}  // namespace pfi::core

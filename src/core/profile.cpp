@@ -23,7 +23,8 @@ std::string Profiler::table() const {
   os << std::left << std::setw(name_col) << "layer" << std::setw(10) << "kind"
      << std::right << std::setw(9) << "forwards" << std::setw(12) << "act min"
      << std::setw(12) << "act max" << std::setw(12) << "act mean"
-     << std::setw(14) << "hook us/call" << '\n';
+     << std::setw(10) << "nonfinite" << std::setw(14) << "hook us/call"
+     << '\n';
   for (const LayerProfile& p : layers_) {
     os << std::left << std::setw(name_col)
        << (p.name.empty() ? std::string("<root>") : p.name) << std::setw(10)
@@ -31,8 +32,8 @@ std::string Profiler::table() const {
        << std::setprecision(4) << std::setw(12)
        << (p.count == 0 ? 0.0 : p.min) << std::setw(12)
        << (p.count == 0 ? 0.0 : p.max) << std::setw(12) << p.mean()
-       << std::setprecision(3) << std::setw(14) << p.hook_us_per_call()
-       << '\n';
+       << std::setw(10) << p.non_finite << std::setprecision(3)
+       << std::setw(14) << p.hook_us_per_call() << '\n';
   }
   return os.str();
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -30,10 +31,15 @@ struct LayerProfile {
   std::string name;           ///< dotted module path
   std::string kind;           ///< module kind, e.g. "Conv2d"
   std::uint64_t forwards = 0; ///< hook invocations observed
-  std::uint64_t count = 0;    ///< activations observed across all forwards
+  std::uint64_t count = 0;    ///< FINITE activations observed across forwards
+  /// NaN/Inf activations observed. Injected faults produce exactly these
+  /// (non_finite is a tracked campaign outcome), so they are counted here
+  /// and kept OUT of min/max/sum — one NaN must not poison the layer mean
+  /// for the rest of the run.
+  std::uint64_t non_finite = 0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
-  double sum = 0.0;
+  double sum = 0.0;           ///< sum of finite activations only
   std::uint64_t hook_ns = 0;     ///< total time inside the injection hook
   std::uint64_t hook_calls = 0;  ///< timed hook entries
 
@@ -56,16 +62,25 @@ class Profiler {
   void init(std::vector<LayerProfile> layers) { layers_ = std::move(layers); }
 
   /// Fold one forward's output activations into layer `layer`'s profile.
+  /// min/max/mean cover finite values only; NaN/Inf are tallied in
+  /// `non_finite` (previously a single injected NaN made `sum` — and thus
+  /// the mean — permanently NaN while min/max silently skipped it).
   void observe(std::int64_t layer, std::span<const float> activations) {
     LayerProfile& p = layers_[static_cast<std::size_t>(layer)];
     ++p.forwards;
+    std::uint64_t finite = 0;
     for (const float v : activations) {
       const double d = v;
+      if (!std::isfinite(d)) {
+        ++p.non_finite;
+        continue;
+      }
       if (d < p.min) p.min = d;
       if (d > p.max) p.max = d;
       p.sum += d;
+      ++finite;
     }
-    p.count += activations.size();
+    p.count += finite;
   }
 
   void add_hook_time(std::int64_t layer, std::uint64_t ns) {

@@ -12,7 +12,7 @@ void write_campaign_csv(const std::string& path,
                         const std::vector<CampaignRow>& rows) {
   std::ofstream out(path, std::ios::trunc);
   PFI_CHECK(out.good()) << "cannot open '" << path << "' for writing";
-  out << "label,trials,skipped,corruptions,non_finite,p,ci_lo,ci_hi\n";
+  out << "label,trials,skipped,corruptions,non_finite,gave_up,p,ci_lo,ci_hi\n";
   for (const auto& row : rows) {
     // Labels come from user-chosen module names, so they can contain
     // anything; RFC 4180 quoting keeps hostile labels one field wide.
@@ -20,6 +20,7 @@ void write_campaign_csv(const std::string& path,
     out << util::csv_field(row.label) << ',' << row.result.trials << ','
         << row.result.skipped
         << ',' << row.result.corruptions << ',' << row.result.non_finite
+        << ',' << row.result.gave_up
         << ',' << std::setprecision(10) << p.value << ',' << p.lo << ','
         << p.hi << '\n';
   }
@@ -40,7 +41,10 @@ std::string campaign_table(const std::vector<CampaignRow>& rows) {
        << std::setw(10) << row.result.trials << std::setw(12)
        << row.result.corruptions << std::setw(11) << std::fixed
        << std::setprecision(3) << 100.0 * p.value << '%' << std::setw(22)
-       << ci.str() << '\n';
+       << ci.str();
+    // A partial (gave-up) campaign must never read as a completed one.
+    if (row.result.gave_up != 0) os << "  GAVE UP (partial)";
+    os << '\n';
   }
   return os.str();
 }

@@ -17,7 +17,7 @@ struct CampaignRow {
 };
 
 /// Write rows as CSV with header:
-///   label,trials,skipped,corruptions,non_finite,p,ci_lo,ci_hi
+///   label,trials,skipped,corruptions,non_finite,gave_up,p,ci_lo,ci_hi
 void write_campaign_csv(const std::string& path,
                         const std::vector<CampaignRow>& rows);
 

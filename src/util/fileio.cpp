@@ -1,0 +1,133 @@
+#include "util/fileio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace pfi::util {
+
+namespace {
+
+/// Write the full buffer, retrying short writes and EINTR.
+void write_all(int fd, std::string_view bytes, const std::string& path) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      PFI_CHECK(false) << "write to '" << path
+                       << "' failed: " << std::strerror(err);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_or_throw(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    PFI_CHECK(false) << "fsync of '" << what
+                     << "' failed: " << std::strerror(err);
+  }
+}
+
+/// fsync the directory containing `path` so a rename/creation in it is
+/// durable. Best effort on filesystems that reject directory fsync.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  PFI_CHECK(fd >= 0) << "cannot create '" << tmp
+                     << "': " << std::strerror(errno);
+  write_all(fd, bytes, tmp);
+  fsync_or_throw(fd, tmp);
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    PFI_CHECK(false) << "rename '" << tmp << "' -> '" << path
+                     << "' failed: " << std::strerror(err);
+  }
+  fsync_parent_dir(path);
+}
+
+std::uint64_t append_file_sync(const std::string& path,
+                               std::string_view bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  PFI_CHECK(fd >= 0) << "cannot open '" << path
+                     << "' for append: " << std::strerror(errno);
+  write_all(fd, bytes, path);
+  fsync_or_throw(fd, path);
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  ::close(fd);
+  PFI_CHECK(size >= 0) << "lseek on '" << path
+                       << "' failed: " << std::strerror(errno);
+  return static_cast<std::uint64_t>(size);
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+  PFI_CHECK(::truncate(path.c_str(), static_cast<off_t>(size)) == 0)
+      << "truncate '" << path << "' to " << size
+      << " bytes failed: " << std::strerror(errno);
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::int64_t file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<std::int64_t>(st.st_size);
+}
+
+std::string read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  PFI_CHECK(fd >= 0) << "cannot open '" << path
+                     << "': " << std::strerror(errno);
+  std::string out;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      PFI_CHECK(false) << "read of '" << path
+                       << "' failed: " << std::strerror(err);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace pfi::util

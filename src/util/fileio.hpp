@@ -1,0 +1,44 @@
+// Durable file primitives for the checkpoint/resume subsystem.
+//
+// A campaign checkpoint must never be observable half-written: a crash
+// during a save has to leave either the previous checkpoint or the new one,
+// byte-complete, on disk. atomic_write_file provides that via the classic
+// POSIX recipe — write to a sibling temp file, fsync the data, rename over
+// the target, fsync the directory so the rename itself is durable.
+//
+// The streaming trace uses append_file_sync instead: appends are not atomic
+// (a kill can leave a torn final line), but every committed prefix is
+// durable, and the checkpoint records the committed byte count so resume
+// can truncate any torn tail (truncate_file).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pfi::util {
+
+/// Atomically replace `path` with `bytes`: write `path`.tmp, fsync, rename
+/// onto `path`, fsync the parent directory. After a crash at any point the
+/// file holds either its previous contents or `bytes`, never a mix.
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
+/// Append `bytes` to `path` (creating it if missing) and fsync, so the new
+/// tail is on disk before the caller proceeds. Returns the file size after
+/// the append.
+std::uint64_t append_file_sync(const std::string& path, std::string_view bytes);
+
+/// Truncate `path` to exactly `size` bytes and fsync. Used on resume to
+/// drop a torn trace tail back to the last checkpointed byte count.
+void truncate_file(const std::string& path, std::uint64_t size);
+
+/// True when `path` exists (any file type).
+bool file_exists(const std::string& path);
+
+/// Size of `path` in bytes, or -1 when it does not exist.
+std::int64_t file_size(const std::string& path);
+
+/// Whole-file read (binary). Throws pfi::Error when the file is unreadable.
+std::string read_file(const std::string& path);
+
+}  // namespace pfi::util

@@ -1,0 +1,49 @@
+// Strict integer parsing for user-facing front ends (pfi_cli, bench env
+// knobs). Unlike atoll/strtoull these reject garbage, trailing junk, empty
+// strings, and out-of-range values instead of silently producing 0 — the
+// regression behind "--trials abc" running a 0-trial campaign.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace pfi::util {
+
+/// Parse a base-10 signed integer in [lo, hi]. Returns nullopt on empty
+/// input, non-numeric text, trailing junk, or overflow/out-of-range.
+inline std::optional<std::int64_t> parse_int(
+    const std::string& text,
+    std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t hi = std::numeric_limits<std::int64_t>::max()) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  const auto value = static_cast<std::int64_t>(v);
+  if (value < lo || value > hi) return std::nullopt;
+  return value;
+}
+
+/// Parse a base-10 unsigned 64-bit integer. Rejects a leading '-' (strtoull
+/// would silently wrap it) along with everything parse_int rejects.
+inline std::optional<std::uint64_t> parse_uint(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace pfi::util

@@ -722,7 +722,8 @@ TEST(Report, CsvRoundTripParses) {
   std::getline(in, line1);
   std::getline(in, line2);
   EXPECT_EQ(header,
-            "label,trials,skipped,corruptions,non_finite,p,ci_lo,ci_hi");
+            "label,trials,skipped,corruptions,non_finite,gave_up,p,ci_lo,"
+            "ci_hi");
   EXPECT_EQ(line1.substr(0, 18), "alexnet,1000,5,10,");
   EXPECT_EQ(line2.substr(0, 15), "vgg19,2000,0,0,");
   std::remove(path.c_str());

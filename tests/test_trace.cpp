@@ -621,6 +621,38 @@ TEST(TraceProfiler, RecordsActivationStatsAndHookTime) {
   EXPECT_NE(table.find(prof.layers()[0].name), std::string::npos);
 }
 
+TEST(TraceProfiler, NonFiniteActivationsDoNotPoisonStats) {
+  // Regression: observe() used to fold NaN/Inf into `sum`, so one exponent
+  // flip turned every later mean into NaN. Non-finite values must be counted
+  // separately and excluded from min/max/mean.
+  trace::Profiler prof;
+  prof.init({{.name = "features.0", .kind = "Conv2d"}});
+  const float acts[6] = {1.0f, std::numeric_limits<float>::quiet_NaN(), 3.0f,
+                         std::numeric_limits<float>::infinity(),
+                         -std::numeric_limits<float>::infinity(), 2.0f};
+  prof.observe(0, std::span<const float>(acts, 6));
+
+  const auto& p = prof.layers()[0];
+  EXPECT_EQ(p.count, 3u);       // finite values only
+  EXPECT_EQ(p.non_finite, 3u);  // NaN, +Inf, -Inf
+  EXPECT_EQ(p.min, 1.0);
+  EXPECT_EQ(p.max, 3.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 2.0);
+  EXPECT_TRUE(std::isfinite(p.mean()));
+  EXPECT_NE(prof.table().find("nonfinite"), std::string::npos);
+}
+
+TEST(TraceProfiler, AllNonFiniteLayerHasVacuousMean) {
+  trace::Profiler prof;
+  prof.init({{.name = "features.0", .kind = "Conv2d"}});
+  const float acts[2] = {std::numeric_limits<float>::quiet_NaN(),
+                         std::numeric_limits<float>::infinity()};
+  prof.observe(0, std::span<const float>(acts, 2));
+  EXPECT_EQ(prof.layers()[0].count, 0u);
+  EXPECT_EQ(prof.layers()[0].non_finite, 2u);
+  EXPECT_TRUE(std::isfinite(prof.layers()[0].mean()));
+}
+
 TEST(TraceProfiler, ResetKeepsTheLayerTable) {
   trace::Profiler prof;
   prof.init({{.name = "features.0", .kind = "Conv2d"}});

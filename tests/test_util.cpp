@@ -2,10 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <set>
+#include <string>
 
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -229,6 +234,81 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+// ---------------------------------------------------------- strict parse ----
+
+TEST(Parse, IntAcceptsPlainDecimals) {
+  EXPECT_EQ(util::parse_int("0"), 0);
+  EXPECT_EQ(util::parse_int("1200"), 1200);
+  EXPECT_EQ(util::parse_int("-42"), -42);
+  EXPECT_EQ(util::parse_int("7", 1, 10), 7);
+}
+
+TEST(Parse, IntRejectsGarbageThatAtollAcceptsAsZero) {
+  // The regression: atoll("abc") == 0, so "--trials abc" silently ran a
+  // zero-trial campaign. Strict parsing must refuse all of these.
+  EXPECT_FALSE(util::parse_int("abc").has_value());
+  EXPECT_FALSE(util::parse_int("").has_value());
+  EXPECT_FALSE(util::parse_int("12x").has_value());
+  EXPECT_FALSE(util::parse_int("1 2").has_value());
+  EXPECT_FALSE(util::parse_int("12.5").has_value());
+  EXPECT_FALSE(util::parse_int("99999999999999999999").has_value());
+}
+
+TEST(Parse, IntEnforcesRange) {
+  EXPECT_FALSE(util::parse_int("0", 1, 10).has_value());
+  EXPECT_FALSE(util::parse_int("11", 1, 10).has_value());
+  EXPECT_EQ(util::parse_int("10", 1, 10), 10);
+}
+
+TEST(Parse, UintRejectsNegativeInsteadOfWrapping) {
+  // strtoull("-1") silently wraps to 2^64-1; parse_uint must refuse.
+  EXPECT_FALSE(util::parse_uint("-1").has_value());
+  EXPECT_FALSE(util::parse_uint("+1").has_value());
+  EXPECT_FALSE(util::parse_uint("abc").has_value());
+  EXPECT_FALSE(util::parse_uint("").has_value());
+  EXPECT_EQ(util::parse_uint("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(util::parse_uint("18446744073709551616").has_value());
+}
+
+// --------------------------------------------------------------- file io ----
+
+TEST(FileIo, AtomicWriteReplacesContentAndLeavesNoTemp) {
+  const std::string path = "/tmp/pfi_test_fileio_atomic.bin";
+  std::remove(path.c_str());
+  util::atomic_write_file(path, "first");
+  EXPECT_EQ(util::read_file(path), "first");
+  util::atomic_write_file(path, "second, longer payload");
+  EXPECT_EQ(util::read_file(path), "second, longer payload");
+  EXPECT_FALSE(util::file_exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, AppendSyncGrowsAndReportsSize) {
+  const std::string path = "/tmp/pfi_test_fileio_append.bin";
+  std::remove(path.c_str());
+  EXPECT_EQ(util::file_size(path), -1);
+  EXPECT_EQ(util::append_file_sync(path, "abc"), 3u);
+  EXPECT_EQ(util::append_file_sync(path, "defgh"), 8u);
+  EXPECT_EQ(util::file_size(path), 8);
+  EXPECT_EQ(util::read_file(path), "abcdefgh");
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, TruncateDropsTornTail) {
+  const std::string path = "/tmp/pfi_test_fileio_trunc.bin";
+  std::remove(path.c_str());
+  util::append_file_sync(path, "committed\n{torn");
+  util::truncate_file(path, 10);
+  EXPECT_EQ(util::read_file(path), "committed\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, ReadMissingFileThrows) {
+  EXPECT_THROW(util::read_file("/tmp/pfi_test_fileio_missing.bin"), Error);
+  EXPECT_FALSE(util::file_exists("/tmp/pfi_test_fileio_missing.bin"));
 }
 
 }  // namespace
