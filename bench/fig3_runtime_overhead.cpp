@@ -11,10 +11,18 @@
 //     injector at all, measuring the cost of the "single check per layer",
 //   * a per-layer breakdown (printed after the timers): a Profiler attached
 //     to one representative network reports each hook's own wall time, the
-//     layer-resolved version of the aggregate Fig. 3 claim.
+//     layer-resolved version of the aggregate Fig. 3 claim,
+//   * a "pfi_reuse" timer per network: the faulty forward replayed from a
+//     recorded golden prefix (core/prefix_cache.hpp), the campaign engine's
+//     fast path; its counters report the layer-level cache hit rate.
 //
 // Expected shape: base and pfi times are within noise of each other
-// everywhere, matching the paper's claim.
+// everywhere, matching the paper's claim; pfi_reuse is faster than pfi in
+// proportion to how deep the injected layer sits.
+//
+// PFI_PREFIX_CACHE=0|1 (strict parse, default 1) disables/enables the
+// prefix cache for the reuse timers — with it off, pfi_reuse degrades to a
+// full recompute and should match pfi.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -52,9 +60,11 @@ Workload& get_workload(const std::string& dataset, const std::string& net,
   w.model = models::make_model(net, {.num_classes = classes, .image_size = size},
                                rng);
   w.model->eval();
-  w.injector = std::make_unique<core::FaultInjector>(
-      w.model, core::FiConfig{.input_shape = {3, size, size},
-                              .batch_size = batch});
+  core::FiConfig fi_cfg{.input_shape = {3, size, size}, .batch_size = batch};
+  // Strict parse: garbage in PFI_PREFIX_CACHE throws instead of silently
+  // timing the wrong configuration.
+  fi_cfg.prefix_cache = core::prefix_cache_env_enabled(true);
+  w.injector = std::make_unique<core::FaultInjector>(w.model, fi_cfg);
   w.input = Tensor::rand({batch, 3, size, size}, rng, -1.0f, 1.0f);
   return cache.emplace(key, std::move(w)).first->second;
 }
@@ -73,6 +83,31 @@ void bench_inference(benchmark::State& state, const std::string& dataset,
   for (auto _ : state) {
     Tensor out = w.injector->forward(w.input);
     benchmark::DoNotOptimize(out.data().data());
+  }
+  w.injector->clear();
+  state.counters["batch"] = static_cast<double>(batch);
+}
+
+/// The campaign engine's fast path: one golden forward recorded up front,
+/// then every timed iteration replays the prefix before the injected layer
+/// from snapshots (ForwardMode::kReusePrefix). The reuse_hit_rate counter
+/// is the fraction of leaf forwards served from cache.
+void bench_inference_reuse(benchmark::State& state, const std::string& dataset,
+                           const std::string& net, std::int64_t batch) {
+  Workload& w = get_workload(dataset, net, batch);
+  Rng loc_rng(42);
+  w.injector->clear();
+  (void)w.injector->forward(w.input, core::ForwardMode::kRecordGolden);
+  // Same fault draw as the pfi timer, so base / pfi / pfi_reuse are
+  // measured on the same injected layer.
+  w.injector->declare_neuron_fault(w.injector->random_neuron_location(loc_rng),
+                                   core::random_value());
+  for (auto _ : state) {
+    Tensor out = w.injector->forward(w.input, core::ForwardMode::kReusePrefix);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  if (const auto* cache = w.injector->prefix_cache()) {
+    state.counters["reuse_hit_rate"] = cache->stats().hit_rate();
   }
   w.injector->clear();
   state.counters["batch"] = static_cast<double>(batch);
@@ -140,6 +175,12 @@ int main(int argc, char** argv) {
         (base_name + "/pfi").c_str(),
         [entry](benchmark::State& s) {
           bench_inference(s, entry.dataset, entry.model, true, 1);
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        (base_name + "/pfi_reuse").c_str(),
+        [entry](benchmark::State& s) {
+          bench_inference_reuse(s, entry.dataset, entry.model, 1);
         })
         ->Unit(benchmark::kMillisecond);
   }

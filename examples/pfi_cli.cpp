@@ -7,6 +7,11 @@
 //           [--layer L] [--per-layer] [--epochs N] [--seed S]
 //           [--threads N] [--save PATH] [--load PATH] [--list-models]
 //           [--trace PATH] [--profile] [--checkpoint PATH] [--resume]
+//           [--no-prefix-cache]
+//
+// --no-prefix-cache disables golden-prefix activation reuse (a pure speed
+// optimization; results are byte-identical either way — this flag exists
+// for A/B timing and debugging).
 //
 // Error models: bitflip | bitflip:BIT | random | random:LO:HI | zero |
 //               const:V | noise:MAG
@@ -33,6 +38,7 @@
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
 #include "core/profile.hpp"
+#include "core/report.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
 #include "util/parse.hpp"
@@ -58,6 +64,7 @@ struct CliOptions {
   std::string checkpoint_path;
   bool resume = false;
   bool profile = false;
+  bool prefix_cache = true;
 };
 
 [[noreturn]] void usage_and_exit(const char* msg) {
@@ -73,6 +80,7 @@ struct CliOptions {
                " [--list-models]\n"
                "               [--trace PATH] [--profile]"
                " [--checkpoint PATH] [--resume]\n"
+               "               [--no-prefix-cache]\n"
                "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
                " zero | const:V | noise:MAG\n");
   std::exit(msg == nullptr ? 0 : 2);
@@ -182,6 +190,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--checkpoint") opt.checkpoint_path = need_value(i);
     else if (a == "--resume") opt.resume = true;
     else if (a == "--profile") opt.profile = true;
+    else if (a == "--no-prefix-cache") opt.prefix_cache = false;
     else usage_and_exit(("unknown flag '" + a + "'").c_str());
   }
   if (opt.resume && opt.checkpoint_path.empty()) {
@@ -230,6 +239,10 @@ int main(int argc, char** argv) {
   core::FiConfig fi_cfg{.input_shape = {spec.channels, spec.height, spec.width},
                         .batch_size = 1};
   fi_cfg.dtype = parse_dtype(opt.dtype);
+  // Flag wins over the PFI_PREFIX_CACHE env toggle; both are pure speed
+  // knobs (campaign results are byte-identical either way).
+  fi_cfg.prefix_cache =
+      opt.prefix_cache && core::prefix_cache_env_enabled(true);
   core::FaultInjector fi(model, fi_cfg);
   std::printf("instrumented %lld conv layers (%lld neurons)\n",
               static_cast<long long>(fi.num_layers()),
@@ -308,6 +321,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.trials),
                 static_cast<long long>(opt.trials));
   }
+  const std::string prefix_footer = core::campaign_prefix_footer(fi);
+  if (!prefix_footer.empty()) std::printf("  %s\n", prefix_footer.c_str());
 
   if (!opt.trace_path.empty()) {
     if (cfg.checkpoint != nullptr) {

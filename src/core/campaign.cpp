@@ -21,28 +21,44 @@ bool has_non_finite(const Tensor& logits) {
   return false;
 }
 
-bool is_corrupted(const Tensor& golden, const Tensor& faulty,
-                  std::int64_t row, CorruptionCriterion criterion) {
-  switch (criterion) {
-    case CorruptionCriterion::kTop1Mismatch: {
-      const auto g = nn::argmax_rows(golden);
-      const auto f = nn::argmax_rows(faulty);
-      if (g[static_cast<std::size_t>(row)] != f[static_cast<std::size_t>(row)])
-        return true;
-      // NaN logits make argmax meaningless; count them as corruptions, as
-      // the observable output is unusable.
-      return has_non_finite(faulty);
+/// Scores one faulty forward against the attempt's golden run. Golden
+/// argmaxes are computed once per attempt and faulty argmaxes / the
+/// non-finite scan once per faulty pass — not once per scored row as the
+/// original per-row helper did (an O(rows * classes) rescan per row).
+struct RepScorer {
+  const std::vector<std::int64_t>& golden_top1;
+  const Tensor& faulty;
+  std::vector<std::int64_t> faulty_top1;  // only for kTop1Mismatch
+  bool faulty_non_finite;
+  CorruptionCriterion criterion;
+
+  RepScorer(const std::vector<std::int64_t>& golden_top1_, const Tensor& f,
+            CorruptionCriterion crit)
+      : golden_top1(golden_top1_),
+        faulty(f),
+        faulty_non_finite(has_non_finite(f)),
+        criterion(crit) {
+    if (criterion == CorruptionCriterion::kTop1Mismatch) {
+      faulty_top1 = nn::argmax_rows(faulty);
     }
-    case CorruptionCriterion::kTop1NotInTop5: {
-      const auto g = nn::argmax_rows(golden);
-      return !nn::in_top_k(faulty, row, g[static_cast<std::size_t>(row)], 5) ||
-             has_non_finite(faulty);
-    }
-    case CorruptionCriterion::kNonFiniteOutput:
-      return has_non_finite(faulty);
   }
-  PFI_CHECK(false) << "unreachable criterion";
-}
+
+  bool is_corrupted(std::int64_t row) const {
+    const auto r = static_cast<std::size_t>(row);
+    switch (criterion) {
+      case CorruptionCriterion::kTop1Mismatch:
+        // NaN logits make argmax meaningless; count them as corruptions, as
+        // the observable output is unusable.
+        return golden_top1[r] != faulty_top1[r] || faulty_non_finite;
+      case CorruptionCriterion::kTop1NotInTop5:
+        return !nn::in_top_k(faulty, row, golden_top1[r], 5) ||
+               faulty_non_finite;
+      case CorruptionCriterion::kNonFiniteOutput:
+        return faulty_non_finite;
+    }
+    PFI_CHECK(false) << "unreachable criterion";
+  }
+};
 
 // Seed-derivation streams: every attempt gets one stream for data/location
 // draws and one for the injector's internal RNG (stochastic error models),
@@ -170,9 +186,12 @@ AttemptOutcome run_attempt(FaultInjector& fi,
   AttemptOutcome out;
   const auto batch = ds.sample_batch(config.batch_size, rng);
 
-  // Golden run (dtype emulation still active; faults are not).
+  // Golden run (dtype emulation still active; faults are not), recorded as
+  // the attempt's reusable prefix. Argmaxed once; every rep scores against
+  // these indices.
   fi.clear();
-  const Tensor golden = fi.forward(batch.images);
+  const Tensor golden =
+      fi.forward(batch.images, ForwardMode::kRecordGolden);
   const auto golden_top1 = nn::argmax_rows(golden);
 
   // The paper only injects into inferences that are correct to begin with.
@@ -207,11 +226,12 @@ AttemptOutcome run_attempt(FaultInjector& fi,
       loc.w = drawn.w;
       fi.declare_neuron_fault(loc, config.error_model);
     }
-    const Tensor faulty = fi.forward(batch.images);
+    const Tensor faulty = fi.forward(batch.images, ForwardMode::kReusePrefix);
     fi.clear();
 
+    const RepScorer scorer(golden_top1, faulty, config.criterion);
     AttemptOutcome::Rep r;
-    r.non_finite = has_non_finite(faulty);
+    r.non_finite = scorer.faulty_non_finite;
     if (tracing) {
       r.attempt = a;
       r.rep_index = static_cast<std::int32_t>(rep);
@@ -221,8 +241,7 @@ AttemptOutcome run_attempt(FaultInjector& fi,
     // Score each eligible element the fault touched.
     for (const std::int64_t row : eligible) {
       if (loc.batch != kAllBatchElements && loc.batch != row) continue;
-      r.corrupted.push_back(
-          is_corrupted(golden, faulty, row, config.criterion) ? 1 : 0);
+      r.corrupted.push_back(scorer.is_corrupted(row) ? 1 : 0);
     }
     out.reps.push_back(std::move(r));
   }
@@ -270,6 +289,15 @@ struct WorkerSet {
     for (std::int64_t t = 1; t < threads; ++t) {
       owned.push_back(fi.replicate());
       workers.push_back(owned.back().get());
+    }
+  }
+
+  /// Replicas die with the set; fold their prefix-cache counters into the
+  /// caller's injector first so the campaign report shows whole-campaign
+  /// hit rates regardless of thread count.
+  ~WorkerSet() {
+    for (const auto& replica : owned) {
+      workers.front()->absorb_prefix_stats(*replica);
     }
   }
 };
@@ -417,14 +445,20 @@ CampaignResult run_weight_campaign(FaultInjector& fi,
     FaultOutcome out;
     const auto batch = ds.sample_batch(config.images_per_fault, rng);
     worker.clear();
-    const Tensor golden = worker.forward(batch.images).clone();
+    // No .clone(): every layer's forward writes fresh storage, so the
+    // faulty pass below cannot alias or overwrite the golden logits
+    // (pinned by PrefixReplay.ForwardOutputsNeverAlias).
+    const Tensor golden =
+        worker.forward(batch.images, ForwardMode::kRecordGolden);
     const auto golden_top1 = nn::argmax_rows(golden);
 
     const WeightLocation loc = worker.random_weight_location(rng, config.layer);
     worker.declare_weight_fault(loc, config.error_model);
-    const Tensor faulty = worker.forward(batch.images);
+    const Tensor faulty =
+        worker.forward(batch.images, ForwardMode::kReusePrefix);
 
-    if (has_non_finite(faulty)) ++out.counts.non_finite;
+    const RepScorer scorer(golden_top1, faulty, config.criterion);
+    if (scorer.faulty_non_finite) ++out.counts.non_finite;
 
     for (std::size_t i = 0; i < batch.labels.size(); ++i) {
       if (golden_top1[i] != batch.labels[i]) {
@@ -432,8 +466,7 @@ CampaignResult run_weight_campaign(FaultInjector& fi,
         continue;
       }
       ++out.counts.trials;
-      if (is_corrupted(golden, faulty, static_cast<std::int64_t>(i),
-                       config.criterion)) {
+      if (scorer.is_corrupted(static_cast<std::int64_t>(i))) {
         ++out.counts.corruptions;
       }
     }

@@ -1,6 +1,7 @@
 #include "core/fault_injector.hpp"
 
 #include <algorithm>
+#include <iostream>
 #include <sstream>
 
 #include "nn/serialize.hpp"
@@ -28,6 +29,7 @@ FaultInjector::FaultInjector(std::shared_ptr<nn::Module> model, FiConfig config)
   PFI_CHECK(!layers_.empty())
       << "model has no instrumentable (Conv2d) layers";
   faults_.resize(layers_.size());
+  golden_qp_.resize(layers_.size());
 
   // Dotted module paths: the stable layer identity exported traces carry.
   layer_paths_.resize(layers_.size());
@@ -68,6 +70,14 @@ FaultInjector::FaultInjector(std::shared_ptr<nn::Module> model, FiConfig config)
     // when instrumented, are targeted explicitly by the caller).
     if (s.size() == 4) total_neurons_ += s[1] * s[2] * s[3];
   }
+
+  if (config_.prefix_cache) {
+    const std::size_t budget =
+        config_.prefix_cache_mb >= 0
+            ? static_cast<std::size_t>(config_.prefix_cache_mb) * 1024u * 1024u
+            : prefix_cache_default_budget();
+    prefix_cache_ = std::make_unique<PrefixCache>(*model_, budget);
+  }
 }
 
 FaultInjector::~FaultInjector() {
@@ -101,6 +111,15 @@ const std::string& FaultInjector::layer_path(std::int64_t i) const {
 void FaultInjector::set_profiler(trace::Profiler* profiler) {
   profiler_ = profiler;
   if (profiler_ == nullptr) return;
+  if (prefix_cache_ != nullptr) {
+    // A bypassed layer never executes, so its per-layer wall time and
+    // activation stats would be missing or stale. Reuse yields to accuracy.
+    std::cerr << "pfi: prefix-cache reuse disabled while a profiler is "
+                 "attached (per-layer timings require real execution)\n";
+    profiler_->set_note(
+        "prefix-cache reuse disabled while profiling: every layer below "
+        "really executed");
+  }
   std::vector<trace::LayerProfile> table;
   table.reserve(layers_.size());
   for (std::size_t i = 0; i < layers_.size(); ++i) {
@@ -314,7 +333,53 @@ void FaultInjector::clear() {
   weight_undo_.clear();
 }
 
-Tensor FaultInjector::forward(const Tensor& input) {
+bool FaultInjector::prefix_cache_usable() const {
+  return prefix_cache_ != nullptr && profiler_ == nullptr &&
+         !model_->is_training();
+}
+
+FaultInjector::ReusePlan FaultInjector::reuse_plan() const {
+  ReusePlan plan;
+  // A faulted layer the recorded pass never reached means the recording
+  // does not describe this model's execution — reuse nothing.
+  bool stale = false;
+  const auto first_idx = [&](const nn::Module* m) {
+    const std::size_t idx = prefix_cache_->first_execution_index(m);
+    if (idx == PrefixCache::kNoEvent) stale = true;
+    return idx;
+  };
+  // Weight faults: the perturbed conv itself must recompute (its forward
+  // changed), so only layers strictly before its first execution replay.
+  std::size_t limit = prefix_cache_->num_events();
+  for (const WeightUndo& undo : weight_undo_) {
+    limit = std::min(limit, first_idx(undo.conv));
+  }
+  std::size_t neuron_min = PrefixCache::kNoEvent;
+  std::int64_t neuron_layer = -1;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (faults_[i].empty()) continue;
+    const std::size_t idx = first_idx(layers_[i]);
+    if (idx < neuron_min) {
+      neuron_min = idx;
+      neuron_layer = static_cast<std::int64_t>(i);
+    }
+  }
+  if (stale) return plan;  // prefix_len 0 — full recompute
+  if (neuron_layer >= 0 && neuron_min < limit) {
+    // Resume AT the injection site: serve the injected layer's snapshot
+    // with its faults applied on top, recompute only from the next layer.
+    plan.prefix_len = neuron_min + 1;
+    plan.mutate_event = neuron_min;
+    plan.mutate_layer = neuron_layer;
+    return plan;
+  }
+  // No neuron fault strictly before the weight bound: plain prefix reuse up
+  // to the earlier of the two (kNoEvent neuron_min means weight-only).
+  plan.prefix_len = std::min(neuron_min, limit);
+  return plan;
+}
+
+Tensor FaultInjector::forward(const Tensor& input, ForwardMode mode) {
   PFI_CHECK(input.dim() ==
             static_cast<std::int64_t>(config_.input_shape.size()) + 1)
       << "input " << input.to_string() << " does not match configured shape "
@@ -328,7 +393,54 @@ Tensor FaultInjector::forward(const Tensor& input) {
   PFI_CHECK(input.size(0) <= config_.batch_size)
       << "input batch " << input.size(0) << " exceeds configured batch size "
       << config_.batch_size;
-  return (*model_)(input);
+
+  if (mode == ForwardMode::kPlain || !prefix_cache_usable()) {
+    return (*model_)(input);
+  }
+
+  if (mode == ForwardMode::kRecordGolden) {
+    prefix_cache_->begin_record(input);
+    recording_golden_ = true;
+    try {
+      Tensor out = (*model_)(input);
+      recording_golden_ = false;
+      prefix_cache_->end_record();
+      return out;
+    } catch (...) {
+      recording_golden_ = false;
+      prefix_cache_->end_record();
+      throw;
+    }
+  }
+
+  // kReusePrefix: replay the golden prefix up to (for neuron faults:
+  // through) the earliest armed fault; arm_reuse itself falls back
+  // (returning 0) when nothing was recorded or the input differs. Either
+  // way the forward runs — the cache only decides how much of it is served
+  // from snapshots.
+  const ReusePlan plan = reuse_plan();
+  PrefixCache::SnapshotMutator mutator;
+  if (plan.mutate_layer >= 0) {
+    mutator = [this, layer = plan.mutate_layer](nn::Module&, Tensor& out) {
+      apply_armed_faults(layer, out,
+                         golden_qp_[static_cast<std::size_t>(layer)]);
+    };
+  }
+  prefix_cache_->arm_reuse(plan.prefix_len, input, plan.mutate_event,
+                           std::move(mutator));
+  try {
+    Tensor out = (*model_)(input);
+    prefix_cache_->disarm();
+    return out;
+  } catch (...) {
+    prefix_cache_->disarm();
+    throw;
+  }
+}
+
+void FaultInjector::absorb_prefix_stats(const FaultInjector& other) {
+  if (prefix_cache_ == nullptr || other.prefix_cache_ == nullptr) return;
+  prefix_cache_->stats().absorb(other.prefix_cache_->stats());
 }
 
 std::string FaultInjector::describe() const {
@@ -378,9 +490,22 @@ void FaultInjector::hook_body(std::int64_t layer_index, Tensor& output) {
       quant::fake_quantize_(output, qp);
       break;
   }
+  // Golden pass: remember the emulation params so a later resume-at-
+  // injection replay applies faults in exactly the quantized domain the
+  // cache-off pass would recompute (see golden_qp_'s comment).
+  if (recording_golden_) {
+    golden_qp_[static_cast<std::size_t>(layer_index)] = qp;
+  }
   // Activation profile of the (post-dtype-emulation) output — the healthy
   // range injections perturb.
   if (profiler_ != nullptr) profiler_->observe(layer_index, output.data());
+  apply_armed_faults(layer_index, output, qp);
+}
+
+void FaultInjector::apply_armed_faults(std::int64_t layer_index,
+                                       Tensor& output,
+                                       const quant::QuantParams& qp) {
+  auto& layer_faults = faults_[static_cast<std::size_t>(layer_index)];
   if (layer_faults.empty()) return;
 
   PFI_CHECK(output.dim() == 4)

@@ -31,6 +31,7 @@
 #include <optional>
 
 #include "core/error_models.hpp"
+#include "core/prefix_cache.hpp"
 #include "core/profile.hpp"
 #include "core/trace.hpp"
 #include "nn/nn.hpp"
@@ -47,6 +48,23 @@ struct FiConfig {
   DType dtype = DType::kFloat32;
   bool instrument_linear = false;  ///< extension: also hook Linear layers
   std::uint64_t seed = 0xf15eedull;
+  /// Enable golden-prefix activation reuse (core/prefix_cache.hpp). Purely
+  /// a speed knob: campaign counts, CSV, traces, and checkpoints are
+  /// byte-identical either way. Callers wishing to honor the
+  /// PFI_PREFIX_CACHE env toggle set this from prefix_cache_env_enabled().
+  bool prefix_cache = true;
+  /// Snapshot byte budget in MB; -1 reads PFI_PREFIX_CACHE_MB (default 256).
+  std::int64_t prefix_cache_mb = -1;
+};
+
+/// How FaultInjector::forward should interact with the prefix cache.
+/// Campaign code drives these explicitly; a kPlain forward (the default,
+/// and the only mode benchmarked by Fig. 3's idle-overhead claim) touches
+/// no cache machinery at all.
+enum class ForwardMode {
+  kPlain,         ///< no cache interaction
+  kRecordGolden,  ///< record this (fault-free) pass as the golden prefix
+  kReusePrefix,   ///< replay cached layers before the earliest armed fault
 };
 
 /// Coordinates of a neuron in an instrumented layer's output fmap.
@@ -133,8 +151,22 @@ class FaultInjector {
   std::unique_ptr<FaultInjector> replicate() const;
 
   // -- Execution ------------------------------------------------------------------
-  /// Run the instrumented model; shape-checked against the config.
-  Tensor forward(const Tensor& input);
+  /// Run the instrumented model; shape-checked against the config. With
+  /// mode != kPlain the prefix cache records / replays this pass — unless
+  /// reuse is unavailable (cache disabled, profiler attached, model in
+  /// training mode, nothing recorded, different input), in which case the
+  /// pass silently degrades to a full recompute with identical results.
+  Tensor forward(const Tensor& input,
+                 ForwardMode mode = ForwardMode::kPlain);
+
+  /// The prefix cache, or nullptr when FiConfig::prefix_cache is off.
+  PrefixCache* prefix_cache() const { return prefix_cache_.get(); }
+
+  /// Fold a replica's prefix-cache counters into this injector's (the
+  /// campaign runner calls this when tearing down its worker set so the
+  /// report sees whole-campaign hit rates). No-op if either side has no
+  /// cache.
+  void absorb_prefix_stats(const FaultInjector& other);
 
   // -- Observability (the pfi::trace layer) -----------------------------------------
   /// Attach a TraceSink: every subsequent injection (neuron and weight)
@@ -187,6 +219,40 @@ class FaultInjector {
 
   void hook_body(std::int64_t layer_index, Tensor& output);
 
+  /// The fault-application half of hook_body: dtype emulation is assumed
+  /// done (qp is the params it produced) and every armed fault on the layer
+  /// is applied to `output`, with trace events and the injection counter
+  /// exactly as the hook itself would produce. Shared by the hook and the
+  /// prefix cache's resume-at-injection mutator so the two paths cannot
+  /// drift.
+  void apply_armed_faults(std::int64_t layer_index, Tensor& output,
+                          const quant::QuantParams& qp);
+
+  /// How much of the recorded golden pass the next kReusePrefix forward may
+  /// replay given the currently armed faults.
+  struct ReusePlan {
+    /// Leading golden events to serve from snapshots. 0 when any faulted
+    /// layer never ran in the recorded pass (recording is stale).
+    std::size_t prefix_len = 0;
+    /// When resumable AT the injection site: the injected layer's event
+    /// index (== prefix_len - 1) and instrumented-layer index. The event is
+    /// served as a snapshot clone with apply_armed_faults() run on it.
+    std::size_t mutate_event = PrefixCache::kNoEvent;
+    std::int64_t mutate_layer = -1;
+  };
+
+  /// Neuron faults resume AT the injected layer (its faulty output is the
+  /// golden snapshot plus the fault — the hook only mutates a deterministic
+  /// result after the fact); weight faults resume strictly BEFORE the
+  /// perturbed conv (its forward itself changed). The earliest of those
+  /// bounds wins; a neuron fault on or after a perturbed conv applies via
+  /// its real hook during recomputation.
+  ReusePlan reuse_plan() const;
+
+  /// True when record/reuse may run: cache built, no profiler attached
+  /// (per-layer timings need real execution), model in eval mode.
+  bool prefix_cache_usable() const;
+
   /// Emit one InjectionEvent into the attached sink (trace builds only).
   void emit_event(trace::FaultKind kind, std::int64_t layer,
                   const std::int64_t (&coords)[4], std::int64_t flat,
@@ -201,11 +267,19 @@ class FaultInjector {
   std::vector<Shape> layer_shapes_;
   std::vector<std::vector<ArmedFault>> faults_;  // per layer
   std::vector<WeightUndo> weight_undo_;
+  /// Per-layer dtype-emulation params captured during the last golden
+  /// (kRecordGolden) pass. A cache-off faulty pass recomputes the same
+  /// params at the injection site (its raw output is bit-identical to the
+  /// golden one), so resume-at-injection must reuse the RECORDED params —
+  /// recalibrating on the already-quantized snapshot would drift by ULPs.
+  std::vector<quant::QuantParams> golden_qp_;
+  bool recording_golden_ = false;
   std::int64_t total_neurons_ = 0;
   std::uint64_t injections_ = 0;
   Rng rng_;
   trace::TraceSink* sink_ = nullptr;
   trace::Profiler* profiler_ = nullptr;
+  std::unique_ptr<PrefixCache> prefix_cache_;
 };
 
 /// Convenience for the paper's Fig. 5 detection study: declare one random

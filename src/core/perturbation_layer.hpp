@@ -36,6 +36,9 @@ class PerturbationLayer final : public nn::Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override { return grad_output; }
   std::string kind() const override { return "PerturbationLayer"; }
+  /// Armed perturbations may draw from rng_ on every forward, so two passes
+  /// over the same input need not match bit-for-bit.
+  bool deterministic_forward() const override { return faults_.empty(); }
   std::shared_ptr<nn::Module> clone_structure() const override {
     auto copy = std::make_shared<PerturbationLayer>();
     copy->faults_ = faults_;

@@ -20,6 +20,7 @@ std::string Profiler::table() const {
   }
   const int name_col = static_cast<int>(name_width) + 2;
   std::ostringstream os;
+  if (!note_.empty()) os << "# " << note_ << '\n';
   os << std::left << std::setw(name_col) << "layer" << std::setw(10) << "kind"
      << std::right << std::setw(9) << "forwards" << std::setw(12) << "act min"
      << std::setw(12) << "act max" << std::setw(12) << "act mean"

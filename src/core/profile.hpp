@@ -91,6 +91,12 @@ class Profiler {
 
   const std::vector<LayerProfile>& layers() const { return layers_; }
 
+  /// One-line annotation rendered above the table. The injector sets it
+  /// when attaching this profiler (e.g. to note that prefix-cache reuse is
+  /// disabled so per-layer timings describe real executions).
+  void set_note(std::string note) { note_ = std::move(note); }
+  const std::string& note() const { return note_; }
+
   /// Zero the accumulated statistics, keeping the layer table.
   void reset_stats();
 
@@ -100,6 +106,7 @@ class Profiler {
 
  private:
   std::vector<LayerProfile> layers_;
+  std::string note_;
 };
 
 /// Scoped timer charging its lifetime to one layer's hook accounting.

@@ -49,4 +49,10 @@ std::string campaign_table(const std::vector<CampaignRow>& rows) {
   return os.str();
 }
 
+std::string campaign_prefix_footer(const FaultInjector& fi) {
+  const PrefixCache* cache = fi.prefix_cache();
+  if (cache == nullptr) return "";
+  return prefix_cache_summary(cache->stats(), cache->budget_bytes());
+}
+
 }  // namespace pfi::core

@@ -24,4 +24,11 @@ void write_campaign_csv(const std::string& path,
 /// Render rows as an aligned text table (the bench output format).
 std::string campaign_table(const std::vector<CampaignRow>& rows);
 
+/// Footer line for bench/CLI reports: the injector's prefix-cache hit/skip
+/// summary (whole-campaign — worker replica counters are folded in when
+/// the campaign's worker set tears down), or "" when the cache is off.
+/// Deliberately NOT part of write_campaign_csv: exported artifacts stay
+/// byte-identical with the cache on or off.
+std::string campaign_prefix_footer(const FaultInjector& fi);
+
 }  // namespace pfi::core

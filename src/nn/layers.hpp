@@ -141,6 +141,10 @@ class Dropout final : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "Dropout"; }
+  /// Draws a fresh mask per training forward; identity (pure) in eval.
+  bool deterministic_forward() const override {
+    return !is_training() || p_ == 0.0f;
+  }
   std::shared_ptr<Module> clone_structure() const override {
     Rng rng = rng_;  // same stream state as the source
     return std::make_shared<Dropout>(p_, rng);

@@ -12,6 +12,19 @@ std::shared_ptr<Module> Module::clone_structure() const {
 Tensor Module::operator()(const Tensor& input) {
   Tensor in = input;  // shares storage; pre-hooks mutate elements in place
   for (auto& [handle, hook] : pre_hooks_) hook(*this, in);
+  // A bypass hook may serve the output itself (prefix-reuse replay); the
+  // module's own forward AND its post-forward hooks are then skipped — the
+  // served tensor already carries every post-hook effect (dtype emulation,
+  // injection) it had when it was recorded.
+  if (!bypass_hooks_.empty()) {
+    for (auto& [handle, hook] : bypass_hooks_) {
+      Tensor out;
+      if (hook(*this, in, out)) {
+        last_output_shape_ = out.shape();
+        return out;
+      }
+    }
+  }
   Tensor out = forward(in);
   for (auto& [handle, hook] : forward_hooks_) hook(*this, in, out);
   last_output_shape_ = out.shape();
@@ -33,6 +46,12 @@ HookHandle Module::register_forward_pre_hook(ForwardPreHook hook) {
 HookHandle Module::register_backward_hook(BackwardHook hook) {
   const HookHandle h = next_handle_++;
   backward_hooks_.emplace_back(h, std::move(hook));
+  return h;
+}
+
+HookHandle Module::register_bypass_hook(BypassHook hook) {
+  const HookHandle h = next_handle_++;
+  bypass_hooks_.emplace_back(h, std::move(hook));
   return h;
 }
 
@@ -58,6 +77,12 @@ bool Module::remove_hook(HookHandle handle) {
   for (auto it = backward_hooks_.begin(); it != backward_hooks_.end(); ++it) {
     if (it->first == handle) {
       backward_hooks_.erase(it);
+      return true;
+    }
+  }
+  for (auto it = bypass_hooks_.begin(); it != bypass_hooks_.end(); ++it) {
+    if (it->first == handle) {
+      bypass_hooks_.erase(it);
       return true;
     }
   }

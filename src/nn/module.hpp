@@ -51,6 +51,14 @@ using ForwardHook = std::function<void(Module&, const Tensor&, Tensor&)>;
 /// Pre-forward hook: may mutate the input in place before forward runs.
 using ForwardPreHook = std::function<void(Module&, Tensor&)>;
 
+/// Bypass hook: consulted after pre-hooks but BEFORE forward(). Returning
+/// true means the hook produced the module's output itself (into `out`);
+/// forward() and the post-forward hooks are then skipped entirely. This is
+/// the short-circuit the prefix-reuse cache uses to replay a recorded
+/// golden activation instead of recomputing it (core/prefix_cache.hpp).
+/// Modules with no bypass hooks pay one emptiness check.
+using BypassHook = std::function<bool(Module&, const Tensor&, Tensor&)>;
+
 /// Backward hook: observes (and may mutate) dL/d(output) as it arrives at a
 /// module during backpropagation. Used by Grad-CAM to capture intermediate
 /// gradients (paper Sec. IV-E).
@@ -89,6 +97,7 @@ class Module {
   HookHandle register_forward_hook(ForwardHook hook);
   HookHandle register_forward_pre_hook(ForwardPreHook hook);
   HookHandle register_backward_hook(BackwardHook hook);
+  HookHandle register_bypass_hook(BypassHook hook);
   /// Remove a hook by handle; returns false if not found.
   bool remove_hook(HookHandle handle);
   /// Number of currently installed forward hooks.
@@ -97,6 +106,12 @@ class Module {
   // -- Module tree ----------------------------------------------------------------
   /// Short type tag, e.g. "Conv2d"; used by the injector to select layers.
   virtual std::string kind() const = 0;
+  /// True when forward() is a pure function of the input and the module's
+  /// current parameters — i.e. running it twice on the same input yields
+  /// bit-identical outputs. Modules that draw randomness per call (Dropout
+  /// in training mode, PerturbationLayer) override this; the prefix-reuse
+  /// cache refuses to snapshot or short-circuit a non-deterministic module.
+  virtual bool deterministic_forward() const { return true; }
   /// Structural deep copy: a freshly-constructed module tree with identical
   /// architecture (hyperparameters, children, wiring) but independent
   /// storage and no hooks. Parameter VALUES are unspecified (layers with
@@ -151,6 +166,7 @@ class Module {
   std::vector<std::pair<HookHandle, ForwardHook>> forward_hooks_;
   std::vector<std::pair<HookHandle, ForwardPreHook>> pre_hooks_;
   std::vector<std::pair<HookHandle, BackwardHook>> backward_hooks_;
+  std::vector<std::pair<HookHandle, BypassHook>> bypass_hooks_;
   HookHandle next_handle_ = 1;
 };
 
