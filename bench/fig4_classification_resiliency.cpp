@@ -17,6 +17,11 @@
 // PFI_THREADS (default 0 = hardware concurrency), PFI_PREFIX_CACHE
 // (strictly "0" or "1"; default on — pure speed knob, identical results;
 // see core/prefix_cache.hpp) and PFI_PREFIX_CACHE_MB (snapshot budget).
+// PFI_SAMPLER=stratified switches to the stratified adaptive sampler
+// (core/sampling.hpp; same single-bit-flip fault space, pooled stratified
+// estimator in place of the uniform Wilson interval) and prints an
+// efficiency footer per network; PFI_CI_TARGET sets its pooled 99% CI
+// half-width goal (default 0 = spend the whole PFI_TRIALS budget).
 // Crash safety: PFI_CHECKPOINT=PREFIX persists one checkpoint per network
 // at PREFIX-<network>.ckpt after every campaign wave; with PFI_RESUME=1 an
 // interrupted sweep continues where it stopped, reproducing the
@@ -30,6 +35,7 @@
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
 #include "core/report.hpp"
+#include "core/sampling.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
 
@@ -45,6 +51,22 @@ std::string env_str(const char* name) {
   return v != nullptr ? std::string(v) : std::string();
 }
 
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+/// PFI_SAMPLER: unset or "uniform" -> false, "stratified" -> true; anything
+/// else aborts rather than silently benchmarking the wrong configuration.
+bool stratified_sampler_enabled() {
+  const std::string s = env_str("PFI_SAMPLER");
+  if (s.empty() || s == "uniform") return false;
+  if (s == "stratified") return true;
+  std::fprintf(stderr, "PFI_SAMPLER must be uniform or stratified, got '%s'\n",
+               s.c_str());
+  std::exit(2);
+}
+
 }  // namespace
 
 int main() {
@@ -57,6 +79,8 @@ int main() {
   // Strict parse: a typo in PFI_PREFIX_CACHE throws instead of silently
   // timing the wrong configuration.
   const bool prefix_cache = core::prefix_cache_env_enabled(true);
+  const bool stratified = stratified_sampler_enabled();
+  const double ci_target = env_double("PFI_CI_TARGET", 0.0);
 
   data::SyntheticDataset ds(data::imagenet_like());
   const auto spec = ds.spec();
@@ -102,22 +126,41 @@ int main() {
     cfg.seed = 17;
     cfg.injections_per_image = 8;  // amortize the golden inference
     cfg.threads = threads;
+    core::StratifiedCampaignConfig scfg;
+    if (stratified) {
+      scfg.base = cfg;
+      scfg.target_half_width = ci_target;
+      scfg.prune_verify = core::prune_verify_env_enabled();
+    }
     std::unique_ptr<core::CampaignCheckpointer> ckpt;
     if (!checkpoint_prefix.empty()) {
       ckpt = std::make_unique<core::CampaignCheckpointer>(
           checkpoint_prefix + "-" + name + ".ckpt");
       const std::uint64_t fp =
-          core::campaign_fingerprint(cfg, "fig4|" + name);
+          stratified ? core::stratified_fingerprint(scfg, "fig4|" + name)
+                     : core::campaign_fingerprint(cfg, "fig4|" + name);
       if (resume) ckpt->resume(fp);
       else ckpt->begin(fp);
       cfg.checkpoint = ckpt.get();
     }
     const auto t0 = std::chrono::steady_clock::now();
-    const auto r = core::run_classification_campaign(fi, ds, cfg);
+    core::CampaignResult r;
+    Proportion p{};
+    std::string efficiency;
+    if (stratified) {
+      scfg.base = cfg;  // picks up the checkpoint pointer
+      const core::StratifiedResult sr =
+          core::run_stratified_campaign(fi, ds, scfg);
+      r = sr.totals;
+      p = sr.estimate();
+      efficiency = core::stratified_efficiency_footer(sr);
+    } else {
+      r = core::run_classification_campaign(fi, ds, cfg);
+      p = r.corruption_probability();
+    }
     const double campaign_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    const auto p = r.corruption_probability();
     std::printf("%-12s %8.1f%% %8lld %12llu   %6.3f%% [%.3f, %.3f]%% %9llu\n",
                 name.c_str(), 100.0 * acc,
                 static_cast<long long>(model->parameter_count()),
@@ -127,6 +170,13 @@ int main() {
     // Campaign wall time is the phase the prefix cache accelerates;
     // training above is untouched by it.
     std::printf("             campaign wall time: %.2f s\n", campaign_s);
+    for (std::size_t pos = 0; pos < efficiency.size();) {
+      auto nl = efficiency.find('\n', pos);
+      if (nl == std::string::npos) nl = efficiency.size();
+      std::printf("             %.*s\n", static_cast<int>(nl - pos),
+                  efficiency.c_str() + pos);
+      pos = nl + 1;
+    }
     const std::string footer = core::campaign_prefix_footer(fi);
     if (!footer.empty()) std::printf("             %s\n", footer.c_str());
   }

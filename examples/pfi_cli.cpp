@@ -7,11 +7,20 @@
 //           [--layer L] [--per-layer] [--epochs N] [--seed S]
 //           [--threads N] [--save PATH] [--load PATH] [--list-models]
 //           [--trace PATH] [--profile] [--checkpoint PATH] [--resume]
-//           [--no-prefix-cache]
+//           [--no-prefix-cache] [--sampler uniform|stratified]
+//           [--ci-target HW] [--no-prune]
 //
 // --no-prefix-cache disables golden-prefix activation reuse (a pure speed
 // optimization; results are byte-identical either way — this flag exists
 // for A/B timing and debugging).
+//
+// --sampler stratified runs the statistical acceleration layer
+// (core/sampling.hpp): stratified sampling over (layer x bit-class) with
+// analytic masked-fault pruning; it imposes the single-bit-flip model, so
+// --error is rejected in this mode. --ci-target HW adds adaptive early
+// termination at pooled 99% CI half-width HW; --no-prune disables pruning
+// (a pure execution-count knob). PFI_PRUNE_VERIFY=1 re-executes every
+// pruned injection and aborts if the pruner was ever wrong.
 //
 // Error models: bitflip | bitflip:BIT | random | random:LO:HI | zero |
 //               const:V | noise:MAG
@@ -39,6 +48,7 @@
 #include "core/checkpoint.hpp"
 #include "core/profile.hpp"
 #include "core/report.hpp"
+#include "core/sampling.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
 #include "util/parse.hpp"
@@ -51,7 +61,10 @@ struct CliOptions {
   std::string model = "resnet18";
   std::string dataset = "cifar10";
   std::string dtype = "fp32";
-  std::string error = "random";
+  std::string error;
+  std::string sampler = "uniform";
+  double ci_target = 0.0;
+  bool prune = true;
   std::int64_t trials = 500;
   std::int64_t layer = -1;
   bool per_layer = false;
@@ -80,7 +93,9 @@ struct CliOptions {
                " [--list-models]\n"
                "               [--trace PATH] [--profile]"
                " [--checkpoint PATH] [--resume]\n"
-               "               [--no-prefix-cache]\n"
+               "               [--no-prefix-cache]"
+               " [--sampler uniform|stratified]\n"
+               "               [--ci-target HW] [--no-prune]\n"
                "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
                " zero | const:V | noise:MAG\n");
   std::exit(msg == nullptr ? 0 : 2);
@@ -191,11 +206,37 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--resume") opt.resume = true;
     else if (a == "--profile") opt.profile = true;
     else if (a == "--no-prefix-cache") opt.prefix_cache = false;
+    else if (a == "--sampler") opt.sampler = need_value(i);
+    else if (a == "--ci-target") {
+      const char* text = need_value(i);
+      char* end = nullptr;
+      opt.ci_target = std::strtod(text, &end);
+      if (end == text || *end != '\0' || opt.ci_target < 0.0 ||
+          opt.ci_target >= 1.0) {
+        usage_and_exit("--ci-target expects a half-width in [0, 1)");
+      }
+    }
+    else if (a == "--no-prune") opt.prune = false;
     else usage_and_exit(("unknown flag '" + a + "'").c_str());
   }
   if (opt.resume && opt.checkpoint_path.empty()) {
     usage_and_exit("--resume requires --checkpoint PATH");
   }
+  if (opt.sampler != "uniform" && opt.sampler != "stratified") {
+    usage_and_exit(("unknown sampler '" + opt.sampler + "'").c_str());
+  }
+  if (opt.sampler == "stratified") {
+    if (!opt.error.empty()) {
+      usage_and_exit("--sampler stratified imposes the single-bit-flip "
+                     "model; --error does not apply");
+    }
+    if (opt.per_layer) {
+      usage_and_exit("--per-layer is the uniform sampler's mode");
+    }
+  } else if (opt.ci_target > 0.0) {
+    usage_and_exit("--ci-target requires --sampler stratified");
+  }
+  if (opt.error.empty()) opt.error = "random";
   return opt;
 }
 
@@ -269,6 +310,15 @@ int main(int argc, char** argv) {
     cfg.trace = &sink;
   }
 
+  const bool stratified = opt.sampler == "stratified";
+  core::StratifiedCampaignConfig scfg;
+  if (stratified) {
+    scfg.base = cfg;
+    scfg.target_half_width = opt.ci_target;
+    scfg.prune = opt.prune;
+    scfg.prune_verify = core::prune_verify_env_enabled();
+  }
+
   // Crash safety: persist campaign state after every merged wave and stream
   // the trace (when requested) instead of dumping it at the end. The
   // fingerprint covers the campaign config plus the model/dataset/dtype
@@ -281,7 +331,9 @@ int main(int argc, char** argv) {
                                 opt.dtype + "|" + opt.error + "|epochs=" +
                                 std::to_string(opt.epochs) +
                                 "|load=" + opt.load_path;
-    const std::uint64_t fp = core::campaign_fingerprint(cfg, context);
+    const std::uint64_t fp = stratified
+                                 ? core::stratified_fingerprint(scfg, context)
+                                 : core::campaign_fingerprint(cfg, context);
     if (opt.resume && checkpointer->resume(fp)) {
       std::printf("resuming from %s: %llu trials already folded, next "
                   "attempt %llu%s\n",
@@ -298,12 +350,31 @@ int main(int argc, char** argv) {
     cfg.checkpoint = checkpointer.get();
   }
 
-  std::printf("campaign: %lld trials, error model %s, dtype %s%s\n",
-              static_cast<long long>(opt.trials), cfg.error_model.name.c_str(),
-              opt.dtype.c_str(), opt.per_layer ? ", one fault per layer" : "");
+  if (stratified) {
+    std::printf("campaign: %lld trial budget, stratified single-bit-flip "
+                "sampler, dtype %s%s\n",
+                static_cast<long long>(opt.trials), opt.dtype.c_str(),
+                opt.ci_target > 0.0 ? ", adaptive CI stop" : "");
+  } else {
+    std::printf("campaign: %lld trials, error model %s, dtype %s%s\n",
+                static_cast<long long>(opt.trials),
+                cfg.error_model.name.c_str(), opt.dtype.c_str(),
+                opt.per_layer ? ", one fault per layer" : "");
+  }
 
-  const auto r = core::run_classification_campaign(fi, ds, cfg);
-  const auto p = r.corruption_probability();
+  core::CampaignResult r;
+  Proportion p{};
+  std::string efficiency;
+  if (stratified) {
+    scfg.base = cfg;  // picks up the checkpoint/trace pointers set above
+    const core::StratifiedResult sr = core::run_stratified_campaign(fi, ds, scfg);
+    r = sr.totals;
+    p = sr.estimate();
+    efficiency = core::stratified_efficiency_footer(sr);
+  } else {
+    r = core::run_classification_campaign(fi, ds, cfg);
+    p = r.corruption_probability();
+  }
   std::printf("\nresults:\n");
   std::printf("  injected trials      %llu\n",
               static_cast<unsigned long long>(r.trials));
@@ -321,6 +392,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.trials),
                 static_cast<long long>(opt.trials));
   }
+  if (!efficiency.empty()) std::printf("%s\n", efficiency.c_str());
   const std::string prefix_footer = core::campaign_prefix_footer(fi);
   if (!prefix_footer.empty()) std::printf("  %s\n", prefix_footer.c_str());
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <span>
 
+#include "core/campaign_internal.hpp"
 #include "core/checkpoint.hpp"
 #include "nn/loss.hpp"
 #include "util/thread_pool.hpp"
@@ -13,58 +14,14 @@ namespace pfi::core {
 
 namespace {
 
-/// True when any logit is NaN or infinite.
-bool has_non_finite(const Tensor& logits) {
-  for (const float v : logits.data()) {
-    if (!std::isfinite(v)) return true;
-  }
-  return false;
-}
-
-/// Scores one faulty forward against the attempt's golden run. Golden
-/// argmaxes are computed once per attempt and faulty argmaxes / the
-/// non-finite scan once per faulty pass — not once per scored row as the
-/// original per-row helper did (an O(rows * classes) rescan per row).
-struct RepScorer {
-  const std::vector<std::int64_t>& golden_top1;
-  const Tensor& faulty;
-  std::vector<std::int64_t> faulty_top1;  // only for kTop1Mismatch
-  bool faulty_non_finite;
-  CorruptionCriterion criterion;
-
-  RepScorer(const std::vector<std::int64_t>& golden_top1_, const Tensor& f,
-            CorruptionCriterion crit)
-      : golden_top1(golden_top1_),
-        faulty(f),
-        faulty_non_finite(has_non_finite(f)),
-        criterion(crit) {
-    if (criterion == CorruptionCriterion::kTop1Mismatch) {
-      faulty_top1 = nn::argmax_rows(faulty);
-    }
-  }
-
-  bool is_corrupted(std::int64_t row) const {
-    const auto r = static_cast<std::size_t>(row);
-    switch (criterion) {
-      case CorruptionCriterion::kTop1Mismatch:
-        // NaN logits make argmax meaningless; count them as corruptions, as
-        // the observable output is unusable.
-        return golden_top1[r] != faulty_top1[r] || faulty_non_finite;
-      case CorruptionCriterion::kTop1NotInTop5:
-        return !nn::in_top_k(faulty, row, golden_top1[r], 5) ||
-               faulty_non_finite;
-      case CorruptionCriterion::kNonFiniteOutput:
-        return faulty_non_finite;
-    }
-    PFI_CHECK(false) << "unreachable criterion";
-  }
-};
-
-// Seed-derivation streams: every attempt gets one stream for data/location
-// draws and one for the injector's internal RNG (stochastic error models),
-// both functions of (campaign seed, attempt index) only.
-constexpr std::uint64_t kDrawStream = 0;
-constexpr std::uint64_t kInjectorStream = 1;
+using detail::has_non_finite;
+using detail::kDrawStream;
+using detail::kInjectorStream;
+using detail::RepScorer;
+using detail::resolve_threads;
+using detail::ScopedSink;
+using detail::WaveCommitter;
+using detail::WorkerSet;
 
 /// Attempts are capped so a model that never classifies correctly stops
 /// instead of looping forever (the paper's protocol needs correct golden
@@ -76,58 +33,12 @@ std::int64_t attempt_cap(const CampaignConfig& config) {
                                 : 10'000 + config.trials * 1'000;
 }
 
-/// Streams newly merged trace events to the checkpointer and persists the
-/// folded state after each wave. Tracks how much of the caller's sink has
-/// already been committed, so each commit ships exactly the wave's events.
-class WaveCommitter {
- public:
-  WaveCommitter(CampaignCheckpointer* ckpt, const trace::TraceSink* sink)
-      : ckpt_(ckpt), sink_(sink) {
-    if (ckpt_ != nullptr) {
-      PFI_CHECK(!ckpt_->streams_trace() || sink_ != nullptr)
-          << "checkpointer streams a trace JSONL but the campaign has no "
-             "trace sink to stream from";
-      // Only events merged by THIS run stream out; anything already in the
-      // caller's sink predates the campaign and is not part of its trace.
-      committed_ = sink_ != nullptr ? sink_->size() : 0;
-    }
-  }
-
-  void commit(const CampaignResult& folded, std::uint64_t next_unit,
-              bool done) {
-    if (ckpt_ == nullptr) return;
-    std::span<const trace::InjectionEvent> fresh;
-    if (sink_ != nullptr && ckpt_->streams_trace()) {
-      fresh = std::span(sink_->events()).subspan(committed_);
-      committed_ = sink_->events().size();
-    }
-    ckpt_->commit(folded, next_unit, done, fresh);
-  }
-
- private:
-  CampaignCheckpointer* ckpt_;
-  const trace::TraceSink* sink_;
-  std::size_t committed_ = 0;
-};
-
 /// Commit interval for the serial (threads == 1) path, which has no natural
 /// wave barrier: checkpoint every this many folded units so fsync cost
 /// amortizes while a kill still loses only a few attempts. 32 matches the
 /// largest parallel wave (4 threads x 8 attempts) and keeps the measured
 /// overhead under 1% of campaign time (EXPERIMENTS.md).
 constexpr std::int64_t kSerialCommitEvery = 32;
-
-/// Resolve the `threads` knob: 0 = hardware concurrency, and never more
-/// workers than trial units (a replica that would run < 1 unit is pure
-/// setup cost).
-std::int64_t resolve_threads(std::int64_t requested, std::int64_t units) {
-  std::int64_t t = requested == 0
-                       ? static_cast<std::int64_t>(
-                             util::ThreadPool::hardware_threads())
-                       : requested;
-  PFI_CHECK(t >= 1) << "threads=" << requested << " must be >= 0";
-  return std::clamp<std::int64_t>(t, 1, std::max<std::int64_t>(1, units));
-}
 
 /// Everything one attempt (batch draw + golden run + its injections)
 /// observed, in execution order. Kept per-rep so the merge can reproduce
@@ -148,23 +59,6 @@ struct AttemptOutcome {
     Tensor logits;
   };
   std::vector<Rep> reps;
-};
-
-/// Attach a worker-local sink to an injector for one attempt, restoring
-/// whatever sink was attached before (exception-safe).
-class ScopedSink {
- public:
-  ScopedSink(FaultInjector& fi, trace::TraceSink* sink)
-      : fi_(fi), previous_(fi.trace_sink()) {
-    fi_.set_trace_sink(sink);
-  }
-  ~ScopedSink() { fi_.set_trace_sink(previous_); }
-  ScopedSink(const ScopedSink&) = delete;
-  ScopedSink& operator=(const ScopedSink&) = delete;
-
- private:
-  FaultInjector& fi_;
-  trace::TraceSink* previous_;
 };
 
 /// One self-contained attempt. All randomness comes from seeds derived from
@@ -277,30 +171,6 @@ bool merge_attempt(CampaignResult& acc, AttemptOutcome& outcome,
   }
   return acc.trials >= target;
 }
-
-/// Worker replicas: index 0 is the caller's injector, the rest deep clones.
-struct WorkerSet {
-  std::vector<FaultInjector*> workers;
-  std::vector<std::unique_ptr<FaultInjector>> owned;
-
-  WorkerSet(FaultInjector& fi, std::int64_t threads) {
-    fi.clear();
-    workers.push_back(&fi);
-    for (std::int64_t t = 1; t < threads; ++t) {
-      owned.push_back(fi.replicate());
-      workers.push_back(owned.back().get());
-    }
-  }
-
-  /// Replicas die with the set; fold their prefix-cache counters into the
-  /// caller's injector first so the campaign report shows whole-campaign
-  /// hit rates regardless of thread count.
-  ~WorkerSet() {
-    for (const auto& replica : owned) {
-      workers.front()->absorb_prefix_stats(*replica);
-    }
-  }
-};
 
 }  // namespace
 

@@ -43,6 +43,53 @@ std::uint64_t json_uint_field(const std::string& text, const char* key) {
   return *value;
 }
 
+/// Parse the optional `"strata":[[u64 x 8],...]` array written by
+/// checkpoint_to_json for stratified campaigns. Absent field (every
+/// checkpoint written before stratified campaigns existed, and every uniform
+/// campaign's checkpoint still) parses as an empty vector.
+std::vector<StratumCheckpoint> json_strata_field(const std::string& text) {
+  std::vector<StratumCheckpoint> out;
+  const std::string needle = "\"strata\":[";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return out;
+  std::size_t pos = at + needle.size();
+  while (pos < text.size() && text[pos] != ']') {
+    if (text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    PFI_CHECK(text[pos] == '[')
+        << "checkpoint strata entry does not start with '[': " << text;
+    ++pos;
+    StratumCheckpoint s;
+    std::uint64_t* fields[] = {&s.trials,     &s.corruptions, &s.skipped,
+                               &s.non_finite, &s.pruned,      &s.executed,
+                               &s.attempts,   &s.flags};
+    for (std::size_t f = 0; f < 8; ++f) {
+      std::size_t end = pos;
+      while (end < text.size() && text[end] != ',' && text[end] != ']') ++end;
+      const auto value = util::parse_uint(text.substr(pos, end - pos));
+      PFI_CHECK(value.has_value())
+          << "checkpoint stratum field " << f << " is not an integer: "
+          << text;
+      *fields[f] = *value;
+      pos = end;
+      if (f < 7) {
+        PFI_CHECK(pos < text.size() && text[pos] == ',')
+            << "checkpoint stratum entry has fewer than 8 fields: " << text;
+        ++pos;
+      }
+    }
+    PFI_CHECK(pos < text.size() && text[pos] == ']')
+        << "checkpoint stratum entry has more than 8 fields: " << text;
+    ++pos;
+    out.push_back(s);
+  }
+  PFI_CHECK(pos < text.size()) << "checkpoint strata array is unterminated: "
+                               << text;
+  return out;
+}
+
 }  // namespace
 
 std::string checkpoint_to_json(const CheckpointState& state) {
@@ -56,7 +103,21 @@ std::string checkpoint_to_json(const CheckpointState& state) {
      << ",\"gave_up\":" << state.result.gave_up
      << ",\"next_unit\":" << state.next_unit
      << ",\"trace_bytes\":" << state.trace_bytes
-     << ",\"done\":" << state.done << "}\n";
+     << ",\"done\":" << state.done;
+  // Stratified campaigns append their per-stratum states; uniform campaigns
+  // (empty vector) keep the exact pre-stratification encoding.
+  if (!state.strata.empty()) {
+    os << ",\"strata\":[";
+    for (std::size_t i = 0; i < state.strata.size(); ++i) {
+      const StratumCheckpoint& s = state.strata[i];
+      if (i != 0) os << ',';
+      os << '[' << s.trials << ',' << s.corruptions << ',' << s.skipped << ','
+         << s.non_finite << ',' << s.pruned << ',' << s.executed << ','
+         << s.attempts << ',' << s.flags << ']';
+    }
+    os << ']';
+  }
+  os << "}\n";
   return os.str();
 }
 
@@ -76,6 +137,7 @@ CheckpointState checkpoint_from_json(const std::string& text) {
   state.next_unit = json_uint_field(text, "next_unit");
   state.trace_bytes = json_uint_field(text, "trace_bytes");
   state.done = json_uint_field(text, "done");
+  state.strata = json_strata_field(text);
   return state;
 }
 
@@ -150,6 +212,14 @@ bool CampaignCheckpointer::resume(std::uint64_t fingerprint) {
     }
   }
   return true;
+}
+
+void CampaignCheckpointer::commit(
+    const CampaignResult& folded, std::uint64_t next_unit, bool done,
+    std::span<const trace::InjectionEvent> new_events,
+    std::span<const StratumCheckpoint> strata) {
+  state_.strata.assign(strata.begin(), strata.end());
+  commit(folded, next_unit, done, new_events);
 }
 
 void CampaignCheckpointer::commit(

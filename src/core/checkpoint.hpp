@@ -36,6 +36,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/campaign.hpp"
 
@@ -50,17 +51,35 @@ class CampaignAborted : public Error {
 
 inline constexpr std::uint64_t kCheckpointVersion = 1;
 
+/// Per-stratum resume state of a stratified campaign (core/sampling.hpp).
+/// Plain integers only, persisted as one fixed-order JSON array per stratum;
+/// the stratum's identity is its INDEX in the checkpoint's `strata` list
+/// (strata enumeration is a pure function of the fingerprinted config).
+struct StratumCheckpoint {
+  std::uint64_t trials = 0;       ///< scored injections (incl. pruned)
+  std::uint64_t corruptions = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t non_finite = 0;
+  std::uint64_t pruned = 0;       ///< analytically-masked, never executed
+  std::uint64_t executed = 0;     ///< faulty forwards actually run
+  std::uint64_t attempts = 0;     ///< next stratum-local attempt index
+  std::uint64_t flags = 0;        ///< bit 0: stopped early; bit 1: gave up
+};
+
 /// Everything a resume needs, exactly as persisted. All fields are plain
 /// integers so the on-disk single-line JSON round-trips losslessly.
 struct CheckpointState {
   std::uint64_t version = kCheckpointVersion;
   std::uint64_t fingerprint = 0;  ///< campaign_fingerprint() of the config
   CampaignResult result;          ///< folded counters over units [0, next_unit)
-  /// First attempt (classification) or weight-fault index (weight campaign)
-  /// not yet folded into `result`.
+  /// First attempt (classification), weight-fault index (weight campaign),
+  /// or wave index (stratified campaign) not yet folded into `result`.
   std::uint64_t next_unit = 0;
   std::uint64_t trace_bytes = 0;  ///< committed size of the streaming JSONL
   std::uint64_t done = 0;         ///< 1 once the campaign finished (or gave up)
+  /// Stratified campaigns only: one entry per stratum, in stratum order.
+  /// Empty for uniform campaigns — their on-disk encoding is unchanged.
+  std::vector<StratumCheckpoint> strata;
 };
 
 /// Single-line JSON encoding of a checkpoint (the on-disk format; see
@@ -106,6 +125,9 @@ class CampaignCheckpointer {
   bool resume(std::uint64_t fingerprint);
 
   const CampaignResult& result() const { return state_.result; }
+  const std::vector<StratumCheckpoint>& strata() const {
+    return state_.strata;
+  }
   std::uint64_t next_unit() const { return state_.next_unit; }
   bool done() const { return state_.done != 0; }
   bool streams_trace() const { return !trace_path_.empty(); }
@@ -120,6 +142,12 @@ class CampaignCheckpointer {
   /// truncates, never missing ones.
   void commit(const CampaignResult& folded, std::uint64_t next_unit, bool done,
               std::span<const trace::InjectionEvent> new_events);
+
+  /// Stratified-campaign variant: also persists the per-stratum resume
+  /// states (in stratum order) alongside the pooled counters.
+  void commit(const CampaignResult& folded, std::uint64_t next_unit, bool done,
+              std::span<const trace::InjectionEvent> new_events,
+              std::span<const StratumCheckpoint> strata);
 
   /// Crash-injection test hook: the n-th commit() completes durably, then
   /// throws CampaignAborted — on-disk state is exactly what a kill

@@ -16,6 +16,67 @@ std::string dtype_name(DType dtype) {
   PFI_CHECK(false) << "unreachable dtype";
 }
 
+int dtype_bit_width(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32: return kFloatBits;
+    case DType::kFloat16: return kHalfBits;
+    case DType::kInt8: return kInt8Bits;
+  }
+  PFI_CHECK(false) << "unreachable dtype";
+}
+
+namespace {
+
+// IEEE-754 binary32: sign 31, exponent 30..23, mantissa 22..0. The mantissa
+// splits at its midpoint so "barely perceptible" and "up to ~2x relative"
+// flips land in different strata.
+constexpr BitClassSpec kFp32Classes[] = {
+    {"mant_lo", 0, 11},
+    {"mant_hi", 12, 22},
+    {"exponent", 23, 30},
+    {"sign", 31, 31},
+};
+
+// IEEE-754 binary16: sign 15, exponent 14..10, mantissa 9..0.
+constexpr BitClassSpec kFp16Classes[] = {
+    {"mant_lo", 0, 4},
+    {"mant_hi", 5, 9},
+    {"exponent", 10, 14},
+    {"sign", 15, 15},
+};
+
+// Two's-complement INT8 codes: bit 7 decides sign, the rest is magnitude
+// (split so the top magnitude bits — flips of +/- 16..64 codes — separate
+// from the near-LSB ones).
+constexpr BitClassSpec kInt8Classes[] = {
+    {"low", 0, 3},
+    {"high", 4, 6},
+    {"sign", 7, 7},
+};
+
+}  // namespace
+
+std::span<const BitClassSpec> bit_classes(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32: return kFp32Classes;
+    case DType::kFloat16: return kFp16Classes;
+    case DType::kInt8: return kInt8Classes;
+  }
+  PFI_CHECK(false) << "unreachable dtype";
+}
+
+int bit_class_of(DType dtype, int bit) {
+  PFI_CHECK(bit >= 0 && bit < dtype_bit_width(dtype))
+      << "bit " << bit << " out of range for " << dtype_name(dtype);
+  const auto classes = bit_classes(dtype);
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (bit >= classes[i].lo && bit <= classes[i].hi) {
+      return static_cast<int>(i);
+    }
+  }
+  PFI_CHECK(false) << "bit " << bit << " not covered by any class (bug)";
+}
+
 ErrorModel random_value(float lo, float hi) {
   PFI_CHECK(lo < hi) << "random_value range [" << lo << ", " << hi << ")";
   return {"random_value[" + std::to_string(lo) + "," + std::to_string(hi) + "]",

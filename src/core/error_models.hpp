@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 
 #include "quant/quant.hpp"
@@ -24,6 +25,33 @@ enum class DType { kFloat32, kFloat16, kInt8 };
 
 /// String name of a dtype ("fp32" / "fp16" / "int8").
 std::string dtype_name(DType dtype);
+
+/// Representation width in bits (32 / 16 / 8) — the sample space of a
+/// uniformly random single_bit_flip in that dtype.
+int dtype_bit_width(DType dtype);
+
+/// One contiguous class of bit positions within a dtype's representation.
+/// Bit flips within a class have comparable corruption behaviour (a sign
+/// flip, an exponent flip, a high- or low-mantissa flip), which is what
+/// makes (layer x bit class) the right granularity for stratified campaign
+/// sampling (core/sampling.hpp): strata are homogeneous enough that most of
+/// them resolve to near-zero corruption probability with few samples.
+struct BitClassSpec {
+  const char* name;  ///< "sign" / "exponent" / "mant_hi" / "mant_lo" ...
+  int lo = 0;        ///< lowest bit position in the class (inclusive)
+  int hi = 0;        ///< highest bit position in the class (inclusive)
+
+  int width() const { return hi - lo + 1; }
+};
+
+/// The dtype's bit classes, lowest positions first, covering every bit
+/// exactly once. FP32/FP16 partition into mantissa-low / mantissa-high /
+/// exponent / sign; INT8 (two's-complement quantized codes) into low / high
+/// magnitude bits and the sign bit.
+std::span<const BitClassSpec> bit_classes(DType dtype);
+
+/// Index into bit_classes(dtype) of the class containing `bit`.
+int bit_class_of(DType dtype, int bit);
 
 /// Context handed to an error model at injection time.
 struct InjectionContext {

@@ -188,6 +188,20 @@ class FaultInjector {
   /// stable identifier used in exported traces.
   const std::string& layer_path(std::int64_t i) const;
 
+  /// Dtype-emulation params the last golden (kRecordGolden) pass captured
+  /// for layer i — the exact quantized domain any fault armed on that layer
+  /// is applied in (see golden_qp_'s comment). The stratified sampler's
+  /// masked-fault pruner (core/sampling.hpp) uses these to compute a
+  /// candidate injection's corrupted value analytically, bit-identical to
+  /// what executing the injection would produce. Meaningful only after a
+  /// kRecordGolden forward; default-constructed before one.
+  quant::QuantParams golden_qparams(std::int64_t layer) const {
+    PFI_CHECK(layer >= 0 && layer < num_layers())
+        << "golden_qparams layer " << layer << " out of range [0, "
+        << num_layers() << ")";
+    return golden_qp_[static_cast<std::size_t>(layer)];
+  }
+
   // -- Introspection ----------------------------------------------------------------
   std::size_t active_neuron_faults() const;
   std::uint64_t injections_performed() const { return injections_; }

@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -53,6 +54,62 @@ std::string campaign_prefix_footer(const FaultInjector& fi) {
   const PrefixCache* cache = fi.prefix_cache();
   if (cache == nullptr) return "";
   return prefix_cache_summary(cache->stats(), cache->budget_bytes());
+}
+
+void write_stratified_csv(const std::string& path,
+                          const std::vector<StratifiedRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  PFI_CHECK(out.good()) << "cannot open '" << path << "' for writing";
+  out << "label,trials,skipped,corruptions,non_finite,gave_up,p,ci_lo,ci_hi\n";
+  for (const auto& row : rows) {
+    const auto p = row.result.estimate();
+    const auto& t = row.result.totals;
+    out << util::csv_field(row.label) << ',' << t.trials << ',' << t.skipped
+        << ',' << t.corruptions << ',' << t.non_finite << ',' << t.gave_up
+        << ',' << std::setprecision(10) << p.value << ',' << p.lo << ','
+        << p.hi << '\n';
+  }
+  PFI_CHECK(out.good()) << "write to '" << path << "' failed";
+}
+
+std::string stratified_efficiency_footer(const StratifiedResult& result) {
+  std::size_t stopped = 0;
+  std::size_t gave_up = 0;
+  for (const StratumOutcome& s : result.strata) {
+    if (s.stopped_early) ++stopped;
+    if (s.gave_up) ++gave_up;
+  }
+  const Proportion est = result.estimate();
+  const double half_width = (est.hi - est.lo) / 2.0;
+  const std::uint64_t executed = result.executed_passes();
+  // What the same trials would have cost without pruning, per trial — the
+  // uniform sampler's pass rate — times the trials a single Wilson interval
+  // needs to match this run's half-width.
+  const double passes_per_trial =
+      result.totals.trials > 0
+          ? static_cast<double>(result.golden_passes + result.faulty_passes +
+                                result.pruned) /
+                static_cast<double>(result.totals.trials)
+          : 0.0;
+  const double equivalent =
+      result.uniform_equivalent_trials() * passes_per_trial;
+
+  std::ostringstream os;
+  os << "sampler: stratified over " << result.strata.size() << " strata ("
+     << stopped << " stopped early";
+  if (gave_up > 0) os << ", " << gave_up << " gave up";
+  os << "); " << result.totals.trials << " trials, " << result.pruned
+     << " pruned analytically\n";
+  os << "passes: " << executed << " executed (" << result.golden_passes
+     << " golden + " << result.faulty_passes << " faulty) vs "
+     << std::fixed << std::setprecision(0) << equivalent
+     << " uniform-equivalent";
+  if (executed > 0 && std::isfinite(equivalent)) {
+    os << " — " << std::setprecision(1)
+       << equivalent / static_cast<double>(executed) << "x fewer";
+  }
+  os << " at 99% CI half-width " << std::setprecision(5) << half_width;
+  return os.str();
 }
 
 }  // namespace pfi::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "core/sampling.hpp"
 
 namespace pfi::core {
 
@@ -30,5 +31,26 @@ std::string campaign_table(const std::vector<CampaignRow>& rows);
 /// Deliberately NOT part of write_campaign_csv: exported artifacts stay
 /// byte-identical with the cache on or off.
 std::string campaign_prefix_footer(const FaultInjector& fi);
+
+/// One labelled stratified-campaign outcome in a sweep.
+struct StratifiedRow {
+  std::string label;
+  StratifiedResult result;
+};
+
+/// Write stratified rows as CSV with the SAME header write_campaign_csv
+/// uses, so downstream tooling reads both. `p,ci_lo,ci_hi` hold the pooled
+/// stratified estimate (StratifiedResult::estimate()), which targets the
+/// same quantity as the uniform sampler's Wilson interval; the raw counters
+/// are the pooled sums over strata.
+void write_stratified_csv(const std::string& path,
+                          const std::vector<StratifiedRow>& rows);
+
+/// Efficiency footer for bench/CLI reports: executed vs uniform-equivalent
+/// forward passes, analytically-pruned count, stopped-early strata, and the
+/// achieved 99% CI half-width. Like the prefix footer, deliberately NOT
+/// part of the CSV: the exported artifact stays a pure function of the
+/// campaign's statistical outcome.
+std::string stratified_efficiency_footer(const StratifiedResult& result);
 
 }  // namespace pfi::core

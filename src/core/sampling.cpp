@@ -1,0 +1,773 @@
+#include "core/sampling.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <sstream>
+
+#include "core/campaign_internal.hpp"
+#include "core/checkpoint.hpp"
+#include "nn/loss.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfi::core {
+
+namespace {
+
+using detail::has_non_finite;
+using detail::kDrawStream;
+using detail::kInjectorStream;
+using detail::kStratumStream;
+using detail::RepScorer;
+using detail::ScopedSink;
+using detail::WaveCommitter;
+using detail::WorkerSet;
+
+constexpr std::uint64_t kStoppedEarlyFlag = 1;
+constexpr std::uint64_t kGaveUpFlag = 2;
+
+/// Max attempts one stratum contributes to a single wave. Small enough that
+/// early termination reacts within a wave or two of a stratum resolving,
+/// large enough that the per-wave barrier stays negligible. Deliberately
+/// NOT a function of the thread count: wave composition must be a pure
+/// function of the folded state or stopping decisions would vary with
+/// sharding.
+constexpr std::uint64_t kMaxQuantum = 8;
+
+/// The post-ReLU bit pattern of an activation — EXACTLY nn::ReLU's forward
+/// expression (v > 0 ? v : 0), so bit-equality here is bit-equality of the
+/// downstream ReLU layer's output. Maps NaN and every non-positive value
+/// (including -0.0f) to +0.0f, exactly as the layer does.
+std::uint32_t relu_bits(float v) {
+  const float r = v > 0.0f ? v : 0.0f;
+  return std::bit_cast<std::uint32_t>(r);
+}
+
+/// Captures one instrumented layer's golden output during a kRecordGolden
+/// pass. Registered AFTER the injector's own hook (construction order), so
+/// it observes the post-dtype-emulation activation — the exact domain the
+/// injector applies faults in.
+class GoldenCapture {
+ public:
+  GoldenCapture(FaultInjector& fi, std::int64_t layer)
+      : module_(fi.layer(layer)) {
+    handle_ = module_.register_forward_hook(
+        [this](nn::Module&, const Tensor&, Tensor& output) {
+          captured_ = output.clone();
+        });
+  }
+  ~GoldenCapture() { module_.remove_hook(handle_); }
+  GoldenCapture(const GoldenCapture&) = delete;
+  GoldenCapture& operator=(const GoldenCapture&) = delete;
+
+  const Tensor& captured() const {
+    PFI_CHECK(captured_.defined())
+        << "golden capture hook never fired (layer not executed?)";
+    return captured_;
+  }
+
+ private:
+  nn::Module& module_;
+  nn::HookHandle handle_ = 0;
+  Tensor captured_;
+};
+
+/// One scheduled stratum attempt: which stratum, its stratum-local attempt
+/// index, and the campaign-global sequence number traces stamp as the
+/// `attempt` field (stratum-local indices would collide across strata).
+struct Unit {
+  std::size_t stratum = 0;
+  std::uint64_t attempt = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Everything one unit observed, mirroring campaign.cpp's AttemptOutcome
+/// with a per-rep pruned marker.
+struct UnitOutcome {
+  std::uint64_t skipped = 0;
+  struct Rep {
+    bool non_finite = false;
+    bool pruned = false;
+    std::vector<std::uint8_t> corrupted;  // per scored row, in score order
+    std::uint64_t seq = 0;
+    std::int32_t rep_index = 0;
+    std::vector<trace::InjectionEvent> events;
+    Tensor logits;
+  };
+  std::vector<Rep> reps;
+};
+
+/// Largest-remainder allocation of the trial budget across strata by
+/// weight: caps sum to `trials` exactly, so a budget-mode campaign scores
+/// exactly `trials` trials (matching the uniform runner's contract). Ties
+/// in the fractional parts break by stratum index — deterministic.
+std::vector<std::uint64_t> allocate_caps(std::uint64_t trials,
+                                         const std::vector<Stratum>& strata) {
+  std::vector<std::uint64_t> caps(strata.size());
+  std::vector<double> remainders(strata.size());
+  std::uint64_t assigned = 0;
+  for (std::size_t s = 0; s < strata.size(); ++s) {
+    const double exact = static_cast<double>(trials) * strata[s].weight;
+    caps[s] = static_cast<std::uint64_t>(exact);
+    remainders[s] = exact - static_cast<double>(caps[s]);
+    assigned += caps[s];
+  }
+  std::vector<std::size_t> order(strata.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return remainders[a] > remainders[b];
+                   });
+  for (std::size_t i = 0; assigned < trials; ++i) {
+    ++caps[order[i % order.size()]];
+    ++assigned;
+  }
+  return caps;
+}
+
+/// The larger half of a stratum's Wilson interval — the quantity the
+/// stopping rule budgets. Zero trials -> the vacuous [0, 1] interval's
+/// larger half, 1 (maximally conservative).
+double stratum_half_width(const StratumCheckpoint& ck, double z) {
+  if (ck.trials == 0) return 1.0;
+  const Proportion p = wilson_interval(ck.corruptions, ck.trials, z);
+  return std::max(p.value - p.lo, p.hi - p.value);
+}
+
+/// CI-mode closure test for one stratum, mirroring the two pooling terms
+/// of util::stratified_interval so that "every stratum closed" implies a
+/// pooled half-width <= target:
+///
+/// * all-clear strata (k = 0) enter the pooled interval only through the
+///   joint upper margin max_s w_s * wilson_hi(0, n_s); close this stratum
+///   once its own term fits the whole target;
+/// * corrupting strata (k > 0) combine in quadrature with max-margin
+///   halves on both sides; close once w^2 m^2 <= (target/2)^2 / S_pos,
+///   where S_pos counts the strata with observed corruptions.
+///
+/// With every stratum closed, the quadrature side Q satisfies
+/// Q <= sqrt(S_pos * (target/2)^2 / S_pos) = target/2 and the clear margin
+/// C <= target, so the pooled half-width (2Q + C)/2 <= target.
+///
+/// S_pos is global but a pure function of the frozen counters, so the
+/// predicate is deterministic under resume; a previously closed corrupting
+/// stratum REOPENS if S_pos has since grown (its budget share shrank),
+/// which keeps the guarantee above valid against the final counters.
+bool ci_closed(const Stratum& st, const StratumCheckpoint& ck,
+               std::size_t s_pos, double target) {
+  if (ck.corruptions == 0) {
+    const double hi =
+        ck.trials == 0 ? 1.0 : wilson_interval(0, ck.trials, kZ99).hi;
+    return st.weight * hi <= target;
+  }
+  const double hw = stratum_half_width(ck, kZ99);
+  const double budget = 0.25 * target * target /
+                        static_cast<double>(std::max<std::size_t>(1, s_pos));
+  return st.weight * st.weight * hw * hw <= budget;
+}
+
+/// Recompute a stratum's flags from its frozen counters. Pure, so resume
+/// and re-evaluation always agree: stopped-early iff the CI rule closed it
+/// with budget to spare; gave-up iff the attempt cap did.
+std::uint64_t stratum_flags(const Stratum& st, const StratumCheckpoint& ck,
+                            std::uint64_t cap, std::uint64_t attempt_cap,
+                            double target, std::size_t s_pos,
+                            bool global_met) {
+  if (target > 0.0 && (global_met || ci_closed(st, ck, s_pos, target)) &&
+      ck.trials < cap) {
+    return kStoppedEarlyFlag;
+  }
+  if (ck.attempts >= attempt_cap && ck.trials < cap) return kGaveUpFlag;
+  return 0;
+}
+
+/// Run one stratum attempt on one worker. All randomness derives from
+/// (config.seed, stratum index, attempt index) — never from which worker
+/// runs it or what ran before — so the outcome is a pure function of the
+/// unit.
+UnitOutcome run_stratum_attempt(FaultInjector& fi,
+                                const data::SyntheticDataset& ds,
+                                const StratifiedCampaignConfig& config,
+                                const Stratum& st, std::size_t stratum_index,
+                                bool prunable, const Unit& unit) {
+  const CampaignConfig& base = config.base;
+  const std::uint64_t stratum_seed =
+      derive_seed(base.seed, static_cast<std::uint64_t>(stratum_index),
+                  kStratumStream);
+  Rng rng(derive_seed(stratum_seed, unit.attempt, kDrawStream));
+  fi.reseed(derive_seed(stratum_seed, unit.attempt, kInjectorStream));
+
+  const bool tracing = base.trace != nullptr;
+  trace::TraceSink local(tracing && base.trace->capture_logits());
+  ScopedSink sink_guard(fi, tracing ? &local : fi.trace_sink());
+
+  UnitOutcome out;
+  const auto batch = ds.sample_batch(base.batch_size, rng);
+
+  // Golden pass; the capture hook (when pruning applies) clones this
+  // stratum's layer output in the injector's emulation domain.
+  std::optional<GoldenCapture> capture;
+  if (prunable) capture.emplace(fi, st.layer);
+  fi.clear();
+  const Tensor golden = fi.forward(batch.images, ForwardMode::kRecordGolden);
+  const auto golden_top1 = nn::argmax_rows(golden);
+
+  std::vector<std::int64_t> eligible;
+  for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+    if (golden_top1[i] == batch.labels[i]) {
+      eligible.push_back(static_cast<std::int64_t>(i));
+    } else {
+      ++out.skipped;
+    }
+  }
+  if (eligible.empty()) return out;
+
+  const bool golden_nf = has_non_finite(golden);
+  const quant::QuantParams qp =
+      prunable ? fi.golden_qparams(st.layer) : quant::QuantParams{};
+  const int width = st.bit_hi - st.bit_lo + 1;
+  Rng analytic_rng(0);  // never drawn from: a fixed-bit flip is deterministic
+
+  out.reps.reserve(static_cast<std::size_t>(base.injections_per_image));
+  for (std::int64_t rep = 0; rep < base.injections_per_image; ++rep) {
+    if (tracing) local.set_context(unit.seq, static_cast<std::int32_t>(rep));
+    NeuronLocation loc;
+    loc.batch = base.same_fault_across_batch
+                    ? kAllBatchElements
+                    : eligible[rng.next_below(eligible.size())];
+    const NeuronLocation drawn = fi.random_neuron_location(rng, st.layer);
+    loc.layer = drawn.layer;
+    loc.c = drawn.c;
+    loc.h = drawn.h;
+    loc.w = drawn.w;
+    const int bit =
+        st.bit_lo + static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(width)));
+    ErrorModel em = single_bit_flip(bit);
+
+    // Pruning: compute the faulty value analytically for every batch row
+    // the fault would touch. The injection is provably masked only if the
+    // post-ReLU bits are unchanged for ALL touched rows — scoring reads
+    // per-row argmaxes but the non-finite scan covers the whole tensor, so
+    // an untouched-row change would be observable.
+    bool masked = false;
+    if (prunable) {
+      const Tensor& act = capture->captured();
+      const std::int64_t b0 = loc.batch == kAllBatchElements ? 0 : loc.batch;
+      const std::int64_t b1 = loc.batch == kAllBatchElements
+                                  ? base.batch_size
+                                  : loc.batch + 1;
+      masked = true;
+      InjectionContext ctx;
+      ctx.layer = st.layer;
+      ctx.dtype = fi.dtype();
+      ctx.qparams = qp;
+      ctx.rng = &analytic_rng;
+      for (std::int64_t b = b0; b < b1; ++b) {
+        const std::int64_t flat = act.offset_of(b, loc.c, loc.h, loc.w);
+        ctx.flat_index = flat;
+        const float pre = act[flat];
+        const float post = em.apply(pre, ctx);
+        if (relu_bits(post) != relu_bits(pre)) {
+          masked = false;
+          break;
+        }
+      }
+    }
+
+    UnitOutcome::Rep r;
+    r.pruned = masked;
+    if (masked) {
+      if (config.prune_verify) {
+        // Soundness oracle: run the injection the pruner skipped, with the
+        // sink detached so the trace stays identical to a non-verify run,
+        // and demand the logits are bit-identical to the golden pass —
+        // the strongest form of "top-1 unchanged".
+        ScopedSink detached(fi, nullptr);
+        fi.declare_neuron_fault(loc, em);
+        const Tensor faulty =
+            fi.forward(batch.images, ForwardMode::kReusePrefix);
+        fi.clear();
+        PFI_CHECK(faulty.data().size() == golden.data().size() &&
+                  std::memcmp(faulty.data().data(), golden.data().data(),
+                              faulty.data().size() * sizeof(float)) == 0)
+            << "PRUNE VERIFY FAILED: injection at layer " << st.layer
+            << " fmap " << loc.c << " (" << loc.h << ", " << loc.w
+            << ") bit " << bit
+            << " was pruned as masked but changed the logits";
+      }
+      if (tracing) {
+        // Emit the events the real injection would have emitted — computed
+        // from the same analytic values — so the trace stream is
+        // byte-identical with pruning on or off.
+        const Tensor& act = capture->captured();
+        const std::int64_t b0 =
+            loc.batch == kAllBatchElements ? 0 : loc.batch;
+        const std::int64_t b1 = loc.batch == kAllBatchElements
+                                    ? base.batch_size
+                                    : loc.batch + 1;
+        InjectionContext ctx;
+        ctx.layer = st.layer;
+        ctx.dtype = fi.dtype();
+        ctx.qparams = qp;
+        ctx.rng = &analytic_rng;
+        for (std::int64_t b = b0; b < b1; ++b) {
+          const std::int64_t flat = act.offset_of(b, loc.c, loc.h, loc.w);
+          ctx.flat_index = flat;
+          const float pre = act[flat];
+          const float post = em.apply(pre, ctx);
+          trace::InjectionEvent ev;
+          ev.kind = trace::FaultKind::kNeuron;
+          ev.layer = st.layer;
+          ev.layer_name = fi.layer_path(st.layer);
+          ev.layer_kind = fi.layer(st.layer).kind();
+          ev.dtype = fi.dtype();
+          ev.coords[0] = b;
+          ev.coords[1] = loc.c;
+          ev.coords[2] = loc.h;
+          ev.coords[3] = loc.w;
+          ev.flat = flat;
+          ev.pre = pre;
+          ev.post = post;
+          ev.bit = trace::diff_bit(pre, post, fi.dtype(), qp);
+          ev.model = em.name;
+          local.record(std::move(ev));
+        }
+      }
+      r.non_finite = golden_nf;
+      if (tracing) {
+        r.seq = unit.seq;
+        r.rep_index = static_cast<std::int32_t>(rep);
+        r.events = local.take_events();
+        // The pruned injection's faulty logits ARE the golden logits.
+        if (local.capture_logits()) r.logits = golden.clone();
+      }
+      for (const std::int64_t row : eligible) {
+        if (loc.batch != kAllBatchElements && loc.batch != row) continue;
+        r.corrupted.push_back(0);
+      }
+    } else {
+      fi.declare_neuron_fault(loc, em);
+      const Tensor faulty =
+          fi.forward(batch.images, ForwardMode::kReusePrefix);
+      fi.clear();
+
+      const RepScorer scorer(golden_top1, faulty, base.criterion);
+      r.non_finite = scorer.faulty_non_finite;
+      if (tracing) {
+        r.seq = unit.seq;
+        r.rep_index = static_cast<std::int32_t>(rep);
+        r.events = local.take_events();
+        if (local.capture_logits()) r.logits = faulty.clone();
+      }
+      for (const std::int64_t row : eligible) {
+        if (loc.batch != kAllBatchElements && loc.batch != row) continue;
+        r.corrupted.push_back(scorer.is_corrupted(row) ? 1 : 0);
+      }
+    }
+    out.reps.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+Proportion StratifiedResult::estimate() const {
+  std::vector<StratumEstimate> est;
+  est.reserve(strata.size());
+  for (const StratumOutcome& s : strata) {
+    est.push_back({s.stratum.weight, s.counts.corruptions, s.counts.trials});
+  }
+  return stratified_interval(est);
+}
+
+double StratifiedResult::uniform_equivalent_trials() const {
+  const Proportion est = estimate();
+  const double target = (est.hi - est.lo) / 2.0;
+  if (!(target > 0.0)) return std::numeric_limits<double>::infinity();
+  const double p = std::clamp(est.value, 0.0, 1.0);
+  const double z = kZ99;
+  // Wilson half-width at point estimate p as a function of n (monotone
+  // decreasing); bisect for the n whose half-width matches this run's.
+  const auto half_width = [&](double n) {
+    return z / (1.0 + z * z / n) *
+           std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+  };
+  double lo = 1.0;
+  double hi = 1.0;
+  while (half_width(hi) > target && hi < 1e15) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (half_width(mid) > target ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+std::vector<Stratum> make_strata(const FaultInjector& fi, std::int64_t layer,
+                                 DType dtype) {
+  PFI_CHECK(layer < fi.num_layers())
+      << "stratified campaign layer " << layer << " out of range [0, "
+      << fi.num_layers() << ")";
+  const auto classes = bit_classes(dtype);
+  const int width = dtype_bit_width(dtype);
+
+  std::vector<std::int64_t> layers;
+  std::int64_t total_neurons = 0;
+  for (std::int64_t l = 0; l < fi.num_layers(); ++l) {
+    if (layer >= 0 && l != layer) continue;
+    const Shape& s = fi.layer_shape(l);
+    if (s.size() != 4) continue;  // no neuron coordinates -> not sampled
+    layers.push_back(l);
+    total_neurons += s[1] * s[2] * s[3];
+  }
+  PFI_CHECK(!layers.empty())
+      << "stratified campaign has no 4-D instrumented layers to sample"
+      << (layer >= 0 ? " (layer " + std::to_string(layer) + " is not 4-D)"
+                     : "");
+
+  std::vector<Stratum> out;
+  out.reserve(layers.size() * classes.size());
+  for (const std::int64_t l : layers) {
+    const Shape& s = fi.layer_shape(l);
+    const double neuron_share =
+        static_cast<double>(s[1] * s[2] * s[3]) /
+        static_cast<double>(total_neurons);
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      Stratum st;
+      st.layer = l;
+      st.bit_class = static_cast<int>(c);
+      st.bit_lo = classes[c].lo;
+      st.bit_hi = classes[c].hi;
+      st.weight = neuron_share * static_cast<double>(classes[c].width()) /
+                  static_cast<double>(width);
+      out.push_back(st);
+    }
+  }
+  return out;
+}
+
+std::vector<bool> relu_adjacent_layers(FaultInjector& fi) {
+  std::vector<bool> out(static_cast<std::size_t>(fi.num_layers()), false);
+  for (nn::Module* m : fi.model().modules()) {
+    if (m->kind() != "Sequential") continue;
+    const std::vector<nn::Module*> children = m->children();
+    for (std::size_t i = 0; i + 1 < children.size(); ++i) {
+      if (children[i + 1]->kind() != "ReLU") continue;
+      for (std::int64_t l = 0; l < fi.num_layers(); ++l) {
+        if (&fi.layer(l) == children[i]) {
+          out[static_cast<std::size_t>(l)] = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t stratified_fingerprint(const StratifiedCampaignConfig& config,
+                                     std::string_view context) {
+  // Reuses campaign_fingerprint for the base fields, with the stratified
+  // knobs folded into the context so a uniform checkpoint (whose prefix is
+  // "classification|...") can never resume a stratified run or vice versa.
+  std::ostringstream os;
+  os << "stratified|hw=" << config.target_half_width
+     << "|prune=" << (config.prune ? 1 : 0) << "|ctx=" << context;
+  CampaignConfig base = config.base;
+  base.error_model = single_bit_flip(-1);  // the model the sampler imposes
+  return campaign_fingerprint(base, os.str());
+}
+
+bool prune_verify_env_enabled() {
+  const char* env = std::getenv("PFI_PRUNE_VERIFY");
+  if (env == nullptr || *env == '\0') return false;
+  const std::string text(env);
+  PFI_CHECK(text == "0" || text == "1")
+      << "PFI_PRUNE_VERIFY must be '0' or '1', got '" << text << "'";
+  return text == "1";
+}
+
+StratifiedResult run_stratified_campaign(FaultInjector& fi,
+                                         const data::SyntheticDataset& ds,
+                                         const StratifiedCampaignConfig& config) {
+  const CampaignConfig& base = config.base;
+  PFI_CHECK(base.trials > 0) << "stratified campaign trials=" << base.trials;
+  PFI_CHECK(base.batch_size >= 1 && base.batch_size <= fi.config().batch_size)
+      << "stratified campaign batch_size " << base.batch_size
+      << " exceeds injector batch size " << fi.config().batch_size;
+  PFI_CHECK(base.injections_per_image >= 1)
+      << "stratified campaign injections_per_image "
+      << base.injections_per_image;
+  PFI_CHECK(base.threads >= 0)
+      << "stratified campaign threads=" << base.threads;
+  PFI_CHECK(base.attempt_cap >= 0)
+      << "stratified campaign attempt_cap=" << base.attempt_cap;
+  PFI_CHECK(!base.one_fault_per_layer)
+      << "stratified campaigns sample one fault per trial; "
+         "one_fault_per_layer is the uniform runner's mode";
+  PFI_CHECK(config.target_half_width >= 0.0 && config.target_half_width < 1.0)
+      << "target_half_width " << config.target_half_width
+      << " must be in [0, 1)";
+
+  fi.model().eval();
+  const std::vector<Stratum> strata = make_strata(fi, base.layer, fi.dtype());
+  const std::size_t S = strata.size();
+  const auto trials_budget = static_cast<std::uint64_t>(base.trials);
+  const double target = config.target_half_width;
+
+  // Budget mode (target == 0): each stratum owns its proportional share of
+  // the trial budget, allocated exactly. CI mode: any stratum may spend up
+  // to the whole budget — the CI rule, not the allocation, decides where
+  // trials go — with a global budget backstop at wave boundaries.
+  std::vector<std::uint64_t> caps;
+  if (target > 0.0) {
+    caps.assign(S, trials_budget);
+  } else {
+    caps = allocate_caps(trials_budget, strata);
+  }
+  std::vector<std::uint64_t> attempt_caps(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    attempt_caps[s] = base.attempt_cap > 0
+                          ? static_cast<std::uint64_t>(base.attempt_cap)
+                          : 100 + caps[s] * 1000;
+  }
+  const std::vector<bool> relu_adj = relu_adjacent_layers(fi);
+  std::vector<bool> prunable(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    prunable[s] = config.prune &&
+                  relu_adj[static_cast<std::size_t>(strata[s].layer)];
+  }
+
+  std::vector<StratumCheckpoint> ck(S);
+  std::uint64_t wave_index = 0;
+  if (base.checkpoint != nullptr) {
+    const auto& saved = base.checkpoint->strata();
+    if (!saved.empty()) {
+      PFI_CHECK(saved.size() == S)
+          << "checkpoint holds " << saved.size() << " strata but this "
+          << "campaign has " << S << " — refusing to resume";
+      ck = saved;
+    } else {
+      PFI_CHECK(base.checkpoint->result().trials == 0 &&
+                base.checkpoint->next_unit() == 0)
+          << "checkpoint has progress but no stratum states — it was not "
+             "written by a stratified campaign";
+    }
+    wave_index = base.checkpoint->next_unit();
+  }
+
+  const auto pooled = [&]() {
+    CampaignResult r;
+    for (std::size_t s = 0; s < S; ++s) {
+      r.trials += ck[s].trials;
+      r.skipped += ck[s].skipped;
+      r.corruptions += ck[s].corruptions;
+      r.non_finite += ck[s].non_finite;
+      if ((ck[s].flags & kGaveUpFlag) != 0) r.gave_up = 1;
+    }
+    return r;
+  };
+  const auto assemble = [&]() {
+    StratifiedResult result;
+    result.totals = pooled();
+    result.strata.reserve(S);
+    for (std::size_t s = 0; s < S; ++s) {
+      StratumOutcome o;
+      o.stratum = strata[s];
+      o.counts.trials = ck[s].trials;
+      o.counts.skipped = ck[s].skipped;
+      o.counts.corruptions = ck[s].corruptions;
+      o.counts.non_finite = ck[s].non_finite;
+      o.counts.gave_up = (ck[s].flags & kGaveUpFlag) != 0 ? 1 : 0;
+      o.pruned = ck[s].pruned;
+      o.executed = ck[s].executed;
+      o.attempts = ck[s].attempts;
+      o.stopped_early = (ck[s].flags & kStoppedEarlyFlag) != 0;
+      o.gave_up = (ck[s].flags & kGaveUpFlag) != 0;
+      result.strata.push_back(o);
+      result.pruned += ck[s].pruned;
+      result.golden_passes += ck[s].attempts;
+      result.faulty_passes += ck[s].executed;
+    }
+    return result;
+  };
+
+  if (base.checkpoint != nullptr && base.checkpoint->done()) {
+    return assemble();
+  }
+
+  // Count of strata with at least one observed corruption — the S_pos the
+  // CI closure rule splits its quadrature budget over. A pure function of
+  // the folded counters, recomputed at every wave boundary.
+  const auto count_positive = [&]() {
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < S; ++s) n += ck[s].corruptions > 0 ? 1 : 0;
+    return n;
+  };
+
+  // The pooled interval already meets the target: stop everything. The
+  // per-stratum rule splits the budget conservatively, so the pooled
+  // half-width usually undershoots the target well before every stratum
+  // closes individually; checking the pooled interval directly at wave
+  // boundaries (a pure function of the counters) ends the campaign at the
+  // requested precision instead of over-sampling to the per-stratum split.
+  const auto pooled_target_met = [&]() {
+    if (!(target > 0.0)) return false;
+    std::vector<StratumEstimate> est(S);
+    for (std::size_t s = 0; s < S; ++s) {
+      est[s] = {strata[s].weight, ck[s].corruptions, ck[s].trials};
+    }
+    return stratified_interval(est, kZ99).half_width() <= target;
+  };
+
+  // A stratum is open while every closure rule still permits more units.
+  // Each term is a pure function of the folded counters, so the predicate
+  // gives the same answer when re-evaluated after a resume.
+  const auto open = [&](std::size_t s, std::uint64_t pooled_trials,
+                        std::size_t s_pos, bool global_met) {
+    if (ck[s].trials >= caps[s]) return false;
+    if (ck[s].attempts >= attempt_caps[s]) return false;
+    if (target > 0.0) {
+      if (pooled_trials >= trials_budget) return false;  // budget backstop
+      if (global_met) return false;
+      if (ci_closed(strata[s], ck[s], s_pos, target)) return false;
+    }
+    return true;
+  };
+  const auto refresh_flags = [&]() {
+    const std::size_t s_pos = count_positive();
+    const bool global_met = pooled_target_met();
+    for (std::size_t s = 0; s < S; ++s) {
+      ck[s].flags = stratum_flags(strata[s], ck[s], caps[s], attempt_caps[s],
+                                  target, s_pos, global_met);
+    }
+  };
+
+  const std::int64_t max_yield = base.batch_size * base.injections_per_image;
+  const auto compose_wave = [&]() {
+    std::vector<Unit> units;
+    std::uint64_t pooled_trials = 0;
+    std::uint64_t seq = 0;
+    for (std::size_t s = 0; s < S; ++s) {
+      pooled_trials += ck[s].trials;
+      seq += ck[s].attempts;
+    }
+    const std::size_t s_pos = count_positive();
+    const bool global_met = pooled_target_met();
+    for (std::size_t s = 0; s < S; ++s) {
+      if (!open(s, pooled_trials, s_pos, global_met)) continue;
+      // Size this stratum's quantum from its observed trial yield (first
+      // attempt: assume the maximum, under- rather than over-committing).
+      const std::uint64_t remaining = caps[s] - ck[s].trials;
+      const double yield =
+          ck[s].attempts > 0
+              ? std::max(0.25, static_cast<double>(ck[s].trials) /
+                                   static_cast<double>(ck[s].attempts))
+              : static_cast<double>(max_yield);
+      auto q = static_cast<std::uint64_t>(
+          std::ceil(static_cast<double>(remaining) / yield));
+      q = std::clamp<std::uint64_t>(q, 1, kMaxQuantum);
+      q = std::min(q, attempt_caps[s] - ck[s].attempts);
+      for (std::uint64_t j = 0; j < q; ++j) {
+        units.push_back({s, ck[s].attempts + j, 0});
+      }
+    }
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      units[i].seq = seq + static_cast<std::uint64_t>(i);
+    }
+    return units;
+  };
+
+  // Fold one unit, honouring the stratum's trial cap exactly as the uniform
+  // merge honours the campaign target: reps past the cap drop whole, a
+  // rep's scored rows are consumed only up to it. Merged strictly in unit
+  // order, so the folded state (and the trace stream) is identical however
+  // the units were sharded.
+  std::uint64_t pooled_trials = pooled().trials;
+  const bool tracing = base.trace != nullptr;
+  const auto merge_unit = [&](const Unit& unit, UnitOutcome& out) {
+    StratumCheckpoint& st = ck[unit.stratum];
+    st.skipped += out.skipped;
+    ++st.attempts;
+    for (auto& rep : out.reps) {
+      if (st.trials >= caps[unit.stratum]) break;
+      if (rep.non_finite) ++st.non_finite;
+      if (tracing) {
+        for (trace::InjectionEvent& ev : rep.events) ev.trial = pooled_trials;
+        base.trace->append(std::move(rep.events));
+        if (base.trace->capture_logits() && rep.logits.defined()) {
+          base.trace->append_logits(
+              {rep.seq, rep.rep_index, std::move(rep.logits)});
+        }
+      }
+      for (const std::uint8_t corrupted : rep.corrupted) {
+        ++st.trials;
+        ++pooled_trials;
+        st.corruptions += corrupted;
+        if (st.trials >= caps[unit.stratum]) break;
+      }
+      if (rep.pruned) {
+        ++st.pruned;
+      } else {
+        ++st.executed;
+      }
+    }
+  };
+
+  WaveCommitter committer(base.checkpoint, base.trace);
+  refresh_flags();
+
+  const std::int64_t threads = detail::resolve_threads(
+      base.threads, std::max<std::int64_t>(1, base.trials / 4));
+  WorkerSet set(fi, threads);
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(static_cast<std::size_t>(threads));
+
+  while (true) {
+    const std::vector<Unit> units = compose_wave();
+    if (units.empty()) break;
+
+    std::vector<UnitOutcome> outcomes(units.size());
+    if (threads == 1) {
+      for (std::size_t i = 0; i < units.size(); ++i) {
+        const Unit& u = units[i];
+        outcomes[i] = run_stratum_attempt(fi, ds, config, strata[u.stratum],
+                                          u.stratum, prunable[u.stratum], u);
+      }
+    } else {
+      pool->run(static_cast<std::size_t>(threads), [&](std::size_t g) {
+        // Worker g owns replica g and the wave's units congruent to g, so
+        // no injector is touched by two tasks.
+        for (std::size_t i = g; i < units.size();
+             i += static_cast<std::size_t>(threads)) {
+          const Unit& u = units[i];
+          outcomes[i] =
+              run_stratum_attempt(*set.workers[g], ds, config,
+                                  strata[u.stratum], u.stratum,
+                                  prunable[u.stratum], u);
+        }
+      });
+    }
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      merge_unit(units[i], outcomes[i]);
+    }
+    refresh_flags();
+    ++wave_index;
+
+    bool done = true;
+    std::uint64_t now_pooled = 0;
+    for (std::size_t s = 0; s < S; ++s) now_pooled += ck[s].trials;
+    const std::size_t now_pos = count_positive();
+    const bool now_met = pooled_target_met();
+    for (std::size_t s = 0; s < S && done; ++s) {
+      if (open(s, now_pooled, now_pos, now_met)) done = false;
+    }
+    committer.commit(pooled(), wave_index, done, ck);
+    if (done) break;
+  }
+  return assemble();
+}
+
+}  // namespace pfi::core

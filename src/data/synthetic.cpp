@@ -51,10 +51,12 @@ Tensor SyntheticDataset::render(std::int64_t label, Rng& rng) const {
   const auto c = spec_.channels, h = spec_.height, w = spec_.width;
   Tensor img({1, c, h, w});
 
-  // Per-sample jitter keeps the task non-trivial.
-  const float phase = st.phase + rng.uniform(-0.8f, 0.8f);
-  const float cx = st.blob_cx + rng.uniform(-0.08f, 0.08f);
-  const float cy = st.blob_cy + rng.uniform(-0.08f, 0.08f);
+  // Per-sample jitter keeps the task non-trivial. The draws happen
+  // unconditionally so spec_.jitter never changes RNG consumption (jitter 1
+  // multiplies by exactly 1.0f: bit-identical to the unscaled generator).
+  const float phase = st.phase + spec_.jitter * rng.uniform(-0.8f, 0.8f);
+  const float cx = st.blob_cx + spec_.jitter * rng.uniform(-0.08f, 0.08f);
+  const float cy = st.blob_cy + spec_.jitter * rng.uniform(-0.08f, 0.08f);
   const float inv_sigma2 =
       1.0f / (2.0f * st.blob_sigma * st.blob_sigma + 1e-6f);
 

@@ -8,11 +8,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/error.hpp"
 
 namespace pfi {
+
+/// Normal quantile for a 99% two-sided confidence interval (the level the
+/// paper quotes for its Fig. 4 error bars).
+inline constexpr double kZ99 = 2.5758293035489004;
 
 /// A binomial proportion with its Wilson score confidence interval.
 struct Proportion {
@@ -27,7 +32,7 @@ struct Proportion {
 /// Wilson score interval for k successes in n trials at confidence given by
 /// normal quantile z (z = 2.5758 for 99%, 1.96 for 95%).
 inline Proportion wilson_interval(std::uint64_t k, std::uint64_t n,
-                                  double z = 2.5758293035489004) {
+                                  double z = kZ99) {
   PFI_CHECK(n > 0) << "wilson_interval requires n > 0";
   PFI_CHECK(k <= n) << "successes " << k << " exceed trials " << n;
   const double p = static_cast<double>(k) / static_cast<double>(n);
@@ -39,8 +44,84 @@ inline Proportion wilson_interval(std::uint64_t k, std::uint64_t n,
       (z / denom) * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
   Proportion out;
   out.value = p;
-  out.lo = std::max(0.0, center - margin);
-  out.hi = std::min(1.0, center + margin);
+  // Pin the exact edges: zero successes prove nothing below 0 and k == n
+  // nothing above 1, but center -/+ margin leaves ~1e-17 floating-point
+  // residue there, which breaks lo == 0 / hi == 1 comparisons downstream.
+  out.lo = k == 0 ? 0.0 : std::max(0.0, center - margin);
+  out.hi = k == n ? 1.0 : std::min(1.0, center + margin);
+  return out;
+}
+
+/// One stratum's evidence for the stratified estimator below: `weight` is
+/// the stratum's probability mass under the uniform sampler (weights over a
+/// partition sum to 1), `corruptions`/`trials` its binomial counts.
+struct StratumEstimate {
+  double weight = 0.0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t trials = 0;
+};
+
+/// Stratified estimate of a proportion over a partition of the fault space:
+/// point estimate sum_s w_s * k_s/n_s, with a pooled confidence interval
+/// built from the per-stratum Wilson intervals (strata are independent
+/// binomials). Two regimes are pooled differently:
+///
+/// * Strata with OBSERVED CORRUPTIONS (k > 0) combine in quadrature, each
+///   contributing the LARGER half of its Wilson interval, max(value - lo,
+///   hi - value), on BOTH sides. Using the raw asymmetric halves
+///   under-covers: small-n binomials are skewed, so several strata
+///   overshooting simultaneously (each k = 1 where E[k] < 1) is common,
+///   and their small lower margins shrink further in quadrature — realized
+///   coverage drops well below nominal (pinned by test_sampling.cpp's
+///   exhaustive-truth coverage harness).
+///
+/// * ALL-CLEAR strata (k = 0) pool jointly instead of per-stratum: the
+///   exact upper confidence bound for sum_{k=0} w_s p_s given zero hits in
+///   every one is max_s w_s * (1 - alpha^(1/n_s)) — the joint constraint
+///   prod (1-p_s)^{n_s} >= alpha is convex, so the weighted sum is
+///   maximized by spending the whole tail budget on one stratum. We use
+///   the slightly wider max_s w_s * wilson_hi(0, n_s) for consistency with
+///   the rest of the file. This term adds LINEARLY to the upper bound and
+///   does not appear in the lower bound at all (an all-clear stratum
+///   contributes 0 to the point estimate and its true mean cannot sit
+///   below that). Pooling k = 0 strata per-stratum in quadrature instead
+///   would charge each one its own z^2/n penalty — a sqrt(S) inflation
+///   that makes a stratified all-clear interval far wider than the uniform
+///   Wilson interval on the same budget, which is statistically backwards:
+///   proportionally-allocated all-clear strata ARE a uniform sample of
+///   their union.
+///
+/// A stratum with ZERO sampled trials carries no evidence at all, so it
+/// degenerates to the vacuous bound via the same max term (wilson_hi(0, 0)
+/// is taken as 1): a lone unsampled stratum yields exactly [0, 1],
+/// mirroring CampaignResult::corruption_probability()'s trials == 0
+/// handling.
+///
+/// The adaptive stopping rule (core/sampling.cpp ci_closed) budgets these
+/// same two terms, so "every stratum closed" implies a pooled half-width
+/// at or under the configured target.
+inline Proportion stratified_interval(std::span<const StratumEstimate> strata,
+                                      double z = kZ99) {
+  PFI_CHECK(!strata.empty()) << "stratified_interval over zero strata";
+  double value = 0.0;
+  double var = 0.0;          // quadrature over corrupting strata
+  double clear_margin = 0.0; // joint bound over all-clear strata
+  for (const StratumEstimate& s : strata) {
+    PFI_CHECK(s.weight >= 0.0) << "stratum weight " << s.weight;
+    if (s.corruptions == 0) {
+      const double hi = s.trials == 0 ? 1.0 : wilson_interval(0, s.trials, z).hi;
+      clear_margin = std::max(clear_margin, s.weight * hi);
+      continue;
+    }
+    const Proportion p = wilson_interval(s.corruptions, s.trials, z);
+    value += s.weight * p.value;
+    const double margin = std::max(p.value - p.lo, p.hi - p.value);
+    var += s.weight * s.weight * margin * margin;
+  }
+  Proportion out;
+  out.value = value;
+  out.lo = std::max(0.0, value - std::sqrt(var));
+  out.hi = std::min(1.0, value + std::sqrt(var) + clear_margin);
   return out;
 }
 

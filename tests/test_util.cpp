@@ -219,6 +219,103 @@ TEST(Stats, WilsonValidation) {
   EXPECT_THROW(wilson_interval(5, 4), Error);
 }
 
+// Property: at a fixed success ratio, the interval narrows strictly as the
+// trial count grows (more evidence can only tighten the error bar).
+TEST(Stats, WilsonWidthMonotoneInTrials) {
+  for (const double z : {1.959964, kZ99}) {
+    double prev = 1.0;
+    for (std::uint64_t n : {10u, 100u, 1000u, 10000u, 100000u}) {
+      const auto p = wilson_interval(n / 5, n, z);
+      EXPECT_LT(p.half_width(), prev) << "n=" << n << " z=" << z;
+      prev = p.half_width();
+    }
+  }
+}
+
+// Property: success/failure symmetry. Counting failures instead of
+// successes mirrors the interval around 1/2: lo(k, n) == 1 - hi(n-k, n).
+TEST(Stats, WilsonSuccessFailureSymmetry) {
+  for (std::uint64_t n : {1u, 2u, 7u, 64u, 1000u}) {
+    for (std::uint64_t k = 0; k <= n; k = k * 2 + 1) {
+      const auto p = wilson_interval(k, n);
+      const auto q = wilson_interval(n - k, n);
+      EXPECT_NEAR(p.lo, 1.0 - q.hi, 1e-12) << "k=" << k << " n=" << n;
+      EXPECT_NEAR(p.hi, 1.0 - q.lo, 1e-12) << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+// Property: the interval always contains the point estimate k/n and stays
+// inside [0, 1].
+TEST(Stats, WilsonContainsPointEstimate) {
+  for (std::uint64_t n : {1u, 3u, 12u, 64u, 4096u}) {
+    for (std::uint64_t k = 0; k <= n; k += std::max<std::uint64_t>(1, n / 7)) {
+      const auto p = wilson_interval(k, n);
+      EXPECT_LE(p.lo, p.value) << "k=" << k << " n=" << n;
+      EXPECT_GE(p.hi, p.value) << "k=" << k << " n=" << n;
+      EXPECT_GE(p.lo, 0.0);
+      EXPECT_LE(p.hi, 1.0);
+    }
+  }
+}
+
+// Edges: k = 0 pins the lower bound to exactly 0, k = n pins the upper
+// bound to exactly 1, and the degenerate n = 1 interval is near-vacuous but
+// still ordered.
+TEST(Stats, WilsonEdgeCases) {
+  for (std::uint64_t n : {1u, 10u, 1000u}) {
+    const auto zero = wilson_interval(0, n);
+    EXPECT_EQ(zero.lo, 0.0) << "n=" << n;
+    EXPECT_GT(zero.hi, 0.0) << "n=" << n;
+    const auto all = wilson_interval(n, n);
+    EXPECT_EQ(all.hi, 1.0) << "n=" << n;
+    EXPECT_LT(all.lo, 1.0) << "n=" << n;
+  }
+  const auto single = wilson_interval(1, 1);
+  EXPECT_EQ(single.value, 1.0);
+  EXPECT_GT(single.hi - single.lo, 0.5);  // one trial proves almost nothing
+}
+
+// A single full-weight stratum must agree with the plain Wilson interval on
+// the point estimate, and its pooled interval must CONTAIN the Wilson one
+// (the pooled margin is the larger Wilson half applied to both sides).
+TEST(Stats, StratifiedSingleStratumContainsWilson) {
+  const StratumEstimate s{.weight = 1.0, .corruptions = 3, .trials = 40};
+  const auto pooled = stratified_interval({&s, 1});
+  const auto w = wilson_interval(3, 40);
+  EXPECT_DOUBLE_EQ(pooled.value, w.value);
+  EXPECT_LE(pooled.lo, w.lo);
+  EXPECT_GE(pooled.hi, w.hi);
+}
+
+// Regression: a stratum with zero sampled trials contributes the vacuous
+// [0, 1] interval, not a silent nothing — a lone unsampled stratum yields
+// exactly [0, 1].
+TEST(Stats, StratifiedZeroTrialStratumIsVacuous) {
+  const StratumEstimate s{.weight = 1.0, .corruptions = 0, .trials = 0};
+  const auto pooled = stratified_interval({&s, 1});
+  EXPECT_EQ(pooled.value, 0.0);
+  EXPECT_EQ(pooled.lo, 0.0);
+  EXPECT_EQ(pooled.hi, 1.0);
+}
+
+// Regression: unsampled mass widens the UPPER bound only (its point
+// contribution is 0 and the true mean cannot sit below that), and widens it
+// strictly more than a well-sampled all-clear stratum would.
+TEST(Stats, StratifiedZeroTrialWidensUpperBoundOnly) {
+  const StratumEstimate sampled{.weight = 0.5, .corruptions = 5, .trials = 100};
+  const StratumEstimate unsampled{.weight = 0.5, .corruptions = 0, .trials = 0};
+  const StratumEstimate clear{.weight = 0.5, .corruptions = 0, .trials = 1000};
+  const StratumEstimate with_hole[] = {sampled, unsampled};
+  const StratumEstimate without[] = {sampled, clear};
+  const auto hole = stratified_interval(with_hole);
+  const auto full = stratified_interval(without);
+  EXPECT_DOUBLE_EQ(hole.value, full.value);  // both contribute 0 to the mean
+  EXPECT_GT(hole.hi, full.hi);               // missing evidence costs upside
+  EXPECT_GE(hole.lo, full.lo);               // but never fakes a lower bound
+  EXPECT_THROW(stratified_interval({}), Error);
+}
+
 TEST(Stats, RunningStatMatchesClosedForm) {
   RunningStat st;
   for (double v : {1.0, 2.0, 3.0, 4.0}) st.add(v);
