@@ -16,6 +16,12 @@
 // counts. PFI_CAMPAIGN_CHECKPOINT=1 additionally attaches a per-wave durable
 // checkpointer (plus a streaming trace file when tracing is on), so the
 // crash-safety machinery's fsync cost shows up in the same trials/s table.
+// PFI_SHARDS=S runs every row through the sharded fabric (core/shard.hpp):
+// S in-process shards + deterministic merge, identity-checked against the
+// SAME single-thread unsharded reference — so the table shows the fabric's
+// record/replay overhead AND proves shard-count x thread-count byte
+// identity in one run. Shard files live under campaign_scaling-shards/ and
+// are removed per row.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +31,7 @@
 
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
+#include "core/shard.hpp"
 #include "models/zoo.hpp"
 #include "util/thread_pool.hpp"
 
@@ -43,9 +50,15 @@ int main() {
   const std::int64_t max_threads = env_int("PFI_MAX_THREADS", 8);
   const bool tracing = env_int("PFI_CAMPAIGN_TRACE", 0) != 0;
   const bool checkpointing = env_int("PFI_CAMPAIGN_CHECKPOINT", 0) != 0;
+  const std::int64_t shards = env_int("PFI_SHARDS", 1);
   if (tracing && !trace::kEnabled) {
     std::printf("PFI_CAMPAIGN_TRACE=1 but tracing is compiled out "
                 "(PFI_TRACE=OFF)\n");
+    return 1;
+  }
+  if (shards > 1 && checkpointing) {
+    std::printf("PFI_SHARDS conflicts with PFI_CAMPAIGN_CHECKPOINT — shard "
+                "runs manage their own checkpoints\n");
     return 1;
   }
 
@@ -61,9 +74,9 @@ int main() {
       model, {.input_shape = {3, spec.height, spec.width}, .batch_size = 4});
 
   std::printf("=== Campaign scaling: neuron campaign on resnet18 (%lld "
-              "trials, trace %s, checkpoint %s) ===\n",
+              "trials, trace %s, checkpoint %s, shards %lld) ===\n",
               static_cast<long long>(trials), tracing ? "ON" : "off",
-              checkpointing ? "ON" : "off");
+              checkpointing ? "ON" : "off", static_cast<long long>(shards));
   std::printf("hardware threads: %zu\n\n",
               util::ThreadPool::hardware_threads());
   std::printf("%8s %12s %12s %10s %12s\n", "threads", "seconds", "trials/s",
@@ -72,6 +85,28 @@ int main() {
   core::CampaignResult reference;
   std::string reference_jsonl;
   double base_seconds = 0.0;
+  bool have_reference = false;
+  if (shards > 1) {
+    // Unsharded single-thread reference: every sharded row below must
+    // reproduce it byte-for-byte, which demonstrates sharded == unsharded
+    // (not merely that sharded rows agree with each other).
+    trace::TraceSink ref_sink;
+    core::CampaignConfig rcfg;
+    rcfg.trials = trials;
+    rcfg.error_model = core::single_bit_flip();
+    rcfg.seed = 103;
+    rcfg.batch_size = 4;
+    rcfg.injections_per_image = 4;
+    rcfg.threads = 1;
+    if (tracing) rcfg.trace = &ref_sink;
+    reference = core::run_classification_campaign(fi, ds, rcfg);
+    reference_jsonl =
+        tracing ? trace::trace_to_jsonl(ref_sink.events()) : std::string();
+    have_reference = true;
+    std::printf("(unsharded 1-thread reference computed; each row below is "
+                "%lld shards + merge)\n\n",
+                static_cast<long long>(shards));
+  }
   for (std::int64_t threads = 1; threads <= max_threads; threads *= 2) {
     trace::TraceSink sink;
     core::CampaignConfig cfg;
@@ -93,7 +128,27 @@ int main() {
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto r = core::run_classification_campaign(fi, ds, cfg);
+    core::CampaignResult r;
+    if (shards > 1) {
+      // Fresh shard files per row (the fingerprint ignores the thread
+      // count, so reuse would resume the previous row's finished shards
+      // and time only the merge).
+      const std::string dir =
+          "campaign_scaling-shards/t" + std::to_string(threads);
+      for (std::int64_t k = 0; k < shards; ++k) {
+        const core::ShardPaths sp = core::shard_paths(dir, k, shards);
+        std::remove(sp.checkpoint.c_str());
+        std::remove(sp.log.c_str());
+        std::remove(sp.manifest.c_str());
+      }
+      core::CampaignConfig scfg = cfg;
+      scfg.trace = nullptr;  // events flow through the merge sink instead
+      r = core::run_sharded_classification(fi, ds, scfg, shards, dir,
+                                           tracing ? &sink : nullptr,
+                                           "campaign_scaling");
+    } else {
+      r = core::run_classification_campaign(fi, ds, cfg);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     const std::string jsonl =
@@ -104,8 +159,10 @@ int main() {
     }
 
     if (threads == 1) {
-      reference = r;
-      reference_jsonl = jsonl;
+      if (!have_reference) {
+        reference = r;
+        reference_jsonl = jsonl;
+      }
       base_seconds = seconds;
     }
     const bool identical = r.trials == reference.trials &&

@@ -26,6 +26,12 @@
 // at PREFIX-<network>.ckpt after every campaign wave; with PFI_RESUME=1 an
 // interrupted sweep continues where it stopped, reproducing the
 // uninterrupted numbers exactly.
+// PFI_SHARDS=S splits each network's campaign across S shards (in-process,
+// shard files under PFI_SHARD_DIR, default fig4-shards) and merges — the
+// reported numbers are byte-identical to the unsharded sweep (see
+// core/shard.hpp). Mutually exclusive with PFI_CHECKPOINT (shards keep
+// their own checkpoints) and with a PFI_CI_TARGET stratified run (CI-target
+// campaigns couple strata and cannot shard).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +42,7 @@
 #include "core/checkpoint.hpp"
 #include "core/report.hpp"
 #include "core/sampling.hpp"
+#include "core/shard.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
 
@@ -81,6 +88,14 @@ int main() {
   const bool prefix_cache = core::prefix_cache_env_enabled(true);
   const bool stratified = stratified_sampler_enabled();
   const double ci_target = env_double("PFI_CI_TARGET", 0.0);
+  const std::int64_t shards = env_int("PFI_SHARDS", 1);
+  std::string shard_dir = env_str("PFI_SHARD_DIR");
+  if (shard_dir.empty()) shard_dir = "fig4-shards";
+  if (shards > 1 && !checkpoint_prefix.empty()) {
+    std::fprintf(stderr, "PFI_SHARDS conflicts with PFI_CHECKPOINT — shard "
+                         "runs manage their own checkpoints\n");
+    return 2;
+  }
 
   data::SyntheticDataset ds(data::imagenet_like());
   const auto spec = ds.spec();
@@ -147,7 +162,23 @@ int main() {
     core::CampaignResult r;
     Proportion p{};
     std::string efficiency;
-    if (stratified) {
+    if (shards > 1) {
+      // Sharded sweep: per-network shard files, deterministic merge. The
+      // numbers are byte-identical to the unsharded branches below.
+      const std::string dir = shard_dir + "/" + name;
+      if (stratified) {
+        scfg.base = cfg;
+        const core::StratifiedResult sr = core::run_sharded_stratified(
+            fi, ds, scfg, shards, dir, nullptr, "fig4|" + name);
+        r = sr.totals;
+        p = sr.estimate();
+        efficiency = core::stratified_efficiency_footer(sr);
+      } else {
+        r = core::run_sharded_classification(fi, ds, cfg, shards, dir,
+                                             nullptr, "fig4|" + name);
+        p = r.corruption_probability();
+      }
+    } else if (stratified) {
       scfg.base = cfg;  // picks up the checkpoint pointer
       const core::StratifiedResult sr =
           core::run_stratified_campaign(fi, ds, scfg);

@@ -1,14 +1,9 @@
 // pfi_cli — run a fault-injection campaign from the command line, no C++
 // required. The closest analogue to `import pytorchfi; ...` scripting.
+// Argument parsing lives in core/cli.hpp (unit-tested in
+// tests/test_cli.cpp); this file is only the I/O shell around it.
 //
-// Usage:
-//   pfi_cli [--model NAME] [--dataset cifar10|cifar100|imagenet]
-//           [--dtype fp32|fp16|int8] [--error MODEL] [--trials N]
-//           [--layer L] [--per-layer] [--epochs N] [--seed S]
-//           [--threads N] [--save PATH] [--load PATH] [--list-models]
-//           [--trace PATH] [--profile] [--checkpoint PATH] [--resume]
-//           [--no-prefix-cache] [--sampler uniform|stratified]
-//           [--ci-target HW] [--no-prune]
+// Run `pfi_cli --help` for the flag list.
 //
 // --no-prefix-cache disables golden-prefix activation reuse (a pure speed
 // optimization; results are byte-identical either way — this flag exists
@@ -22,9 +17,6 @@
 // (a pure execution-count knob). PFI_PRUNE_VERIFY=1 re-executes every
 // pruned injection and aborts if the pruner was ever wrong.
 //
-// Error models: bitflip | bitflip:BIT | random | random:LO:HI | zero |
-//               const:V | noise:MAG
-//
 // --trace PATH writes one JSON object per injection (JSONL);
 // --profile prints per-layer activation stats and hook overhead.
 // --checkpoint PATH makes the campaign crash-safe: state is persisted
@@ -33,217 +25,86 @@
 // --resume to continue an interrupted campaign; the finished run's CSV-able
 // counters and trace JSONL are byte-identical to an uninterrupted run.
 //
+// Sharding (core/shard.hpp): --shard-dir DIR --shards S splits the
+// campaign's attempt space across S shards and merges deterministically —
+// the merged counts, CSV, and trace are byte-identical to a single-process
+// run. Without --shard-index the shards run in-process, one after another
+// (useful for testing and for memory-bound models); with --shard-index K
+// this process runs ONLY shard K and exits — pfi_launch spawns S such
+// workers in parallel and merges, or run them by hand and finish with
+// pfi_merge.
+//
 // Examples:
 //   pfi_cli --model resnet18 --dtype int8 --error bitflip --trials 2000
 //   pfi_cli --model vgg19 --dataset imagenet --error random:-100:100
-//   pfi_cli --model squeezenet --error const:10000 --layer 3
 //   pfi_cli --trials 100000 --checkpoint run.ckpt --trace run.jsonl --resume
+//   pfi_cli --trials 100000 --shard-dir shards --shards 4 --shard-index 0
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
+#include "core/cli.hpp"
 #include "core/profile.hpp"
 #include "core/report.hpp"
 #include "core/sampling.hpp"
+#include "core/shard.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
-#include "util/parse.hpp"
 
 namespace {
 
 using namespace pfi;
 
-struct CliOptions {
-  std::string model = "resnet18";
-  std::string dataset = "cifar10";
-  std::string dtype = "fp32";
-  std::string error;
-  std::string sampler = "uniform";
-  double ci_target = 0.0;
-  bool prune = true;
-  std::int64_t trials = 500;
-  std::int64_t layer = -1;
-  bool per_layer = false;
-  std::int64_t epochs = 3;
-  std::uint64_t seed = 1;
-  std::int64_t threads = 0;  // 0 = hardware concurrency
-  std::string save_path;
-  std::string load_path;
-  std::string trace_path;
-  std::string checkpoint_path;
-  bool resume = false;
-  bool profile = false;
-  bool prefix_cache = true;
-};
-
-[[noreturn]] void usage_and_exit(const char* msg) {
-  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
-  std::fprintf(stderr,
-               "usage: pfi_cli [--model NAME] [--dataset cifar10|cifar100|"
-               "imagenet]\n"
-               "               [--dtype fp32|fp16|int8] [--error MODEL]"
-               " [--trials N]\n"
-               "               [--layer L] [--per-layer] [--epochs N]"
-               " [--seed S]\n"
-               "               [--threads N] [--save PATH] [--load PATH]"
-               " [--list-models]\n"
-               "               [--trace PATH] [--profile]"
-               " [--checkpoint PATH] [--resume]\n"
-               "               [--no-prefix-cache]"
-               " [--sampler uniform|stratified]\n"
-               "               [--ci-target HW] [--no-prune]\n"
-               "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
-               " zero | const:V | noise:MAG\n");
-  std::exit(msg == nullptr ? 0 : 2);
-}
-
-core::ErrorModel parse_error_model(const std::string& spec) {
-  const auto colon = spec.find(':');
-  const std::string head = spec.substr(0, colon);
-  std::vector<float> args;
-  for (std::size_t pos = colon; pos != std::string::npos;) {
-    const auto next = spec.find(':', pos + 1);
-    args.push_back(std::strtof(
-        spec.substr(pos + 1, next == std::string::npos ? next : next - pos - 1)
-            .c_str(),
-        nullptr));
-    pos = next;
-  }
-  if (head == "bitflip") {
-    return core::single_bit_flip(args.empty() ? -1
-                                              : static_cast<int>(args[0]));
-  }
-  if (head == "random") {
-    if (args.empty()) return core::random_value();
-    if (args.size() == 2) return core::random_value(args[0], args[1]);
-    usage_and_exit("random takes 0 or 2 arguments (random:LO:HI)");
-  }
-  if (head == "zero") return core::zero_value();
-  if (head == "const" && args.size() == 1) {
-    return core::constant_value(args[0]);
-  }
-  if (head == "noise" && args.size() == 1) {
-    return core::additive_noise(args[0]);
-  }
-  usage_and_exit(("unknown error model '" + spec + "'").c_str());
-}
-
-core::DType parse_dtype(const std::string& s) {
-  if (s == "fp32") return core::DType::kFloat32;
-  if (s == "fp16") return core::DType::kFloat16;
-  if (s == "int8") return core::DType::kInt8;
-  usage_and_exit(("unknown dtype '" + s + "'").c_str());
-}
-
 data::SyntheticSpec parse_dataset(const std::string& s) {
   if (s == "cifar10") return data::cifar10_like();
   if (s == "cifar100") return data::cifar100_like();
   if (s == "imagenet") return data::imagenet_like();
-  usage_and_exit(("unknown dataset '" + s + "'").c_str());
+  std::fprintf(stderr, "error: unknown dataset '%s'\n", s.c_str());
+  std::exit(2);
 }
 
-/// Strict numeric flag parsing: "--trials abc" used to atoll() to a silent
-/// 0-trial campaign and "--threads -3" passed straight through; now any
-/// non-numeric text, trailing junk, or out-of-range value is a usage error
-/// naming the flag.
-std::int64_t parse_int_flag(const char* flag, const char* text,
-                            std::int64_t lo, std::int64_t hi) {
-  const auto v = util::parse_int(text, lo, hi);
-  if (!v.has_value()) {
-    usage_and_exit((std::string(flag) + " expects an integer in [" +
-                    std::to_string(lo) + ", " + std::to_string(hi) +
-                    "], got '" + text + "'")
-                       .c_str());
+void print_results(const core::CampaignResult& r, const Proportion& p,
+                   std::int64_t requested_trials) {
+  std::printf("\nresults:\n");
+  std::printf("  injected trials      %llu\n",
+              static_cast<unsigned long long>(r.trials));
+  std::printf("  skipped (golden err) %llu\n",
+              static_cast<unsigned long long>(r.skipped));
+  std::printf("  corruptions          %llu\n",
+              static_cast<unsigned long long>(r.corruptions));
+  std::printf("  non-finite outputs   %llu\n",
+              static_cast<unsigned long long>(r.non_finite));
+  std::printf("  P(misclassification) %.4f%%  [99%% CI %.4f%%, %.4f%%]\n",
+              100.0 * p.value, 100.0 * p.lo, 100.0 * p.hi);
+  if (r.gave_up != 0) {
+    std::printf("  WARNING: gave up at the attempt cap — the numbers above "
+                "are PARTIAL (%llu of %lld requested trials)\n",
+                static_cast<unsigned long long>(r.trials),
+                static_cast<long long>(requested_trials));
   }
-  return *v;
-}
-
-std::uint64_t parse_uint_flag(const char* flag, const char* text) {
-  const auto v = util::parse_uint(text);
-  if (!v.has_value()) {
-    usage_and_exit((std::string(flag) +
-                    " expects an unsigned integer, got '" + text + "'")
-                       .c_str());
-  }
-  return *v;
-}
-
-CliOptions parse_args(int argc, char** argv) {
-  CliOptions opt;
-  auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage_and_exit("missing argument value");
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--help" || a == "-h") usage_and_exit(nullptr);
-    else if (a == "--list-models") {
-      for (const auto& n : models::model_names()) std::printf("%s\n", n.c_str());
-      std::exit(0);
-    }
-    else if (a == "--model") opt.model = need_value(i);
-    else if (a == "--dataset") opt.dataset = need_value(i);
-    else if (a == "--dtype") opt.dtype = need_value(i);
-    else if (a == "--error") opt.error = need_value(i);
-    else if (a == "--trials")
-      opt.trials = parse_int_flag("--trials", need_value(i), 1, 1'000'000'000);
-    else if (a == "--layer")
-      opt.layer = parse_int_flag("--layer", need_value(i), -1, 1'000'000);
-    else if (a == "--per-layer") opt.per_layer = true;
-    else if (a == "--epochs")
-      opt.epochs = parse_int_flag("--epochs", need_value(i), 0, 1'000'000);
-    else if (a == "--seed") opt.seed = parse_uint_flag("--seed", need_value(i));
-    else if (a == "--threads")
-      opt.threads = parse_int_flag("--threads", need_value(i), 0, 4096);
-    else if (a == "--save") opt.save_path = need_value(i);
-    else if (a == "--load") opt.load_path = need_value(i);
-    else if (a == "--trace") opt.trace_path = need_value(i);
-    else if (a == "--checkpoint") opt.checkpoint_path = need_value(i);
-    else if (a == "--resume") opt.resume = true;
-    else if (a == "--profile") opt.profile = true;
-    else if (a == "--no-prefix-cache") opt.prefix_cache = false;
-    else if (a == "--sampler") opt.sampler = need_value(i);
-    else if (a == "--ci-target") {
-      const char* text = need_value(i);
-      char* end = nullptr;
-      opt.ci_target = std::strtod(text, &end);
-      if (end == text || *end != '\0' || opt.ci_target < 0.0 ||
-          opt.ci_target >= 1.0) {
-        usage_and_exit("--ci-target expects a half-width in [0, 1)");
-      }
-    }
-    else if (a == "--no-prune") opt.prune = false;
-    else usage_and_exit(("unknown flag '" + a + "'").c_str());
-  }
-  if (opt.resume && opt.checkpoint_path.empty()) {
-    usage_and_exit("--resume requires --checkpoint PATH");
-  }
-  if (opt.sampler != "uniform" && opt.sampler != "stratified") {
-    usage_and_exit(("unknown sampler '" + opt.sampler + "'").c_str());
-  }
-  if (opt.sampler == "stratified") {
-    if (!opt.error.empty()) {
-      usage_and_exit("--sampler stratified imposes the single-bit-flip "
-                     "model; --error does not apply");
-    }
-    if (opt.per_layer) {
-      usage_and_exit("--per-layer is the uniform sampler's mode");
-    }
-  } else if (opt.ci_target > 0.0) {
-    usage_and_exit("--ci-target requires --sampler stratified");
-  }
-  if (opt.error.empty()) opt.error = "random";
-  return opt;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions opt = parse_args(argc, argv);
+  const core::CliParse parsed = core::parse_cli_args(argc, argv);
+  if (parsed.show_help) {
+    std::printf("%s", core::cli_usage().c_str());
+    return 0;
+  }
+  if (parsed.list_models) {
+    for (const auto& n : models::model_names()) std::printf("%s\n", n.c_str());
+    return 0;
+  }
+  if (!parsed.error.empty()) {
+    std::fprintf(stderr, "error: %s\n\n%s", parsed.error.c_str(),
+                 core::cli_usage().c_str());
+    return 2;
+  }
+  const core::CliOptions& opt = parsed.options;
+
   const auto spec = parse_dataset(opt.dataset);
   data::SyntheticDataset ds(spec);
 
@@ -279,7 +140,7 @@ int main(int argc, char** argv) {
 
   core::FiConfig fi_cfg{.input_shape = {spec.channels, spec.height, spec.width},
                         .batch_size = 1};
-  fi_cfg.dtype = parse_dtype(opt.dtype);
+  fi_cfg.dtype = *core::parse_dtype_name(opt.dtype);
   // Flag wins over the PFI_PREFIX_CACHE env toggle; both are pure speed
   // knobs (campaign results are byte-identical either way).
   fi_cfg.prefix_cache =
@@ -293,22 +154,21 @@ int main(int argc, char** argv) {
   trace::Profiler profiler;
   if (opt.profile) fi.set_profiler(&profiler);
 
+  const bool want_trace = !opt.trace_path.empty();
+  if (want_trace && !trace::kEnabled) {
+    std::fprintf(stderr, "error: --trace requires a build with PFI_TRACE=ON\n");
+    return 2;
+  }
+
   core::CampaignConfig cfg;
   cfg.trials = opt.trials;
   cfg.threads = opt.threads;
-  cfg.error_model = parse_error_model(opt.error);
+  cfg.error_model = *core::parse_error_model_spec(opt.error);
   cfg.layer = opt.layer;
   cfg.one_fault_per_layer = opt.per_layer;
   cfg.injections_per_image = 4;
   cfg.seed = opt.seed + 2;
-  if (!opt.trace_path.empty()) {
-    if constexpr (!trace::kEnabled) {
-      std::fprintf(stderr,
-                   "error: --trace requires a build with PFI_TRACE=ON\n");
-      return 2;
-    }
-    cfg.trace = &sink;
-  }
+  if (want_trace && !opt.shard_mode()) cfg.trace = &sink;
 
   const bool stratified = opt.sampler == "stratified";
   core::StratifiedCampaignConfig scfg;
@@ -319,6 +179,66 @@ int main(int argc, char** argv) {
     scfg.prune_verify = core::prune_verify_env_enabled();
   }
 
+  // The experiment-identity string folded into checkpoint and shard
+  // fingerprints: same format either way, so every shard worker of one
+  // campaign agrees on it.
+  const std::string context = opt.model + "|" + opt.dataset + "|" +
+                              opt.dtype + "|" + opt.error + "|epochs=" +
+                              std::to_string(opt.epochs) +
+                              "|load=" + opt.load_path;
+
+  // --- shard worker mode: run ONE shard, write its files, and exit. The
+  // merge (pfi_merge / pfi_launch / the driver below) produces the results.
+  if (opt.shard_mode() && opt.shard_index >= 0) {
+    core::ShardPlan plan;
+    plan.shards = opt.shards;
+    plan.shard_index = opt.shard_index;
+    plan.horizon = opt.shard_horizon;
+    plan.record_events = want_trace;
+    const core::ShardRunReport report =
+        stratified
+            ? core::run_stratified_shard(fi, ds, scfg, plan, opt.shard_dir,
+                                         context)
+            : core::run_classification_shard(fi, ds, cfg, plan, opt.shard_dir,
+                                             context);
+    std::printf("shard %lld of %lld done: %llu records committed to %s\n",
+                static_cast<long long>(opt.shard_index),
+                static_cast<long long>(opt.shards),
+                static_cast<unsigned long long>(report.manifest.records),
+                report.paths.log.c_str());
+    std::printf("manifest: %s\n", report.paths.manifest.c_str());
+    return 0;
+  }
+
+  // --- shard driver mode: run all S shards in-process, then merge.
+  if (opt.shard_mode()) {
+    std::printf("sharded campaign: %lld shards under %s\n",
+                static_cast<long long>(opt.shards), opt.shard_dir.c_str());
+    core::CampaignResult r;
+    Proportion p{};
+    std::string efficiency;
+    trace::TraceSink* merge_sink = want_trace ? &sink : nullptr;
+    if (stratified) {
+      const core::StratifiedResult sr = core::run_sharded_stratified(
+          fi, ds, scfg, opt.shards, opt.shard_dir, merge_sink, context);
+      r = sr.totals;
+      p = sr.estimate();
+      efficiency = core::stratified_efficiency_footer(sr);
+    } else {
+      r = core::run_sharded_classification(fi, ds, cfg, opt.shards,
+                                           opt.shard_dir, merge_sink, context);
+      p = r.corruption_probability();
+    }
+    print_results(r, p, opt.trials);
+    if (!efficiency.empty()) std::printf("%s\n", efficiency.c_str());
+    if (want_trace) {
+      trace::write_trace_jsonl(opt.trace_path, sink.events());
+      std::printf("\ntrace: %zu merged injection events written to %s\n",
+                  sink.events().size(), opt.trace_path.c_str());
+    }
+    return 0;
+  }
+
   // Crash safety: persist campaign state after every merged wave and stream
   // the trace (when requested) instead of dumping it at the end. The
   // fingerprint covers the campaign config plus the model/dataset/dtype
@@ -327,10 +247,6 @@ int main(int argc, char** argv) {
   if (!opt.checkpoint_path.empty()) {
     checkpointer = std::make_unique<core::CampaignCheckpointer>(
         opt.checkpoint_path, opt.trace_path);
-    const std::string context = opt.model + "|" + opt.dataset + "|" +
-                                opt.dtype + "|" + opt.error + "|epochs=" +
-                                std::to_string(opt.epochs) +
-                                "|load=" + opt.load_path;
     const std::uint64_t fp = stratified
                                  ? core::stratified_fingerprint(scfg, context)
                                  : core::campaign_fingerprint(cfg, context);
@@ -375,28 +291,12 @@ int main(int argc, char** argv) {
     r = core::run_classification_campaign(fi, ds, cfg);
     p = r.corruption_probability();
   }
-  std::printf("\nresults:\n");
-  std::printf("  injected trials      %llu\n",
-              static_cast<unsigned long long>(r.trials));
-  std::printf("  skipped (golden err) %llu\n",
-              static_cast<unsigned long long>(r.skipped));
-  std::printf("  corruptions          %llu\n",
-              static_cast<unsigned long long>(r.corruptions));
-  std::printf("  non-finite outputs   %llu\n",
-              static_cast<unsigned long long>(r.non_finite));
-  std::printf("  P(misclassification) %.4f%%  [99%% CI %.4f%%, %.4f%%]\n",
-              100.0 * p.value, 100.0 * p.lo, 100.0 * p.hi);
-  if (r.gave_up != 0) {
-    std::printf("  WARNING: gave up at the attempt cap — the numbers above "
-                "are PARTIAL (%llu of %lld requested trials)\n",
-                static_cast<unsigned long long>(r.trials),
-                static_cast<long long>(opt.trials));
-  }
+  print_results(r, p, opt.trials);
   if (!efficiency.empty()) std::printf("%s\n", efficiency.c_str());
   const std::string prefix_footer = core::campaign_prefix_footer(fi);
   if (!prefix_footer.empty()) std::printf("  %s\n", prefix_footer.c_str());
 
-  if (!opt.trace_path.empty()) {
+  if (want_trace) {
     if (cfg.checkpoint != nullptr) {
       // The checkpointer streamed the trace wave-by-wave; the file already
       // holds the full (resume-consistent) event history. Rewriting it here

@@ -12,61 +12,12 @@
 
 namespace pfi::core {
 
-namespace {
+namespace detail {
 
-using detail::has_non_finite;
-using detail::kDrawStream;
-using detail::kInjectorStream;
-using detail::RepScorer;
-using detail::resolve_threads;
-using detail::ScopedSink;
-using detail::WaveCommitter;
-using detail::WorkerSet;
-
-/// Attempts are capped so a model that never classifies correctly stops
-/// instead of looping forever (the paper's protocol needs correct golden
-/// runs; a 0%-accuracy model can't satisfy it). Hitting the cap is NOT an
-/// error any more: the campaign returns its partial result with `gave_up`
-/// set, so hours of completed trials survive the give-up.
-std::int64_t attempt_cap(const CampaignConfig& config) {
-  return config.attempt_cap > 0 ? config.attempt_cap
-                                : 10'000 + config.trials * 1'000;
-}
-
-/// Commit interval for the serial (threads == 1) path, which has no natural
-/// wave barrier: checkpoint every this many folded units so fsync cost
-/// amortizes while a kill still loses only a few attempts. 32 matches the
-/// largest parallel wave (4 threads x 8 attempts) and keeps the measured
-/// overhead under 1% of campaign time (EXPERIMENTS.md).
-constexpr std::int64_t kSerialCommitEvery = 32;
-
-/// Everything one attempt (batch draw + golden run + its injections)
-/// observed, in execution order. Kept per-rep so the merge can reproduce
-/// the sequential stopping rule exactly: a rep that would run after the
-/// trial target was reached is discarded whole, and scored rows past the
-/// target are discarded individually.
-struct AttemptOutcome {
-  std::uint64_t skipped = 0;
-  struct Rep {
-    bool non_finite = false;
-    std::vector<std::uint8_t> corrupted;  // per scored row, in score order
-    // Trace payload (only populated when the campaign is tracing): the
-    // rep's injection events and, optionally, its faulty logits. Kept on
-    // the rep so the ordered merge can discard them with it.
-    std::uint64_t attempt = 0;
-    std::int32_t rep_index = 0;
-    std::vector<trace::InjectionEvent> events;
-    Tensor logits;
-  };
-  std::vector<Rep> reps;
-};
-
-/// One self-contained attempt. All randomness comes from seeds derived from
-/// (config.seed, attempt) — no shared RNG state — so the outcome is a pure
-/// function of the attempt index regardless of which worker runs it.
-AttemptOutcome run_attempt(FaultInjector& fi,
-                           const data::SyntheticDataset& ds,
-                           const CampaignConfig& config, std::int64_t attempt) {
+AttemptOutcome run_campaign_attempt(FaultInjector& fi,
+                                    const data::SyntheticDataset& ds,
+                                    const CampaignConfig& config,
+                                    std::int64_t attempt) {
   const auto a = static_cast<std::uint64_t>(attempt);
   Rng rng(derive_seed(config.seed, a, kDrawStream));
   fi.reseed(derive_seed(config.seed, a, kInjectorStream));
@@ -142,13 +93,8 @@ AttemptOutcome run_attempt(FaultInjector& fi,
   return out;
 }
 
-/// Fold one attempt into the running result, honouring the trial target:
-/// reps after the target are dropped, and a rep's scored rows are consumed
-/// only up to the target. Returns true once the target is reached. Because
-/// attempts are merged strictly in index order, the folded result is the
-/// same whether the outcomes were computed serially or by a pool.
-bool merge_attempt(CampaignResult& acc, AttemptOutcome& outcome,
-                   std::uint64_t target, trace::TraceSink* sink) {
+bool merge_campaign_attempt(CampaignResult& acc, AttemptOutcome& outcome,
+                            std::uint64_t target, trace::TraceSink* sink) {
   acc.skipped += outcome.skipped;
   for (auto& rep : outcome.reps) {
     if (acc.trials >= target) break;
@@ -171,6 +117,29 @@ bool merge_attempt(CampaignResult& acc, AttemptOutcome& outcome,
   }
   return acc.trials >= target;
 }
+
+std::int64_t campaign_attempt_cap(const CampaignConfig& config) {
+  return config.attempt_cap > 0 ? config.attempt_cap
+                                : 10'000 + config.trials * 1'000;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::AttemptOutcome;
+using detail::campaign_attempt_cap;
+using detail::has_non_finite;
+using detail::kDrawStream;
+using detail::kInjectorStream;
+using detail::kSerialCommitEvery;
+using detail::merge_campaign_attempt;
+using detail::RepScorer;
+using detail::resolve_threads;
+using detail::run_campaign_attempt;
+using detail::ScopedSink;
+using detail::WaveCommitter;
+using detail::WorkerSet;
 
 }  // namespace
 
@@ -198,7 +167,7 @@ CampaignResult run_classification_campaign(FaultInjector& fi,
   // replica; don't spin one up.
   const std::int64_t threads = resolve_threads(
       config.threads, std::max<std::int64_t>(1, config.trials / 4));
-  const std::int64_t cap = attempt_cap(config);
+  const std::int64_t cap = campaign_attempt_cap(config);
 
   CampaignResult result;
   std::int64_t next_attempt = 0;
@@ -216,8 +185,8 @@ CampaignResult run_classification_campaign(FaultInjector& fi,
     std::int64_t since_commit = 0;
     bool done = result.trials >= target;
     while (!done) {
-      AttemptOutcome outcome = run_attempt(fi, ds, config, next_attempt);
-      done = merge_attempt(result, outcome, target, config.trace);
+      AttemptOutcome outcome = run_campaign_attempt(fi, ds, config, next_attempt);
+      done = merge_campaign_attempt(result, outcome, target, config.trace);
       ++next_attempt;
       ++since_commit;
       if (!done && next_attempt >= cap) {
@@ -262,11 +231,11 @@ CampaignResult run_classification_campaign(FaultInjector& fi,
       for (std::int64_t i = static_cast<std::int64_t>(g); i < wave;
            i += threads) {
         outcomes[static_cast<std::size_t>(i)] =
-            run_attempt(*set.workers[g], ds, config, base + i);
+            run_campaign_attempt(*set.workers[g], ds, config, base + i);
       }
     });
     for (std::int64_t i = 0; i < wave && !done; ++i) {
-      done = merge_attempt(result, outcomes[static_cast<std::size_t>(i)],
+      done = merge_campaign_attempt(result, outcomes[static_cast<std::size_t>(i)],
                            target, config.trace);
     }
     next_attempt += wave;

@@ -12,10 +12,64 @@
 
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
+#include "core/trace.hpp"
 #include "nn/loss.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pfi::core::detail {
+
+/// Everything one attempt (batch draw + golden run + its injections)
+/// observed, in execution order. Kept per-rep so the merge can reproduce
+/// the sequential stopping rule exactly: a rep that would run after the
+/// trial target was reached is discarded whole, and scored rows past the
+/// target are discarded individually. Shard runs (core/shard.cpp) serialize
+/// these records verbatim and replay the same fold at merge time — that is
+/// what makes a merged shard set byte-identical to a single-process run.
+struct AttemptOutcome {
+  std::uint64_t skipped = 0;
+  struct Rep {
+    bool non_finite = false;
+    std::vector<std::uint8_t> corrupted;  // per scored row, in score order
+    // Trace payload (only populated when the campaign is tracing): the
+    // rep's injection events and, optionally, its faulty logits. Kept on
+    // the rep so the ordered merge can discard them with it.
+    std::uint64_t attempt = 0;
+    std::int32_t rep_index = 0;
+    std::vector<trace::InjectionEvent> events;
+    Tensor logits;
+  };
+  std::vector<Rep> reps;
+};
+
+/// One self-contained attempt. All randomness comes from seeds derived from
+/// (config.seed, attempt) — no shared RNG state — so the outcome is a pure
+/// function of the attempt index regardless of which worker (or which
+/// process) runs it.
+AttemptOutcome run_campaign_attempt(FaultInjector& fi,
+                                    const data::SyntheticDataset& ds,
+                                    const CampaignConfig& config,
+                                    std::int64_t attempt);
+
+/// Fold one attempt into the running result, honouring the trial target:
+/// reps after the target are dropped, and a rep's scored rows are consumed
+/// only up to the target. Returns true once the target is reached. Because
+/// attempts are merged strictly in index order, the folded result is the
+/// same whether the outcomes were computed serially, by a pool, or replayed
+/// from shard records.
+bool merge_campaign_attempt(CampaignResult& acc, AttemptOutcome& outcome,
+                            std::uint64_t target, trace::TraceSink* sink);
+
+/// Attempts are capped so a model that never classifies correctly stops
+/// instead of looping forever. Hitting the cap is not an error: the
+/// campaign returns its partial result with `gave_up` set.
+std::int64_t campaign_attempt_cap(const CampaignConfig& config);
+
+/// Commit interval for serial (threads == 1) paths, which have no natural
+/// wave barrier: checkpoint every this many folded units so fsync cost
+/// amortizes while a kill still loses only a few attempts. 32 matches the
+/// largest parallel wave (4 threads x 8 attempts) and keeps the measured
+/// overhead under 1% of campaign time (EXPERIMENTS.md).
+inline constexpr std::int64_t kSerialCommitEvery = 32;
 
 // Seed-derivation streams: every attempt gets one stream for data/location
 // draws and one for the injector's internal RNG (stochastic error models),

@@ -4,19 +4,13 @@
 
 #include "util/fileio.hpp"
 #include "util/parse.hpp"
+#include "util/strings.hpp"
 
 namespace pfi::core {
 
 namespace {
 
-/// FNV-1a 64-bit over a string; the fingerprint accumulator.
-std::uint64_t fnv1a(std::string_view s, std::uint64_t h = 14695981039346656037ull) {
-  for (const char c : s) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+using util::fnv1a;
 
 std::string criterion_name(CorruptionCriterion c) {
   switch (c) {
@@ -225,17 +219,26 @@ void CampaignCheckpointer::commit(
 void CampaignCheckpointer::commit(
     const CampaignResult& folded, std::uint64_t next_unit, bool done,
     std::span<const trace::InjectionEvent> new_events) {
-  if (!trace_path_.empty() && !new_events.empty()) {
-    std::string jsonl;
-    for (const trace::InjectionEvent& ev : new_events) {
-      jsonl += trace::event_to_json(ev);
-      jsonl += '\n';
-    }
-    state_.trace_bytes = util::append_file_sync(trace_path_, jsonl);
+  std::string jsonl;
+  for (const trace::InjectionEvent& ev : new_events) {
+    jsonl += trace::event_to_json(ev);
+    jsonl += '\n';
+  }
+  commit_bytes(folded, next_unit, done, jsonl, state_.strata);
+}
+
+void CampaignCheckpointer::commit_bytes(
+    const CampaignResult& folded, std::uint64_t next_unit, bool done,
+    std::string_view bytes, std::span<const StratumCheckpoint> strata) {
+  if (strata.data() != state_.strata.data()) {
+    state_.strata.assign(strata.begin(), strata.end());
+  }
+  if (!trace_path_.empty() && !bytes.empty()) {
+    state_.trace_bytes = util::append_file_sync(trace_path_, bytes);
   } else if (!trace_path_.empty() && state_.trace_bytes == 0 &&
              !util::file_exists(trace_path_)) {
-    // Make the stream exist even before the first event, so a resume that
-    // committed zero events still finds a (0-byte) file.
+    // Make the stream exist even before the first byte, so a resume that
+    // committed nothing still finds a (0-byte) file.
     state_.trace_bytes = util::append_file_sync(trace_path_, "");
   }
   state_.result = folded;

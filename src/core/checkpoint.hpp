@@ -149,6 +149,18 @@ class CampaignCheckpointer {
               std::span<const trace::InjectionEvent> new_events,
               std::span<const StratumCheckpoint> strata);
 
+  /// Raw-bytes variant used by shard runs (core/shard.cpp): the streaming
+  /// file is an attempt-record log rather than trace JSONL, so the caller
+  /// serializes its own lines and this just appends them durably before the
+  /// checkpoint lands. Same commit ordering and torn-tail guarantee as the
+  /// event path; `trace_bytes` tracks the committed log size.
+  void commit_bytes(const CampaignResult& folded, std::uint64_t next_unit,
+                    bool done, std::string_view bytes,
+                    std::span<const StratumCheckpoint> strata = {});
+
+  /// Committed size of the streaming file (trace JSONL or shard log).
+  std::uint64_t trace_bytes() const { return state_.trace_bytes; }
+
   /// Crash-injection test hook: the n-th commit() completes durably, then
   /// throws CampaignAborted — on-disk state is exactly what a kill
   /// immediately after that commit would leave. 0 disables (default).

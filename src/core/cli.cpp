@@ -1,0 +1,277 @@
+#include "core/cli.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/parse.hpp"
+
+namespace pfi::core {
+
+namespace {
+
+/// Strict numeric flag parsing: non-numeric text, trailing junk, and
+/// out-of-range values are usage errors naming the flag, never silent
+/// zeros.
+std::optional<std::int64_t> int_flag(const std::string& flag,
+                                     const std::string& text, std::int64_t lo,
+                                     std::int64_t hi, std::string* error) {
+  const auto v = util::parse_int(text, lo, hi);
+  if (!v.has_value()) {
+    *error = flag + " expects an integer in [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "], got '" + text + "'";
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> uint_flag(const std::string& flag,
+                                       const std::string& text,
+                                       std::string* error) {
+  const auto v = util::parse_uint(text);
+  if (!v.has_value()) {
+    *error = flag + " expects an unsigned integer, got '" + text + "'";
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "usage: pfi_cli [--model NAME] [--dataset cifar10|cifar100|imagenet]\n"
+      "               [--dtype fp32|fp16|int8] [--error MODEL] [--trials N]\n"
+      "               [--layer L] [--per-layer] [--epochs N] [--seed S]\n"
+      "               [--threads N] [--save PATH] [--load PATH]"
+      " [--list-models]\n"
+      "               [--trace PATH] [--profile] [--checkpoint PATH]"
+      " [--resume]\n"
+      "               [--no-prefix-cache] [--sampler uniform|stratified]\n"
+      "               [--ci-target HW] [--no-prune]\n"
+      "               [--shard-dir DIR] [--shards S] [--shard-index K]\n"
+      "               [--shard-horizon H]\n"
+      "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
+      " zero | const:V | noise:MAG\n"
+      "sharding: --shard-dir alone runs all S shards in-process and merges;\n"
+      "          --shard-index K runs this process as shard K only"
+      " (pfi_launch\n"
+      "          spawns these; merge the manifests with pfi_merge)\n";
+}
+
+std::optional<ErrorModel> parse_error_model_spec(const std::string& spec,
+                                                 std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<ErrorModel> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  const auto colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  std::vector<float> args;
+  for (std::size_t pos = colon; pos != std::string::npos;) {
+    const auto next = spec.find(':', pos + 1);
+    const std::string arg =
+        spec.substr(pos + 1, next == std::string::npos ? next : next - pos - 1);
+    char* end = nullptr;
+    const float v = std::strtof(arg.c_str(), &end);
+    if (arg.empty() || end != arg.c_str() + arg.size()) {
+      return fail("error model argument '" + arg + "' is not a number");
+    }
+    args.push_back(v);
+    pos = next;
+  }
+  if (head == "bitflip") {
+    if (args.size() > 1) return fail("bitflip takes at most one argument");
+    return single_bit_flip(args.empty() ? -1 : static_cast<int>(args[0]));
+  }
+  if (head == "random") {
+    if (args.empty()) return random_value();
+    if (args.size() == 2) return random_value(args[0], args[1]);
+    return fail("random takes 0 or 2 arguments (random:LO:HI)");
+  }
+  if (head == "zero" && args.empty()) return zero_value();
+  if (head == "const" && args.size() == 1) return constant_value(args[0]);
+  if (head == "noise" && args.size() == 1) return additive_noise(args[0]);
+  return fail("unknown error model '" + spec + "'");
+}
+
+std::optional<DType> parse_dtype_name(const std::string& name) {
+  if (name == "fp32") return DType::kFloat32;
+  if (name == "fp16") return DType::kFloat16;
+  if (name == "int8") return DType::kInt8;
+  return std::nullopt;
+}
+
+CliParse parse_cli_args(int argc, const char* const* argv) {
+  CliParse out;
+  CliOptions& opt = out.options;
+  std::string& error = out.error;
+
+  int i = 1;
+  const auto need_value = [&](const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      error = "flag '" + flag + "' is missing its value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (; i < argc && error.empty(); ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") {
+      out.show_help = true;
+      return out;
+    } else if (a == "--list-models") {
+      out.list_models = true;
+      return out;
+    } else if (a == "--per-layer") {
+      opt.per_layer = true;
+    } else if (a == "--resume") {
+      opt.resume = true;
+    } else if (a == "--profile") {
+      opt.profile = true;
+    } else if (a == "--no-prefix-cache") {
+      opt.prefix_cache = false;
+    } else if (a == "--no-prune") {
+      opt.prune = false;
+    } else if (a != "--model" && a != "--dataset" && a != "--dtype" &&
+               a != "--error" && a != "--trials" && a != "--layer" &&
+               a != "--epochs" && a != "--seed" && a != "--threads" &&
+               a != "--save" && a != "--load" && a != "--trace" &&
+               a != "--checkpoint" && a != "--sampler" &&
+               a != "--ci-target" && a != "--shards" &&
+               a != "--shard-index" && a != "--shard-horizon" &&
+               a != "--shard-dir") {
+      error = "unknown flag '" + a + "'";
+    } else if ((v = need_value(a)) == nullptr) {
+      break;  // error already set
+    } else if (a == "--model") {
+      opt.model = v;
+    } else if (a == "--dataset") {
+      opt.dataset = v;
+    } else if (a == "--dtype") {
+      opt.dtype = v;
+    } else if (a == "--error") {
+      opt.error = v;
+    } else if (a == "--trials") {
+      const auto n = int_flag(a, v, 1, 1'000'000'000, &error);
+      if (n) opt.trials = *n;
+    } else if (a == "--layer") {
+      const auto n = int_flag(a, v, -1, 1'000'000, &error);
+      if (n) opt.layer = *n;
+    } else if (a == "--epochs") {
+      const auto n = int_flag(a, v, 0, 1'000'000, &error);
+      if (n) opt.epochs = *n;
+    } else if (a == "--seed") {
+      const auto n = uint_flag(a, v, &error);
+      if (n) opt.seed = *n;
+    } else if (a == "--threads") {
+      const auto n = int_flag(a, v, 0, 4096, &error);
+      if (n) opt.threads = *n;
+    } else if (a == "--save") {
+      opt.save_path = v;
+    } else if (a == "--load") {
+      opt.load_path = v;
+    } else if (a == "--trace") {
+      opt.trace_path = v;
+    } else if (a == "--checkpoint") {
+      opt.checkpoint_path = v;
+    } else if (a == "--sampler") {
+      opt.sampler = v;
+    } else if (a == "--ci-target") {
+      const std::string text = v;
+      char* end = nullptr;
+      opt.ci_target = std::strtod(text.c_str(), &end);
+      if (text.empty() || end != text.c_str() + text.size() ||
+          opt.ci_target < 0.0 || opt.ci_target >= 1.0) {
+        error = "--ci-target expects a half-width in [0, 1), got '" + text +
+                "'";
+      }
+    } else if (a == "--shards") {
+      const auto n = int_flag(a, v, 1, 4096, &error);
+      if (n) opt.shards = *n;
+    } else if (a == "--shard-index") {
+      const auto n = int_flag(a, v, 0, 4095, &error);
+      if (n) opt.shard_index = *n;
+    } else if (a == "--shard-horizon") {
+      const auto n = int_flag(a, v, 1, 1'000'000'000'000, &error);
+      if (n) opt.shard_horizon = *n;
+    } else if (a == "--shard-dir") {
+      opt.shard_dir = v;
+    }
+  }
+  if (!error.empty()) return out;
+
+  // Cross-flag validation, shard rules first: everything below mirrors what
+  // the engines would refuse anyway, but failing here names the flags.
+  if (opt.shard_index >= 0 || opt.shards > 1) {
+    if (opt.shard_dir.empty()) {
+      error = "--shards/--shard-index need --shard-dir DIR for the shard "
+              "checkpoints, logs, and manifests";
+      return out;
+    }
+  }
+  if (opt.shard_index >= 0 && opt.shard_index >= opt.shards) {
+    error = "--shard-index " + std::to_string(opt.shard_index) +
+            " must be < --shards " + std::to_string(opt.shards);
+    return out;
+  }
+  if (opt.shard_mode()) {
+    if (!opt.checkpoint_path.empty()) {
+      error = "--checkpoint conflicts with sharding — shard runs manage "
+              "their own checkpoints under --shard-dir";
+      return out;
+    }
+    if (opt.resume) {
+      error = "--resume is implicit in shard mode (shards always resume "
+              "from their checkpoints)";
+      return out;
+    }
+    if (opt.per_layer) {
+      error = "--per-layer campaigns cannot be sharded";
+      return out;
+    }
+  } else if (opt.shard_horizon != 0) {
+    error = "--shard-horizon needs --shard-dir";
+    return out;
+  }
+  if (opt.resume && opt.checkpoint_path.empty()) {
+    error = "--resume requires --checkpoint PATH";
+    return out;
+  }
+  if (opt.sampler != "uniform" && opt.sampler != "stratified") {
+    error = "unknown sampler '" + opt.sampler + "'";
+    return out;
+  }
+  if (opt.sampler == "stratified") {
+    if (!opt.error.empty()) {
+      error = "--sampler stratified imposes the single-bit-flip model; "
+              "--error does not apply";
+      return out;
+    }
+    if (opt.per_layer) {
+      error = "--per-layer is the uniform sampler's mode";
+      return out;
+    }
+    if (opt.ci_target > 0.0 && opt.shard_mode()) {
+      error = "--ci-target campaigns couple strata through the pooled "
+              "interval and cannot be sharded — drop --ci-target or run "
+              "single-process";
+      return out;
+    }
+  } else if (opt.ci_target > 0.0) {
+    error = "--ci-target requires --sampler stratified";
+    return out;
+  }
+  if (parse_dtype_name(opt.dtype) == std::nullopt) {
+    error = "unknown dtype '" + opt.dtype + "'";
+    return out;
+  }
+  if (opt.error.empty()) opt.error = "random";
+  std::string model_error;
+  if (parse_error_model_spec(opt.error, &model_error) == std::nullopt) {
+    error = model_error;
+    return out;
+  }
+  return out;
+}
+
+}  // namespace pfi::core

@@ -1,0 +1,80 @@
+// pfi_cli's argument parser as a library. Extracted from the binary so the
+// parser is unit-testable (tests/test_cli.cpp): parsing never prints and
+// never exits — every outcome, including usage errors, comes back as data.
+// The binary turns CliParse::error into stderr + exit(2), show_help into
+// the usage text, and list_models into the model list.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/error_models.hpp"
+#include "core/fault_injector.hpp"
+
+namespace pfi::core {
+
+/// Everything pfi_cli can be told. Field defaults ARE the CLI defaults.
+struct CliOptions {
+  std::string model = "resnet18";
+  std::string dataset = "cifar10";
+  std::string dtype = "fp32";
+  std::string error;  ///< error-model spec; empty = "random" after parsing
+  std::string sampler = "uniform";
+  double ci_target = 0.0;
+  bool prune = true;
+  std::int64_t trials = 500;
+  std::int64_t layer = -1;
+  bool per_layer = false;
+  std::int64_t epochs = 3;
+  std::uint64_t seed = 1;
+  std::int64_t threads = 0;  ///< 0 = hardware concurrency
+  std::string save_path;
+  std::string load_path;
+  std::string trace_path;
+  std::string checkpoint_path;
+  bool resume = false;
+  bool profile = false;
+  bool prefix_cache = true;
+  // Sharded-campaign mode (core/shard.hpp). Sharding engages when
+  // --shard-dir is given: --shard-index runs this process as ONE shard
+  // worker (pfi_launch spawns these); without it the process runs all
+  // shards in-process and merges.
+  std::int64_t shards = 1;
+  std::int64_t shard_index = -1;  ///< -1 = not a worker (run all + merge)
+  std::int64_t shard_horizon = 0;  ///< 0 = auto
+  std::string shard_dir;
+
+  bool shard_mode() const { return !shard_dir.empty(); }
+};
+
+/// Outcome of parsing one argv. Exactly one of these holds: ok() (run the
+/// campaign), show_help / list_models (print and exit 0), or a non-empty
+/// error (print usage to stderr and exit 2).
+struct CliParse {
+  CliOptions options;
+  std::string error;
+  bool show_help = false;
+  bool list_models = false;
+
+  bool ok() const { return error.empty() && !show_help && !list_models; }
+};
+
+/// Parse pfi_cli's argv (argv[0] is skipped, as usual). Pure: no I/O, no
+/// exit; all validation failures land in CliParse::error with the flag
+/// named.
+CliParse parse_cli_args(int argc, const char* const* argv);
+
+/// The usage text the binary prints for --help / usage errors.
+std::string cli_usage();
+
+/// Parse an error-model spec (bitflip | bitflip:BIT | random |
+/// random:LO:HI | zero | const:V | noise:MAG). On failure returns nullopt
+/// and, when `error` is non-null, stores an explanation.
+std::optional<ErrorModel> parse_error_model_spec(const std::string& spec,
+                                                 std::string* error = nullptr);
+
+/// Parse a dtype name (fp32 | fp16 | int8); nullopt on anything else.
+std::optional<DType> parse_dtype_name(const std::string& name);
+
+}  // namespace pfi::core

@@ -11,6 +11,7 @@
 
 #include "core/campaign_internal.hpp"
 #include "core/checkpoint.hpp"
+#include "core/sampling_internal.hpp"
 #include "nn/loss.hpp"
 #include "util/thread_pool.hpp"
 
@@ -21,22 +22,18 @@ namespace {
 using detail::has_non_finite;
 using detail::kDrawStream;
 using detail::kInjectorStream;
+using detail::kMaxStratumQuantum;
+using detail::kStratumGaveUpFlag;
+using detail::kStratumStoppedEarlyFlag;
 using detail::kStratumStream;
 using detail::RepScorer;
 using detail::ScopedSink;
+using detail::StratifiedFold;
+using detail::StratifiedSchedule;
+using detail::StratUnit;
+using detail::StratUnitOutcome;
 using detail::WaveCommitter;
 using detail::WorkerSet;
-
-constexpr std::uint64_t kStoppedEarlyFlag = 1;
-constexpr std::uint64_t kGaveUpFlag = 2;
-
-/// Max attempts one stratum contributes to a single wave. Small enough that
-/// early termination reacts within a wave or two of a stratum resolving,
-/// large enough that the per-wave barrier stays negligible. Deliberately
-/// NOT a function of the thread count: wave composition must be a pure
-/// function of the folded state or stopping decisions would vary with
-/// sharding.
-constexpr std::uint64_t kMaxQuantum = 8;
 
 /// The post-ReLU bit pattern of an activation — EXACTLY nn::ReLU's forward
 /// expression (v > 0 ? v : 0), so bit-equality here is bit-equality of the
@@ -75,59 +72,6 @@ class GoldenCapture {
   nn::HookHandle handle_ = 0;
   Tensor captured_;
 };
-
-/// One scheduled stratum attempt: which stratum, its stratum-local attempt
-/// index, and the campaign-global sequence number traces stamp as the
-/// `attempt` field (stratum-local indices would collide across strata).
-struct Unit {
-  std::size_t stratum = 0;
-  std::uint64_t attempt = 0;
-  std::uint64_t seq = 0;
-};
-
-/// Everything one unit observed, mirroring campaign.cpp's AttemptOutcome
-/// with a per-rep pruned marker.
-struct UnitOutcome {
-  std::uint64_t skipped = 0;
-  struct Rep {
-    bool non_finite = false;
-    bool pruned = false;
-    std::vector<std::uint8_t> corrupted;  // per scored row, in score order
-    std::uint64_t seq = 0;
-    std::int32_t rep_index = 0;
-    std::vector<trace::InjectionEvent> events;
-    Tensor logits;
-  };
-  std::vector<Rep> reps;
-};
-
-/// Largest-remainder allocation of the trial budget across strata by
-/// weight: caps sum to `trials` exactly, so a budget-mode campaign scores
-/// exactly `trials` trials (matching the uniform runner's contract). Ties
-/// in the fractional parts break by stratum index — deterministic.
-std::vector<std::uint64_t> allocate_caps(std::uint64_t trials,
-                                         const std::vector<Stratum>& strata) {
-  std::vector<std::uint64_t> caps(strata.size());
-  std::vector<double> remainders(strata.size());
-  std::uint64_t assigned = 0;
-  for (std::size_t s = 0; s < strata.size(); ++s) {
-    const double exact = static_cast<double>(trials) * strata[s].weight;
-    caps[s] = static_cast<std::uint64_t>(exact);
-    remainders[s] = exact - static_cast<double>(caps[s]);
-    assigned += caps[s];
-  }
-  std::vector<std::size_t> order(strata.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return remainders[a] > remainders[b];
-                   });
-  for (std::size_t i = 0; assigned < trials; ++i) {
-    ++caps[order[i % order.size()]];
-    ++assigned;
-  }
-  return caps;
-}
 
 /// The larger half of a stratum's Wilson interval — the quantity the
 /// stopping rule budgets. Zero trials -> the vacuous [0, 1] interval's
@@ -179,21 +123,92 @@ std::uint64_t stratum_flags(const Stratum& st, const StratumCheckpoint& ck,
                             bool global_met) {
   if (target > 0.0 && (global_met || ci_closed(st, ck, s_pos, target)) &&
       ck.trials < cap) {
-    return kStoppedEarlyFlag;
+    return kStratumStoppedEarlyFlag;
   }
-  if (ck.attempts >= attempt_cap && ck.trials < cap) return kGaveUpFlag;
+  if (ck.attempts >= attempt_cap && ck.trials < cap) return kStratumGaveUpFlag;
   return 0;
 }
 
-/// Run one stratum attempt on one worker. All randomness derives from
-/// (config.seed, stratum index, attempt index) — never from which worker
-/// runs it or what ran before — so the outcome is a pure function of the
-/// unit.
-UnitOutcome run_stratum_attempt(FaultInjector& fi,
-                                const data::SyntheticDataset& ds,
-                                const StratifiedCampaignConfig& config,
-                                const Stratum& st, std::size_t stratum_index,
-                                bool prunable, const Unit& unit) {
+}  // namespace
+
+namespace detail {
+
+std::vector<std::uint64_t> allocate_stratum_caps(
+    std::uint64_t trials, const std::vector<Stratum>& strata) {
+  std::vector<std::uint64_t> caps(strata.size());
+  std::vector<double> remainders(strata.size());
+  std::uint64_t assigned = 0;
+  for (std::size_t s = 0; s < strata.size(); ++s) {
+    const double exact = static_cast<double>(trials) * strata[s].weight;
+    caps[s] = static_cast<std::uint64_t>(exact);
+    remainders[s] = exact - static_cast<double>(caps[s]);
+    assigned += caps[s];
+  }
+  std::vector<std::size_t> order(strata.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return remainders[a] > remainders[b];
+                   });
+  for (std::size_t i = 0; assigned < trials; ++i) {
+    ++caps[order[i % order.size()]];
+    ++assigned;
+  }
+  return caps;
+}
+
+StratifiedSchedule make_stratified_schedule(
+    FaultInjector& fi, const StratifiedCampaignConfig& config) {
+  const CampaignConfig& base = config.base;
+  PFI_CHECK(base.trials > 0) << "stratified campaign trials=" << base.trials;
+  PFI_CHECK(base.batch_size >= 1 && base.batch_size <= fi.config().batch_size)
+      << "stratified campaign batch_size " << base.batch_size
+      << " exceeds injector batch size " << fi.config().batch_size;
+  PFI_CHECK(base.injections_per_image >= 1)
+      << "stratified campaign injections_per_image "
+      << base.injections_per_image;
+  PFI_CHECK(base.threads >= 0)
+      << "stratified campaign threads=" << base.threads;
+  PFI_CHECK(base.attempt_cap >= 0)
+      << "stratified campaign attempt_cap=" << base.attempt_cap;
+  PFI_CHECK(!base.one_fault_per_layer)
+      << "stratified campaigns sample one fault per trial; "
+         "one_fault_per_layer is the uniform runner's mode";
+  PFI_CHECK(config.target_half_width >= 0.0 && config.target_half_width < 1.0)
+      << "target_half_width " << config.target_half_width
+      << " must be in [0, 1)";
+
+  StratifiedSchedule sched;
+  sched.strata = make_strata(fi, base.layer, fi.dtype());
+  const std::size_t S = sched.strata.size();
+  sched.trials_budget = static_cast<std::uint64_t>(base.trials);
+  sched.target = config.target_half_width;
+  sched.max_yield = base.batch_size * base.injections_per_image;
+
+  // Budget mode (target == 0): each stratum owns its proportional share of
+  // the trial budget, allocated exactly. CI mode: any stratum may spend up
+  // to the whole budget — the CI rule, not the allocation, decides where
+  // trials go — with a global budget backstop at wave boundaries.
+  if (sched.target > 0.0) {
+    sched.caps.assign(S, sched.trials_budget);
+  } else {
+    sched.caps = allocate_stratum_caps(sched.trials_budget, sched.strata);
+  }
+  sched.attempt_caps.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    sched.attempt_caps[s] = base.attempt_cap > 0
+                                ? static_cast<std::uint64_t>(base.attempt_cap)
+                                : 100 + sched.caps[s] * 1000;
+  }
+  return sched;
+}
+
+StratUnitOutcome run_stratum_attempt(FaultInjector& fi,
+                                     const data::SyntheticDataset& ds,
+                                     const StratifiedCampaignConfig& config,
+                                     const Stratum& st,
+                                     std::size_t stratum_index, bool prunable,
+                                     const StratUnit& unit) {
   const CampaignConfig& base = config.base;
   const std::uint64_t stratum_seed =
       derive_seed(base.seed, static_cast<std::uint64_t>(stratum_index),
@@ -205,7 +220,7 @@ UnitOutcome run_stratum_attempt(FaultInjector& fi,
   trace::TraceSink local(tracing && base.trace->capture_logits());
   ScopedSink sink_guard(fi, tracing ? &local : fi.trace_sink());
 
-  UnitOutcome out;
+  StratUnitOutcome out;
   const auto batch = ds.sample_batch(base.batch_size, rng);
 
   // Golden pass; the capture hook (when pruning applies) clones this
@@ -279,7 +294,7 @@ UnitOutcome run_stratum_attempt(FaultInjector& fi,
       }
     }
 
-    UnitOutcome::Rep r;
+    StratUnitOutcome::Rep r;
     r.pruned = masked;
     if (masked) {
       if (config.prune_verify) {
@@ -374,7 +389,193 @@ UnitOutcome run_stratum_attempt(FaultInjector& fi,
   return out;
 }
 
-}  // namespace
+StratifiedFold::StratifiedFold(StratifiedSchedule schedule,
+                               trace::TraceSink* sink)
+    : sched_(std::move(schedule)), sink_(sink), ck_(sched_.strata.size()) {}
+
+void StratifiedFold::restore(const std::vector<StratumCheckpoint>& saved) {
+  PFI_CHECK(saved.size() == ck_.size())
+      << "checkpoint holds " << saved.size() << " strata but this "
+      << "campaign has " << ck_.size() << " — refusing to resume";
+  ck_ = saved;
+  pooled_trials_ = 0;
+  for (const StratumCheckpoint& s : ck_) pooled_trials_ += s.trials;
+}
+
+std::size_t StratifiedFold::count_positive() const {
+  std::size_t n = 0;
+  for (const StratumCheckpoint& s : ck_) n += s.corruptions > 0 ? 1 : 0;
+  return n;
+}
+
+// The pooled interval already meets the target: stop everything. The
+// per-stratum rule splits the budget conservatively, so the pooled
+// half-width usually undershoots the target well before every stratum
+// closes individually; checking the pooled interval directly at wave
+// boundaries (a pure function of the counters) ends the campaign at the
+// requested precision instead of over-sampling to the per-stratum split.
+bool StratifiedFold::pooled_target_met() const {
+  if (!(sched_.target > 0.0)) return false;
+  const std::size_t S = ck_.size();
+  std::vector<StratumEstimate> est(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    est[s] = {sched_.strata[s].weight, ck_[s].corruptions, ck_[s].trials};
+  }
+  return stratified_interval(est, kZ99).half_width() <= sched_.target;
+}
+
+// A stratum is open while every closure rule still permits more units.
+// Each term is a pure function of the folded counters, so the predicate
+// gives the same answer when re-evaluated after a resume.
+bool StratifiedFold::open(std::size_t s, std::uint64_t pooled_trials,
+                          std::size_t s_pos, bool global_met) const {
+  if (ck_[s].trials >= sched_.caps[s]) return false;
+  if (ck_[s].attempts >= sched_.attempt_caps[s]) return false;
+  if (sched_.target > 0.0) {
+    if (pooled_trials >= sched_.trials_budget) return false;  // budget backstop
+    if (global_met) return false;
+    if (ci_closed(sched_.strata[s], ck_[s], s_pos, sched_.target)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void StratifiedFold::refresh_flags() {
+  const std::size_t s_pos = count_positive();
+  const bool global_met = pooled_target_met();
+  for (std::size_t s = 0; s < ck_.size(); ++s) {
+    ck_[s].flags =
+        stratum_flags(sched_.strata[s], ck_[s], sched_.caps[s],
+                      sched_.attempt_caps[s], sched_.target, s_pos,
+                      global_met);
+  }
+}
+
+std::vector<StratUnit> StratifiedFold::compose_wave(
+    const std::vector<std::uint8_t>* owned) const {
+  const std::size_t S = ck_.size();
+  std::vector<StratUnit> units;
+  std::uint64_t pooled_trials = 0;
+  std::uint64_t seq = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    pooled_trials += ck_[s].trials;
+    seq += ck_[s].attempts;
+  }
+  const std::size_t s_pos = count_positive();
+  const bool global_met = pooled_target_met();
+  for (std::size_t s = 0; s < S; ++s) {
+    if (owned != nullptr && (*owned)[s] == 0) continue;
+    if (!open(s, pooled_trials, s_pos, global_met)) continue;
+    // Size this stratum's quantum from its observed trial yield (first
+    // attempt: assume the maximum, under- rather than over-committing).
+    const std::uint64_t remaining = sched_.caps[s] - ck_[s].trials;
+    const double yield =
+        ck_[s].attempts > 0
+            ? std::max(0.25, static_cast<double>(ck_[s].trials) /
+                                 static_cast<double>(ck_[s].attempts))
+            : static_cast<double>(sched_.max_yield);
+    auto q = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(remaining) / yield));
+    q = std::clamp<std::uint64_t>(q, 1, kMaxStratumQuantum);
+    q = std::min(q, sched_.attempt_caps[s] - ck_[s].attempts);
+    for (std::uint64_t j = 0; j < q; ++j) {
+      units.push_back({s, ck_[s].attempts + j, 0});
+    }
+  }
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    units[i].seq = seq + static_cast<std::uint64_t>(i);
+  }
+  return units;
+}
+
+bool StratifiedFold::any_open(const std::vector<std::uint8_t>* owned) const {
+  std::uint64_t pooled_trials = 0;
+  for (const StratumCheckpoint& s : ck_) pooled_trials += s.trials;
+  const std::size_t s_pos = count_positive();
+  const bool global_met = pooled_target_met();
+  for (std::size_t s = 0; s < ck_.size(); ++s) {
+    if (owned != nullptr && (*owned)[s] == 0) continue;
+    if (open(s, pooled_trials, s_pos, global_met)) return true;
+  }
+  return false;
+}
+
+void StratifiedFold::merge_unit(const StratUnit& unit, StratUnitOutcome& out) {
+  StratumCheckpoint& st = ck_[unit.stratum];
+  st.skipped += out.skipped;
+  ++st.attempts;
+  for (auto& rep : out.reps) {
+    if (st.trials >= sched_.caps[unit.stratum]) break;
+    if (rep.non_finite) ++st.non_finite;
+    if (sink_ != nullptr) {
+      // Trial index stamped at merge; the `attempt` restamp is a no-op for
+      // live execution (run_stratum_attempt already used unit.seq as its
+      // sink context) but restores the global sequence number on shard
+      // records, which were produced without knowing it.
+      for (trace::InjectionEvent& ev : rep.events) {
+        ev.trial = pooled_trials_;
+        ev.attempt = unit.seq;
+      }
+      sink_->append(std::move(rep.events));
+      if (sink_->capture_logits() && rep.logits.defined()) {
+        sink_->append_logits(
+            {rep.seq, rep.rep_index, std::move(rep.logits)});
+      }
+    }
+    for (const std::uint8_t corrupted : rep.corrupted) {
+      ++st.trials;
+      ++pooled_trials_;
+      st.corruptions += corrupted;
+      if (st.trials >= sched_.caps[unit.stratum]) break;
+    }
+    if (rep.pruned) {
+      ++st.pruned;
+    } else {
+      ++st.executed;
+    }
+  }
+}
+
+CampaignResult StratifiedFold::pooled() const {
+  CampaignResult r;
+  for (const StratumCheckpoint& s : ck_) {
+    r.trials += s.trials;
+    r.skipped += s.skipped;
+    r.corruptions += s.corruptions;
+    r.non_finite += s.non_finite;
+    if ((s.flags & kStratumGaveUpFlag) != 0) r.gave_up = 1;
+  }
+  return r;
+}
+
+StratifiedResult StratifiedFold::assemble() const {
+  StratifiedResult result;
+  result.totals = pooled();
+  const std::size_t S = ck_.size();
+  result.strata.reserve(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    StratumOutcome o;
+    o.stratum = sched_.strata[s];
+    o.counts.trials = ck_[s].trials;
+    o.counts.skipped = ck_[s].skipped;
+    o.counts.corruptions = ck_[s].corruptions;
+    o.counts.non_finite = ck_[s].non_finite;
+    o.counts.gave_up = (ck_[s].flags & kStratumGaveUpFlag) != 0 ? 1 : 0;
+    o.pruned = ck_[s].pruned;
+    o.executed = ck_[s].executed;
+    o.attempts = ck_[s].attempts;
+    o.stopped_early = (ck_[s].flags & kStratumStoppedEarlyFlag) != 0;
+    o.gave_up = (ck_[s].flags & kStratumGaveUpFlag) != 0;
+    result.strata.push_back(o);
+    result.pruned += ck_[s].pruned;
+    result.golden_passes += ck_[s].attempts;
+    result.faulty_passes += ck_[s].executed;
+  }
+  return result;
+}
+
+}  // namespace detail
 
 Proportion StratifiedResult::estimate() const {
   std::vector<StratumEstimate> est;
@@ -493,62 +694,24 @@ StratifiedResult run_stratified_campaign(FaultInjector& fi,
                                          const data::SyntheticDataset& ds,
                                          const StratifiedCampaignConfig& config) {
   const CampaignConfig& base = config.base;
-  PFI_CHECK(base.trials > 0) << "stratified campaign trials=" << base.trials;
-  PFI_CHECK(base.batch_size >= 1 && base.batch_size <= fi.config().batch_size)
-      << "stratified campaign batch_size " << base.batch_size
-      << " exceeds injector batch size " << fi.config().batch_size;
-  PFI_CHECK(base.injections_per_image >= 1)
-      << "stratified campaign injections_per_image "
-      << base.injections_per_image;
-  PFI_CHECK(base.threads >= 0)
-      << "stratified campaign threads=" << base.threads;
-  PFI_CHECK(base.attempt_cap >= 0)
-      << "stratified campaign attempt_cap=" << base.attempt_cap;
-  PFI_CHECK(!base.one_fault_per_layer)
-      << "stratified campaigns sample one fault per trial; "
-         "one_fault_per_layer is the uniform runner's mode";
-  PFI_CHECK(config.target_half_width >= 0.0 && config.target_half_width < 1.0)
-      << "target_half_width " << config.target_half_width
-      << " must be in [0, 1)";
-
   fi.model().eval();
-  const std::vector<Stratum> strata = make_strata(fi, base.layer, fi.dtype());
-  const std::size_t S = strata.size();
-  const auto trials_budget = static_cast<std::uint64_t>(base.trials);
-  const double target = config.target_half_width;
+  StratifiedFold fold(detail::make_stratified_schedule(fi, config),
+                      base.trace);
+  const StratifiedSchedule& sched = fold.schedule();
+  const std::size_t S = sched.strata.size();
 
-  // Budget mode (target == 0): each stratum owns its proportional share of
-  // the trial budget, allocated exactly. CI mode: any stratum may spend up
-  // to the whole budget — the CI rule, not the allocation, decides where
-  // trials go — with a global budget backstop at wave boundaries.
-  std::vector<std::uint64_t> caps;
-  if (target > 0.0) {
-    caps.assign(S, trials_budget);
-  } else {
-    caps = allocate_caps(trials_budget, strata);
-  }
-  std::vector<std::uint64_t> attempt_caps(S);
-  for (std::size_t s = 0; s < S; ++s) {
-    attempt_caps[s] = base.attempt_cap > 0
-                          ? static_cast<std::uint64_t>(base.attempt_cap)
-                          : 100 + caps[s] * 1000;
-  }
   const std::vector<bool> relu_adj = relu_adjacent_layers(fi);
   std::vector<bool> prunable(S);
   for (std::size_t s = 0; s < S; ++s) {
     prunable[s] = config.prune &&
-                  relu_adj[static_cast<std::size_t>(strata[s].layer)];
+                  relu_adj[static_cast<std::size_t>(sched.strata[s].layer)];
   }
 
-  std::vector<StratumCheckpoint> ck(S);
   std::uint64_t wave_index = 0;
   if (base.checkpoint != nullptr) {
     const auto& saved = base.checkpoint->strata();
     if (!saved.empty()) {
-      PFI_CHECK(saved.size() == S)
-          << "checkpoint holds " << saved.size() << " strata but this "
-          << "campaign has " << S << " — refusing to resume";
-      ck = saved;
+      fold.restore(saved);
     } else {
       PFI_CHECK(base.checkpoint->result().trials == 0 &&
                 base.checkpoint->next_unit() == 0)
@@ -556,168 +719,11 @@ StratifiedResult run_stratified_campaign(FaultInjector& fi,
              "written by a stratified campaign";
     }
     wave_index = base.checkpoint->next_unit();
+    if (base.checkpoint->done()) return fold.assemble();
   }
-
-  const auto pooled = [&]() {
-    CampaignResult r;
-    for (std::size_t s = 0; s < S; ++s) {
-      r.trials += ck[s].trials;
-      r.skipped += ck[s].skipped;
-      r.corruptions += ck[s].corruptions;
-      r.non_finite += ck[s].non_finite;
-      if ((ck[s].flags & kGaveUpFlag) != 0) r.gave_up = 1;
-    }
-    return r;
-  };
-  const auto assemble = [&]() {
-    StratifiedResult result;
-    result.totals = pooled();
-    result.strata.reserve(S);
-    for (std::size_t s = 0; s < S; ++s) {
-      StratumOutcome o;
-      o.stratum = strata[s];
-      o.counts.trials = ck[s].trials;
-      o.counts.skipped = ck[s].skipped;
-      o.counts.corruptions = ck[s].corruptions;
-      o.counts.non_finite = ck[s].non_finite;
-      o.counts.gave_up = (ck[s].flags & kGaveUpFlag) != 0 ? 1 : 0;
-      o.pruned = ck[s].pruned;
-      o.executed = ck[s].executed;
-      o.attempts = ck[s].attempts;
-      o.stopped_early = (ck[s].flags & kStoppedEarlyFlag) != 0;
-      o.gave_up = (ck[s].flags & kGaveUpFlag) != 0;
-      result.strata.push_back(o);
-      result.pruned += ck[s].pruned;
-      result.golden_passes += ck[s].attempts;
-      result.faulty_passes += ck[s].executed;
-    }
-    return result;
-  };
-
-  if (base.checkpoint != nullptr && base.checkpoint->done()) {
-    return assemble();
-  }
-
-  // Count of strata with at least one observed corruption — the S_pos the
-  // CI closure rule splits its quadrature budget over. A pure function of
-  // the folded counters, recomputed at every wave boundary.
-  const auto count_positive = [&]() {
-    std::size_t n = 0;
-    for (std::size_t s = 0; s < S; ++s) n += ck[s].corruptions > 0 ? 1 : 0;
-    return n;
-  };
-
-  // The pooled interval already meets the target: stop everything. The
-  // per-stratum rule splits the budget conservatively, so the pooled
-  // half-width usually undershoots the target well before every stratum
-  // closes individually; checking the pooled interval directly at wave
-  // boundaries (a pure function of the counters) ends the campaign at the
-  // requested precision instead of over-sampling to the per-stratum split.
-  const auto pooled_target_met = [&]() {
-    if (!(target > 0.0)) return false;
-    std::vector<StratumEstimate> est(S);
-    for (std::size_t s = 0; s < S; ++s) {
-      est[s] = {strata[s].weight, ck[s].corruptions, ck[s].trials};
-    }
-    return stratified_interval(est, kZ99).half_width() <= target;
-  };
-
-  // A stratum is open while every closure rule still permits more units.
-  // Each term is a pure function of the folded counters, so the predicate
-  // gives the same answer when re-evaluated after a resume.
-  const auto open = [&](std::size_t s, std::uint64_t pooled_trials,
-                        std::size_t s_pos, bool global_met) {
-    if (ck[s].trials >= caps[s]) return false;
-    if (ck[s].attempts >= attempt_caps[s]) return false;
-    if (target > 0.0) {
-      if (pooled_trials >= trials_budget) return false;  // budget backstop
-      if (global_met) return false;
-      if (ci_closed(strata[s], ck[s], s_pos, target)) return false;
-    }
-    return true;
-  };
-  const auto refresh_flags = [&]() {
-    const std::size_t s_pos = count_positive();
-    const bool global_met = pooled_target_met();
-    for (std::size_t s = 0; s < S; ++s) {
-      ck[s].flags = stratum_flags(strata[s], ck[s], caps[s], attempt_caps[s],
-                                  target, s_pos, global_met);
-    }
-  };
-
-  const std::int64_t max_yield = base.batch_size * base.injections_per_image;
-  const auto compose_wave = [&]() {
-    std::vector<Unit> units;
-    std::uint64_t pooled_trials = 0;
-    std::uint64_t seq = 0;
-    for (std::size_t s = 0; s < S; ++s) {
-      pooled_trials += ck[s].trials;
-      seq += ck[s].attempts;
-    }
-    const std::size_t s_pos = count_positive();
-    const bool global_met = pooled_target_met();
-    for (std::size_t s = 0; s < S; ++s) {
-      if (!open(s, pooled_trials, s_pos, global_met)) continue;
-      // Size this stratum's quantum from its observed trial yield (first
-      // attempt: assume the maximum, under- rather than over-committing).
-      const std::uint64_t remaining = caps[s] - ck[s].trials;
-      const double yield =
-          ck[s].attempts > 0
-              ? std::max(0.25, static_cast<double>(ck[s].trials) /
-                                   static_cast<double>(ck[s].attempts))
-              : static_cast<double>(max_yield);
-      auto q = static_cast<std::uint64_t>(
-          std::ceil(static_cast<double>(remaining) / yield));
-      q = std::clamp<std::uint64_t>(q, 1, kMaxQuantum);
-      q = std::min(q, attempt_caps[s] - ck[s].attempts);
-      for (std::uint64_t j = 0; j < q; ++j) {
-        units.push_back({s, ck[s].attempts + j, 0});
-      }
-    }
-    for (std::size_t i = 0; i < units.size(); ++i) {
-      units[i].seq = seq + static_cast<std::uint64_t>(i);
-    }
-    return units;
-  };
-
-  // Fold one unit, honouring the stratum's trial cap exactly as the uniform
-  // merge honours the campaign target: reps past the cap drop whole, a
-  // rep's scored rows are consumed only up to it. Merged strictly in unit
-  // order, so the folded state (and the trace stream) is identical however
-  // the units were sharded.
-  std::uint64_t pooled_trials = pooled().trials;
-  const bool tracing = base.trace != nullptr;
-  const auto merge_unit = [&](const Unit& unit, UnitOutcome& out) {
-    StratumCheckpoint& st = ck[unit.stratum];
-    st.skipped += out.skipped;
-    ++st.attempts;
-    for (auto& rep : out.reps) {
-      if (st.trials >= caps[unit.stratum]) break;
-      if (rep.non_finite) ++st.non_finite;
-      if (tracing) {
-        for (trace::InjectionEvent& ev : rep.events) ev.trial = pooled_trials;
-        base.trace->append(std::move(rep.events));
-        if (base.trace->capture_logits() && rep.logits.defined()) {
-          base.trace->append_logits(
-              {rep.seq, rep.rep_index, std::move(rep.logits)});
-        }
-      }
-      for (const std::uint8_t corrupted : rep.corrupted) {
-        ++st.trials;
-        ++pooled_trials;
-        st.corruptions += corrupted;
-        if (st.trials >= caps[unit.stratum]) break;
-      }
-      if (rep.pruned) {
-        ++st.pruned;
-      } else {
-        ++st.executed;
-      }
-    }
-  };
 
   WaveCommitter committer(base.checkpoint, base.trace);
-  refresh_flags();
+  fold.refresh_flags();
 
   const std::int64_t threads = detail::resolve_threads(
       base.threads, std::max<std::int64_t>(1, base.trials / 4));
@@ -726,15 +732,17 @@ StratifiedResult run_stratified_campaign(FaultInjector& fi,
   if (threads > 1) pool.emplace(static_cast<std::size_t>(threads));
 
   while (true) {
-    const std::vector<Unit> units = compose_wave();
+    const std::vector<StratUnit> units = fold.compose_wave();
     if (units.empty()) break;
 
-    std::vector<UnitOutcome> outcomes(units.size());
+    std::vector<StratUnitOutcome> outcomes(units.size());
     if (threads == 1) {
       for (std::size_t i = 0; i < units.size(); ++i) {
-        const Unit& u = units[i];
-        outcomes[i] = run_stratum_attempt(fi, ds, config, strata[u.stratum],
-                                          u.stratum, prunable[u.stratum], u);
+        const StratUnit& u = units[i];
+        outcomes[i] =
+            detail::run_stratum_attempt(fi, ds, config,
+                                        sched.strata[u.stratum], u.stratum,
+                                        prunable[u.stratum], u);
       }
     } else {
       pool->run(static_cast<std::size_t>(threads), [&](std::size_t g) {
@@ -742,32 +750,25 @@ StratifiedResult run_stratified_campaign(FaultInjector& fi,
         // no injector is touched by two tasks.
         for (std::size_t i = g; i < units.size();
              i += static_cast<std::size_t>(threads)) {
-          const Unit& u = units[i];
+          const StratUnit& u = units[i];
           outcomes[i] =
-              run_stratum_attempt(*set.workers[g], ds, config,
-                                  strata[u.stratum], u.stratum,
-                                  prunable[u.stratum], u);
+              detail::run_stratum_attempt(*set.workers[g], ds, config,
+                                          sched.strata[u.stratum], u.stratum,
+                                          prunable[u.stratum], u);
         }
       });
     }
     for (std::size_t i = 0; i < units.size(); ++i) {
-      merge_unit(units[i], outcomes[i]);
+      fold.merge_unit(units[i], outcomes[i]);
     }
-    refresh_flags();
+    fold.refresh_flags();
     ++wave_index;
 
-    bool done = true;
-    std::uint64_t now_pooled = 0;
-    for (std::size_t s = 0; s < S; ++s) now_pooled += ck[s].trials;
-    const std::size_t now_pos = count_positive();
-    const bool now_met = pooled_target_met();
-    for (std::size_t s = 0; s < S && done; ++s) {
-      if (open(s, now_pooled, now_pos, now_met)) done = false;
-    }
-    committer.commit(pooled(), wave_index, done, ck);
+    const bool done = !fold.any_open();
+    committer.commit(fold.pooled(), wave_index, done, fold.states());
     if (done) break;
   }
-  return assemble();
+  return fold.assemble();
 }
 
 }  // namespace pfi::core

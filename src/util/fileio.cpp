@@ -130,4 +130,23 @@ std::string read_file(const std::string& path) {
   return out;
 }
 
+void ensure_dir(const std::string& path) {
+  PFI_CHECK(!path.empty()) << "ensure_dir: empty path";
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/': root always exists
+    if (::mkdir(prefix.c_str(), 0755) == 0) continue;
+    const int err = errno;
+    struct stat st{};
+    PFI_CHECK(err == EEXIST && ::stat(prefix.c_str(), &st) == 0 &&
+              S_ISDIR(st.st_mode))
+        << "cannot create directory '" << prefix
+        << "': " << std::strerror(err);
+  }
+}
+
 }  // namespace pfi::util

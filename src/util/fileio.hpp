@@ -41,4 +41,9 @@ std::int64_t file_size(const std::string& path);
 /// Whole-file read (binary). Throws pfi::Error when the file is unreadable.
 std::string read_file(const std::string& path);
 
+/// Create `path` as a directory, including missing parents (mkdir -p). A
+/// path that already exists as a directory is fine; anything else throws.
+/// Shard runs use this so `--shard-dir out/run1` works without ceremony.
+void ensure_dir(const std::string& path);
+
 }  // namespace pfi::util

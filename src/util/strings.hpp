@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "util/error.hpp"
 
@@ -85,6 +86,19 @@ inline std::string json_unescape(const std::string& s) {
     }
   }
   return out;
+}
+
+/// FNV-1a 64-bit over a byte string. The repo's one content hash: campaign
+/// config fingerprints (core/checkpoint.cpp) and shard attempt-log digests
+/// (core/shard.cpp) both chain through it, so two artifacts agree on
+/// identity iff their bytes agree.
+inline std::uint64_t fnv1a(std::string_view s,
+                           std::uint64_t h = 14695981039346656037ull) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 /// Exact 8-hex-digit encoding of a float's IEEE-754 bit pattern. The trace

@@ -1,0 +1,200 @@
+// Unit tests for pfi_cli's argument parser (core/cli.hpp). The parser is a
+// pure function from argv to CliParse, so every usage error — unknown
+// flags, missing values, out-of-range integers, conflicting flag
+// combinations, and the shard-mode validation rules — can be pinned
+// without spawning the binary.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+
+namespace pfi::core {
+namespace {
+
+/// Parse a brace-list of flags as pfi_cli would see them (argv[0] is the
+/// program name and is skipped).
+CliParse parse(std::vector<std::string> args) {
+  std::vector<const char*> argv = {"pfi_cli"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  return parse_cli_args(static_cast<int>(argv.size()), argv.data());
+}
+
+void expect_error(std::vector<std::string> args, const std::string& needle) {
+  const CliParse p = parse(std::move(args));
+  EXPECT_FALSE(p.ok());
+  EXPECT_NE(p.error.find(needle), std::string::npos)
+      << "error was: " << p.error;
+}
+
+// ----------------------------------------------------------- happy path ----
+
+TEST(Cli, DefaultsWhenNoFlags) {
+  const CliParse p = parse({});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.options.model, "resnet18");
+  EXPECT_EQ(p.options.dataset, "cifar10");
+  EXPECT_EQ(p.options.dtype, "fp32");
+  EXPECT_EQ(p.options.error, "random");  // filled in during validation
+  EXPECT_EQ(p.options.trials, 500);
+  EXPECT_EQ(p.options.seed, 1u);
+  EXPECT_EQ(p.options.shards, 1);
+  EXPECT_EQ(p.options.shard_index, -1);
+  EXPECT_FALSE(p.options.shard_mode());
+}
+
+TEST(Cli, ParsesTypicalCampaignInvocation) {
+  const CliParse p =
+      parse({"--model", "alexnet", "--trials", "1000", "--error",
+             "bitflip:31", "--layer", "3", "--threads", "8", "--seed", "42",
+             "--trace", "/tmp/t.jsonl", "--no-prefix-cache"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.options.model, "alexnet");
+  EXPECT_EQ(p.options.trials, 1000);
+  EXPECT_EQ(p.options.error, "bitflip:31");
+  EXPECT_EQ(p.options.layer, 3);
+  EXPECT_EQ(p.options.threads, 8);
+  EXPECT_EQ(p.options.seed, 42u);
+  EXPECT_EQ(p.options.trace_path, "/tmp/t.jsonl");
+  EXPECT_FALSE(p.options.prefix_cache);
+}
+
+TEST(Cli, HelpAndListModelsShortCircuit) {
+  EXPECT_TRUE(parse({"--help"}).show_help);
+  EXPECT_TRUE(parse({"-h"}).show_help);
+  EXPECT_TRUE(parse({"--list-models"}).list_models);
+  // Short-circuits even if later flags are nonsense.
+  EXPECT_TRUE(parse({"--help", "--bogus"}).show_help);
+  EXPECT_FALSE(parse({"--help"}).ok());
+  EXPECT_NE(cli_usage().find("--shard-dir"), std::string::npos);
+}
+
+TEST(Cli, ShardWorkerInvocation) {
+  const CliParse p = parse({"--shard-dir", "/tmp/shards", "--shards", "4",
+                            "--shard-index", "2", "--shard-horizon", "512"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.options.shard_mode());
+  EXPECT_EQ(p.options.shards, 4);
+  EXPECT_EQ(p.options.shard_index, 2);
+  EXPECT_EQ(p.options.shard_horizon, 512);
+}
+
+TEST(Cli, ShardDriverInvocationWithoutIndex) {
+  const CliParse p = parse({"--shard-dir", "/tmp/shards", "--shards", "3"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.options.shard_index, -1);  // run all shards + merge
+}
+
+// --------------------------------------------------------- usage errors ----
+
+TEST(Cli, UnknownFlagIsNamed) {
+  expect_error({"--bogus"}, "unknown flag '--bogus'");
+  expect_error({"--trials", "10", "--frobnicate"},
+               "unknown flag '--frobnicate'");
+}
+
+TEST(Cli, MissingValueIsNamed) {
+  expect_error({"--trials"}, "flag '--trials' is missing its value");
+  expect_error({"--model"}, "flag '--model' is missing its value");
+  expect_error({"--shard-dir"}, "flag '--shard-dir' is missing its value");
+}
+
+TEST(Cli, OutOfRangeIntegersAreRejectedWithRange) {
+  expect_error({"--trials", "0"}, "--trials expects an integer in [1, ");
+  expect_error({"--trials", "-5"}, "--trials expects an integer");
+  expect_error({"--trials", "12banana"}, "got '12banana'");
+  expect_error({"--threads", "5000"}, "--threads expects an integer");
+  expect_error({"--epochs", "x"}, "--epochs expects an integer");
+  expect_error({"--seed", "-1"}, "--seed expects an unsigned integer");
+  expect_error({"--ci-target", "1.5"},
+               "--ci-target expects a half-width in [0, 1)");
+  expect_error({"--ci-target", "abc"}, "got 'abc'");
+}
+
+TEST(Cli, BadErrorModelAndDtypeSpecs) {
+  expect_error({"--error", "frob"}, "unknown error model 'frob'");
+  expect_error({"--error", "random:1"}, "random takes 0 or 2 arguments");
+  expect_error({"--error", "const:x"}, "'x' is not a number");
+  expect_error({"--dtype", "fp64"}, "unknown dtype 'fp64'");
+  expect_error({"--sampler", "quantum"}, "unknown sampler 'quantum'");
+}
+
+TEST(Cli, ErrorModelSpecParser) {
+  EXPECT_TRUE(parse_error_model_spec("bitflip").has_value());
+  EXPECT_TRUE(parse_error_model_spec("bitflip:31").has_value());
+  EXPECT_TRUE(parse_error_model_spec("random:0:1").has_value());
+  EXPECT_TRUE(parse_error_model_spec("noise:0.5").has_value());
+  std::string why;
+  EXPECT_FALSE(parse_error_model_spec("bitflip:1:2", &why).has_value());
+  EXPECT_NE(why.find("at most one argument"), std::string::npos);
+}
+
+TEST(Cli, DtypeNameParser) {
+  EXPECT_TRUE(parse_dtype_name("fp32").has_value());
+  EXPECT_TRUE(parse_dtype_name("fp16").has_value());
+  EXPECT_TRUE(parse_dtype_name("int8").has_value());
+  EXPECT_FALSE(parse_dtype_name("bf16").has_value());
+}
+
+// ---------------------------------------------------- shard validation ----
+
+TEST(Cli, ShardFlagsRequireShardDir) {
+  expect_error({"--shards", "4"}, "need --shard-dir");
+  expect_error({"--shard-index", "0"}, "need --shard-dir");
+  expect_error({"--shard-horizon", "100"}, "--shard-horizon needs --shard-dir");
+}
+
+TEST(Cli, ShardIndexMustBeBelowShardCount) {
+  expect_error({"--shard-dir", "/tmp/s", "--shards", "4", "--shard-index",
+                "4"},
+               "--shard-index 4 must be < --shards 4");
+  expect_error({"--shard-dir", "/tmp/s", "--shard-index", "1"},
+               "--shard-index 1 must be < --shards 1");
+}
+
+TEST(Cli, ShardRangesEnforced) {
+  expect_error({"--shards", "0"}, "--shards expects an integer in [1, ");
+  expect_error({"--shard-index", "-1"}, "--shard-index expects an integer");
+  expect_error({"--shard-horizon", "0"},
+               "--shard-horizon expects an integer");
+}
+
+TEST(Cli, ShardModeConflicts) {
+  expect_error({"--shard-dir", "/tmp/s", "--checkpoint", "/tmp/c.json"},
+               "--checkpoint conflicts with sharding");
+  expect_error({"--shard-dir", "/tmp/s", "--resume"},
+               "--resume is implicit in shard mode");
+  expect_error({"--shard-dir", "/tmp/s", "--per-layer"},
+               "--per-layer campaigns cannot be sharded");
+  expect_error({"--shard-dir", "/tmp/s", "--sampler", "stratified",
+                "--ci-target", "0.01"},
+               "cannot be sharded");
+}
+
+TEST(Cli, ShardedStratifiedBudgetModeIsAllowed) {
+  const CliParse p = parse({"--shard-dir", "/tmp/s", "--shards", "2",
+                            "--sampler", "stratified"});
+  EXPECT_TRUE(p.ok()) << p.error;
+}
+
+// ----------------------------------------------- non-shard cross checks ----
+
+TEST(Cli, ResumeRequiresCheckpoint) {
+  expect_error({"--resume"}, "--resume requires --checkpoint");
+  EXPECT_TRUE(
+      parse({"--checkpoint", "/tmp/c.json", "--resume"}).ok());
+}
+
+TEST(Cli, StratifiedRules) {
+  expect_error({"--sampler", "stratified", "--error", "zero"},
+               "--error does not apply");
+  expect_error({"--sampler", "stratified", "--per-layer"},
+               "--per-layer is the uniform sampler's mode");
+  expect_error({"--ci-target", "0.01"},
+               "--ci-target requires --sampler stratified");
+  EXPECT_TRUE(parse({"--sampler", "stratified", "--ci-target", "0.01"}).ok());
+}
+
+}  // namespace
+}  // namespace pfi::core

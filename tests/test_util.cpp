@@ -7,12 +7,15 @@
 #include <set>
 #include <string>
 
+#include <unistd.h>
+
 #include "util/bits.hpp"
 #include "util/error.hpp"
 #include "util/fileio.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/strings.hpp"
 
 namespace pfi {
 namespace {
@@ -406,6 +409,79 @@ TEST(FileIo, TruncateDropsTornTail) {
 TEST(FileIo, ReadMissingFileThrows) {
   EXPECT_THROW(util::read_file("/tmp/pfi_test_fileio_missing.bin"), Error);
   EXPECT_FALSE(util::file_exists("/tmp/pfi_test_fileio_missing.bin"));
+}
+
+TEST(FileIo, EnsureDirCreatesNestedAndIsIdempotent) {
+  const std::string parent = "/tmp/pfi_test_ensure_dir";
+  const std::string nested = parent + "/a/b";
+  ::rmdir(nested.c_str());
+  ::rmdir((parent + "/a").c_str());
+  ::rmdir(parent.c_str());
+  util::ensure_dir(nested);
+  EXPECT_NO_THROW(util::ensure_dir(nested));  // already exists: fine
+  const std::string probe = nested + "/probe";
+  util::atomic_write_file(probe, "x");
+  EXPECT_EQ(util::read_file(probe), "x");
+  std::remove(probe.c_str());
+  ::rmdir(nested.c_str());
+  ::rmdir((parent + "/a").c_str());
+  ::rmdir(parent.c_str());
+}
+
+// --------------------------------------------------------------- strings ----
+
+TEST(JsonEscape, RoundTripsEveryByteClass) {
+  std::string all;
+  for (int c = 1; c < 128; ++c) all.push_back(static_cast<char>(c));
+  EXPECT_EQ(util::json_unescape(util::json_escape(all)), all);
+}
+
+TEST(JsonEscape, EscapesControlAndStructuralCharacters) {
+  EXPECT_EQ(util::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(util::json_escape("line\nfeed\ttab\rcr"),
+            "line\\nfeed\\ttab\\rcr");
+  EXPECT_EQ(util::json_escape(std::string(1, '\x01')), "\\u0001");
+  // The escaped form has no control bytes and no unescaped quote — i.e. it
+  // is always safe inside a JSON string literal.
+  std::string hostile = "\"\\\n\r\t\x02\x1f";
+  const std::string esc = util::json_escape(hostile);
+  for (std::size_t i = 0; i < esc.size(); ++i) {
+    EXPECT_GE(static_cast<unsigned char>(esc[i]), 0x20u);
+    if (esc[i] == '"') {
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(esc[i - 1], '\\');
+    }
+  }
+  EXPECT_EQ(util::json_unescape(esc), hostile);
+}
+
+TEST(JsonEscape, UnescapeRejectsMalformedInput) {
+  EXPECT_THROW(util::json_unescape("dangling\\"), Error);
+  EXPECT_THROW(util::json_unescape("\\q"), Error);
+  EXPECT_THROW(util::json_unescape("\\u00"), Error);
+  EXPECT_THROW(util::json_unescape("\\u0080"), Error);  // non-ASCII refused
+}
+
+TEST(Fnv1a, MatchesReferenceVectorsAndChains) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(util::fnv1a(""), 14695981039346656037ull);
+  EXPECT_EQ(util::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(util::fnv1a("foobar"), 0x85944171f73967e8ull);
+  // Incremental chaining equals one-shot hashing — the property the shard
+  // log digest relies on (one wave appended per commit).
+  const std::string a = "first wave\n", b = "second wave\n";
+  EXPECT_EQ(util::fnv1a(b, util::fnv1a(a)), util::fnv1a(a + b));
+  EXPECT_NE(util::fnv1a(a + b), util::fnv1a(b + a));
+}
+
+TEST(Fnv1a, SensitiveToEveryByte) {
+  const std::string base(64, 'x');
+  const std::uint64_t h = util::fnv1a(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::string mutated = base;
+    mutated[i] ^= 1;
+    EXPECT_NE(util::fnv1a(mutated), h) << "byte " << i;
+  }
 }
 
 }  // namespace
