@@ -32,6 +32,10 @@
 // core/shard.hpp). Mutually exclusive with PFI_CHECKPOINT (shards keep
 // their own checkpoints) and with a PFI_CI_TARGET stratified run (CI-target
 // campaigns couple strata and cannot shard).
+// PFI_DTYPE selects the campaign representation (default int8 — the
+// paper's quantized setting); any of fp32|fp16|bf16|int8 with an optional
+// -native suffix, e.g. PFI_DTYPE=int8-native runs every conv through the
+// native INT8 GEMM path instead of fp32-with-emulation.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +44,7 @@
 
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
+#include "core/cli.hpp"
 #include "core/report.hpp"
 #include "core/sampling.hpp"
 #include "core/shard.hpp"
@@ -91,6 +96,15 @@ int main() {
   const std::int64_t shards = env_int("PFI_SHARDS", 1);
   std::string shard_dir = env_str("PFI_SHARD_DIR");
   if (shard_dir.empty()) shard_dir = "fig4-shards";
+  std::string dtype_text = env_str("PFI_DTYPE");
+  if (dtype_text.empty()) dtype_text = "int8";
+  const auto dtype_spec = core::parse_dtype_spec(dtype_text);
+  if (!dtype_spec.has_value()) {
+    std::fprintf(stderr,
+                 "PFI_DTYPE must be fp32|fp16|bf16|int8[-native], got '%s'\n",
+                 dtype_text.c_str());
+    return 2;
+  }
   if (shards > 1 && !checkpoint_prefix.empty()) {
     std::fprintf(stderr, "PFI_SHARDS conflicts with PFI_CHECKPOINT — shard "
                          "runs manage their own checkpoints\n");
@@ -113,6 +127,11 @@ int main() {
 
   for (const auto& name : models::fig4_networks()) {
     Rng rng(std::hash<std::string>{}(name));
+    // Experiment identity for checkpoints/shards; the default int8 keeps the
+    // historical "fig4|<net>" context so existing checkpoints still resume.
+    const std::string ctx =
+        dtype_text == "int8" ? "fig4|" + name
+                             : "fig4|" + dtype_text + "|" + name;
     auto model = models::make_model(
         name, {.num_classes = spec.classes, .image_size = spec.height}, rng);
     // Per-architecture learning rates (no-BN nets need gentler steps; see
@@ -132,7 +151,8 @@ int main() {
 
     core::FiConfig fi_cfg{.input_shape = {3, spec.height, spec.width},
                           .batch_size = 1,
-                          .dtype = core::DType::kInt8};
+                          .dtype = dtype_spec->dtype,
+                          .native = dtype_spec->native};
     fi_cfg.prefix_cache = prefix_cache;
     core::FaultInjector fi(model, fi_cfg);
     core::CampaignConfig cfg;
@@ -152,8 +172,8 @@ int main() {
       ckpt = std::make_unique<core::CampaignCheckpointer>(
           checkpoint_prefix + "-" + name + ".ckpt");
       const std::uint64_t fp =
-          stratified ? core::stratified_fingerprint(scfg, "fig4|" + name)
-                     : core::campaign_fingerprint(cfg, "fig4|" + name);
+          stratified ? core::stratified_fingerprint(scfg, ctx)
+                     : core::campaign_fingerprint(cfg, ctx);
       if (resume) ckpt->resume(fp);
       else ckpt->begin(fp);
       cfg.checkpoint = ckpt.get();
@@ -169,13 +189,13 @@ int main() {
       if (stratified) {
         scfg.base = cfg;
         const core::StratifiedResult sr = core::run_sharded_stratified(
-            fi, ds, scfg, shards, dir, nullptr, "fig4|" + name);
+            fi, ds, scfg, shards, dir, nullptr, ctx);
         r = sr.totals;
         p = sr.estimate();
         efficiency = core::stratified_efficiency_footer(sr);
       } else {
         r = core::run_sharded_classification(fi, ds, cfg, shards, dir,
-                                             nullptr, "fig4|" + name);
+                                             nullptr, ctx);
         p = r.corruption_probability();
       }
     } else if (stratified) {

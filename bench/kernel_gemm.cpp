@@ -10,6 +10,15 @@
 // spends its time in. Prints GFLOP/s for both kernels plus the speedup,
 // then a weighted total (each shape weighted by groups x its flop count).
 //
+// Alongside the fp32 naive/blocked pair, two native-INT8 rows time the
+// deployed quantized path on the same shapes (same 2*M*N*K op count, so
+// the GOP/s columns compare directly):
+//   int8-gemm : prepacked steady state — both operands already quantized
+//               and packed; per call = exact i32 GEMM + fp32 requantize.
+//   int8-path : what a conv forward actually pays per pass — weights
+//               prepacked, activations quantized+packed per call, then
+//               GEMM + requantize.
+//
 // Environment knobs: PFI_BENCH_REPS_MS (target ms per measurement, default
 // 300), PFI_KERNEL_THREADS (intra-op threads for the blocked kernel,
 // default 1 — the campaign engine parallelizes across trials instead).
@@ -21,6 +30,7 @@
 
 #include "core/fault_injector.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/lowp.hpp"
 #include "models/zoo.hpp"
 #include "util/stopwatch.hpp"
 
@@ -112,12 +122,14 @@ int main() {
   }
   shapes = dedup(std::move(shapes));
 
-  std::printf("%-34s %6s %6s %6s | %9s %9s | %7s\n", "layer (first of dup)",
-              "M", "N", "K", "naive", "blocked", "speedup");
-  std::printf("%-34s %6s %6s %6s | %9s %9s |\n", "", "", "", "", "GFLOP/s",
-              "GFLOP/s");
+  std::printf("%-34s %6s %6s %6s | %9s %9s %9s %9s | %7s %7s\n",
+              "layer (first of dup)", "M", "N", "K", "naive", "blocked",
+              "int8-gemm", "int8-path", "blk/nve", "i8/blk");
+  std::printf("%-34s %6s %6s %6s | %9s %9s %9s %9s |\n", "", "", "", "",
+              "GFLOP/s", "GFLOP/s", "GOP/s", "GOP/s");
 
   double naive_total_s = 0.0, blocked_total_s = 0.0, flops_total = 0.0;
+  double i8_total_s = 0.0, i8_path_total_s = 0.0;
   Rng rng(7);
   for (const auto& s : shapes) {
     std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
@@ -144,22 +156,62 @@ int main() {
         },
         target_ms);
 
-    std::printf("%-34s %6lld %6lld %6lld | %9.2f %9.2f | %6.2fx\n",
-                s.layer.c_str(), static_cast<long long>(s.m),
-                static_cast<long long>(s.n), static_cast<long long>(s.k),
-                flops / t_naive * 1e-9, flops / t_blocked * 1e-9,
-                t_naive / t_blocked);
+    // Native INT8, mirroring Conv2d::forward_int8: per-row weight scales +
+    // prepacked weight panels, per-tensor activation quantization.
+    const auto row_scales =
+        kernels::per_row_scales_i8(s.m, s.k, a.data(), s.k, false);
+    kernels::PackedPanelsI8 pa, pb;
+    kernels::quantize_pack_a_i8(s.m, s.k, a.data(), s.k, false,
+                                kernels::block_config().mr, row_scales.data(),
+                                pa);
+    kernels::quantize_pack_b_i8_tensor(s.k, s.n, b.data(), s.n, false, pb);
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(s.m * s.n));
+    const double t_i8 = time_per_call(
+        [&] {
+          kernels::gemm_i8(s.m, s.n, s.k, pa, pb, acc.data(), s.n);
+          kernels::requantize_rows(s.m, s.n, acc.data(), s.n,
+                                   row_scales.data(), pb.scale[0], bias.data(),
+                                   c.data(), s.n);
+        },
+        target_ms);
+    const double t_i8_path = time_per_call(
+        [&] {
+          kernels::quantize_pack_b_i8_tensor(s.k, s.n, b.data(), s.n, false,
+                                             pb);
+          kernels::gemm_i8(s.m, s.n, s.k, pa, pb, acc.data(), s.n);
+          kernels::requantize_rows(s.m, s.n, acc.data(), s.n,
+                                   row_scales.data(), pb.scale[0], bias.data(),
+                                   c.data(), s.n);
+        },
+        target_ms);
+
+    std::printf(
+        "%-34s %6lld %6lld %6lld | %9.2f %9.2f %9.2f %9.2f | %6.2fx %6.2fx\n",
+        s.layer.c_str(), static_cast<long long>(s.m),
+        static_cast<long long>(s.n), static_cast<long long>(s.k),
+        flops / t_naive * 1e-9, flops / t_blocked * 1e-9, flops / t_i8 * 1e-9,
+        flops / t_i8_path * 1e-9, t_naive / t_blocked, t_blocked / t_i8);
 
     const double w = static_cast<double>(s.weight);
     naive_total_s += t_naive * w;
     blocked_total_s += t_blocked * w;
+    i8_total_s += t_i8 * w;
+    i8_path_total_s += t_i8_path * w;
     flops_total += flops * w;
   }
 
   std::printf("\nweighted total (all conv GEMMs, one forward each):\n");
-  std::printf("  naive   : %8.2f GFLOP/s\n", flops_total / naive_total_s * 1e-9);
-  std::printf("  blocked : %8.2f GFLOP/s\n",
+  std::printf("  naive     : %8.2f GFLOP/s\n",
+              flops_total / naive_total_s * 1e-9);
+  std::printf("  blocked   : %8.2f GFLOP/s\n",
               flops_total / blocked_total_s * 1e-9);
-  std::printf("  speedup : %8.2fx\n", naive_total_s / blocked_total_s);
+  std::printf("  int8-gemm : %8.2f GOP/s\n", flops_total / i8_total_s * 1e-9);
+  std::printf("  int8-path : %8.2f GOP/s\n",
+              flops_total / i8_path_total_s * 1e-9);
+  std::printf("  blocked vs naive   : %6.2fx\n",
+              naive_total_s / blocked_total_s);
+  std::printf("  int8-gemm vs blocked: %6.2fx\n", blocked_total_s / i8_total_s);
+  std::printf("  int8-path vs blocked: %6.2fx\n",
+              blocked_total_s / i8_path_total_s);
   return 0;
 }

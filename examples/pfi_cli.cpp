@@ -141,6 +141,10 @@ int main(int argc, char** argv) {
   core::FiConfig fi_cfg{.input_shape = {spec.channels, spec.height, spec.width},
                         .batch_size = 1};
   fi_cfg.dtype = *core::parse_dtype_name(opt.dtype);
+  fi_cfg.native = opt.native;
+  if (!opt.per_layer_dtype.empty()) {
+    fi_cfg.per_layer = *core::parse_per_layer_dtype(opt.per_layer_dtype);
+  }
   // Flag wins over the PFI_PREFIX_CACHE env toggle; both are pure speed
   // knobs (campaign results are byte-identical either way).
   fi_cfg.prefix_cache =
@@ -182,8 +186,15 @@ int main(int argc, char** argv) {
   // The experiment-identity string folded into checkpoint and shard
   // fingerprints: same format either way, so every shard worker of one
   // campaign agrees on it.
+  // Native execution and per-layer overrides change the numbers, so they are
+  // part of the experiment identity (a checkpoint from an emulated run must
+  // not resume a native one).
   const std::string context = opt.model + "|" + opt.dataset + "|" +
-                              opt.dtype + "|" + opt.error + "|epochs=" +
+                              opt.dtype + (opt.native ? "-native" : "") +
+                              (opt.per_layer_dtype.empty()
+                                   ? ""
+                                   : "|per-layer=" + opt.per_layer_dtype) +
+                              "|" + opt.error + "|epochs=" +
                               std::to_string(opt.epochs) +
                               "|load=" + opt.load_path;
 
@@ -266,15 +277,20 @@ int main(int argc, char** argv) {
     cfg.checkpoint = checkpointer.get();
   }
 
+  const std::string dtype_text =
+      opt.dtype + (opt.native ? " (native execution)" : "") +
+      (opt.per_layer_dtype.empty()
+           ? ""
+           : ", per-layer overrides: " + opt.per_layer_dtype);
   if (stratified) {
     std::printf("campaign: %lld trial budget, stratified single-bit-flip "
                 "sampler, dtype %s%s\n",
-                static_cast<long long>(opt.trials), opt.dtype.c_str(),
+                static_cast<long long>(opt.trials), dtype_text.c_str(),
                 opt.ci_target > 0.0 ? ", adaptive CI stop" : "");
   } else {
     std::printf("campaign: %lld trials, error model %s, dtype %s%s\n",
                 static_cast<long long>(opt.trials),
-                cfg.error_model.name.c_str(), opt.dtype.c_str(),
+                cfg.error_model.name.c_str(), dtype_text.c_str(),
                 opt.per_layer ? ", one fault per layer" : "");
   }
 

@@ -1,6 +1,7 @@
 #include "core/cli.hpp"
 
 #include <cstdlib>
+#include <string_view>
 #include <vector>
 
 #include "util/parse.hpp"
@@ -38,7 +39,9 @@ std::optional<std::uint64_t> uint_flag(const std::string& flag,
 std::string cli_usage() {
   return
       "usage: pfi_cli [--model NAME] [--dataset cifar10|cifar100|imagenet]\n"
-      "               [--dtype fp32|fp16|int8] [--error MODEL] [--trials N]\n"
+      "               [--dtype DTYPE[-native]] [--native]\n"
+      "               [--per-layer-dtype PATH=DTYPE[-native],...]\n"
+      "               [--error MODEL] [--trials N]\n"
       "               [--layer L] [--per-layer] [--epochs N] [--seed S]\n"
       "               [--threads N] [--save PATH] [--load PATH]"
       " [--list-models]\n"
@@ -50,6 +53,9 @@ std::string cli_usage() {
       "               [--shard-horizon H]\n"
       "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
       " zero | const:V | noise:MAG\n"
+      "dtypes: fp32 | fp16 | bf16 | int8; a -native suffix (or --native)\n"
+      "        runs layers IN that representation (INT8 GEMM / 16-bit\n"
+      "        storage) instead of emulating on fp32 outputs\n"
       "sharding: --shard-dir alone runs all S shards in-process and merges;\n"
       "          --shard-index K runs this process as shard K only"
       " (pfi_launch\n"
@@ -95,8 +101,57 @@ std::optional<ErrorModel> parse_error_model_spec(const std::string& spec,
 std::optional<DType> parse_dtype_name(const std::string& name) {
   if (name == "fp32") return DType::kFloat32;
   if (name == "fp16") return DType::kFloat16;
+  if (name == "bf16") return DType::kBFloat16;
   if (name == "int8") return DType::kInt8;
   return std::nullopt;
+}
+
+std::optional<DtypeSpec> parse_dtype_spec(const std::string& spec) {
+  constexpr std::string_view kSuffix = "-native";
+  std::string name = spec;
+  bool native = false;
+  if (name.size() > kSuffix.size() &&
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+          0) {
+    native = true;
+    name.resize(name.size() - kSuffix.size());
+  }
+  const auto dt = parse_dtype_name(name);
+  if (!dt.has_value()) return std::nullopt;
+  return DtypeSpec{.dtype = *dt, .native = native};
+}
+
+std::optional<std::vector<LayerResolution>> parse_per_layer_dtype(
+    const std::string& text, std::string* error) {
+  const auto fail =
+      [&](const std::string& why) -> std::optional<std::vector<LayerResolution>> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (text.empty()) return fail("--per-layer-dtype expects PATH=DTYPE[,...]");
+  std::vector<LayerResolution> out;
+  for (std::size_t pos = 0; pos <= text.size();) {
+    const auto comma = text.find(',', pos);
+    const std::string entry = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+      return fail("per-layer dtype entry '" + entry +
+                  "' is not PATH=DTYPE[-native]");
+    }
+    const std::string spec_text = entry.substr(eq + 1);
+    const auto spec = parse_dtype_spec(spec_text);
+    if (!spec.has_value()) {
+      return fail("unknown dtype '" + spec_text + "' in per-layer entry '" +
+                  entry + "'");
+    }
+    out.push_back({.layer = entry.substr(0, eq),
+                   .dtype = spec->dtype,
+                   .native = spec->native});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 CliParse parse_cli_args(int argc, const char* const* argv) {
@@ -124,6 +179,8 @@ CliParse parse_cli_args(int argc, const char* const* argv) {
       return out;
     } else if (a == "--per-layer") {
       opt.per_layer = true;
+    } else if (a == "--native") {
+      opt.native = true;
     } else if (a == "--resume") {
       opt.resume = true;
     } else if (a == "--profile") {
@@ -133,6 +190,7 @@ CliParse parse_cli_args(int argc, const char* const* argv) {
     } else if (a == "--no-prune") {
       opt.prune = false;
     } else if (a != "--model" && a != "--dataset" && a != "--dtype" &&
+               a != "--per-layer-dtype" &&
                a != "--error" && a != "--trials" && a != "--layer" &&
                a != "--epochs" && a != "--seed" && a != "--threads" &&
                a != "--save" && a != "--load" && a != "--trace" &&
@@ -149,6 +207,8 @@ CliParse parse_cli_args(int argc, const char* const* argv) {
       opt.dataset = v;
     } else if (a == "--dtype") {
       opt.dtype = v;
+    } else if (a == "--per-layer-dtype") {
+      opt.per_layer_dtype = v;
     } else if (a == "--error") {
       opt.error = v;
     } else if (a == "--trials") {
@@ -261,9 +321,24 @@ CliParse parse_cli_args(int argc, const char* const* argv) {
     error = "--ci-target requires --sampler stratified";
     return out;
   }
-  if (parse_dtype_name(opt.dtype) == std::nullopt) {
+  const auto dtype_spec = parse_dtype_spec(opt.dtype);
+  if (dtype_spec == std::nullopt) {
     error = "unknown dtype '" + opt.dtype + "'";
     return out;
+  }
+  // Fold a "-native" suffix into the flag so downstream code reads ONE
+  // source of truth (opt.native + the bare dtype token).
+  if (dtype_spec->native) {
+    opt.native = true;
+    opt.dtype = dtype_name(dtype_spec->dtype);
+  }
+  if (!opt.per_layer_dtype.empty()) {
+    std::string pl_error;
+    if (parse_per_layer_dtype(opt.per_layer_dtype, &pl_error) ==
+        std::nullopt) {
+      error = pl_error;
+      return out;
+    }
   }
   if (opt.error.empty()) opt.error = "random";
   std::string model_error;

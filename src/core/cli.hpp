@@ -19,6 +19,13 @@ struct CliOptions {
   std::string model = "resnet18";
   std::string dataset = "cifar10";
   std::string dtype = "fp32";
+  /// Execute instrumented layers natively at `dtype` (INT8 GEMM / 16-bit
+  /// storage) rather than emulating on fp32 outputs. Also set by a
+  /// "-native" dtype suffix ("int8-native").
+  bool native = false;
+  /// Raw --per-layer-dtype spec ("PATH=DTYPE,PATH=DTYPE,..."); empty = no
+  /// per-layer overrides. Parsed/validated by parse_per_layer_dtype.
+  std::string per_layer_dtype;
   std::string error;  ///< error-model spec; empty = "random" after parsing
   std::string sampler = "uniform";
   double ci_target = 0.0;
@@ -74,7 +81,27 @@ std::string cli_usage();
 std::optional<ErrorModel> parse_error_model_spec(const std::string& spec,
                                                  std::string* error = nullptr);
 
-/// Parse a dtype name (fp32 | fp16 | int8); nullopt on anything else.
+/// Parse a dtype name (fp32 | fp16 | bf16 | int8); nullopt on anything else.
 std::optional<DType> parse_dtype_name(const std::string& name);
+
+/// A dtype token with its execution mode: "int8" parses as emulated INT8,
+/// "int8-native" as the native INT8 inference path (and likewise for
+/// fp16/bf16; "fp32-native" is accepted and means plain fp32).
+struct DtypeSpec {
+  DType dtype = DType::kFloat32;
+  bool native = false;
+};
+
+/// Parse a dtype spec token (DTYPE or DTYPE-native); nullopt on anything
+/// else.
+std::optional<DtypeSpec> parse_dtype_spec(const std::string& spec);
+
+/// Parse a --per-layer-dtype value: comma-separated PATH=DTYPE[-native]
+/// entries, e.g. "features.0=int8-native,features.3=fp16". Layer paths are
+/// validated later, at injector construction, against the instrumented
+/// model. On failure returns nullopt and, when `error` is non-null, stores
+/// an explanation.
+std::optional<std::vector<LayerResolution>> parse_per_layer_dtype(
+    const std::string& text, std::string* error = nullptr);
 
 }  // namespace pfi::core

@@ -12,6 +12,7 @@ std::string dtype_name(DType dtype) {
     case DType::kFloat32: return "fp32";
     case DType::kFloat16: return "fp16";
     case DType::kInt8: return "int8";
+    case DType::kBFloat16: return "bf16";
   }
   PFI_CHECK(false) << "unreachable dtype";
 }
@@ -21,6 +22,7 @@ int dtype_bit_width(DType dtype) {
     case DType::kFloat32: return kFloatBits;
     case DType::kFloat16: return kHalfBits;
     case DType::kInt8: return kInt8Bits;
+    case DType::kBFloat16: return kBf16Bits;
   }
   PFI_CHECK(false) << "unreachable dtype";
 }
@@ -54,6 +56,14 @@ constexpr BitClassSpec kInt8Classes[] = {
     {"sign", 7, 7},
 };
 
+// bfloat16: sign 15, exponent 14..7, mantissa 6..0.
+constexpr BitClassSpec kBf16Classes[] = {
+    {"mant_lo", 0, 3},
+    {"mant_hi", 4, 6},
+    {"exponent", 7, 14},
+    {"sign", 15, 15},
+};
+
 }  // namespace
 
 std::span<const BitClassSpec> bit_classes(DType dtype) {
@@ -61,6 +71,7 @@ std::span<const BitClassSpec> bit_classes(DType dtype) {
     case DType::kFloat32: return kFp32Classes;
     case DType::kFloat16: return kFp16Classes;
     case DType::kInt8: return kInt8Classes;
+    case DType::kBFloat16: return kBf16Classes;
   }
   PFI_CHECK(false) << "unreachable dtype";
 }
@@ -124,6 +135,14 @@ ErrorModel single_bit_flip(int bit) {
                     << "bit " << b << " out of range for int8";
                 return quant::flip_bit_int8(v, b, ctx.qparams);
               }
+              case DType::kBFloat16: {
+                const int b =
+                    bit >= 0 ? bit
+                             : static_cast<int>(ctx.rng->next_below(kBf16Bits));
+                PFI_CHECK(b < kBf16Bits)
+                    << "bit " << b << " out of range for bf16";
+                return flip_bf16_bit(v, b);
+              }
             }
             PFI_CHECK(false) << "unreachable dtype";
           }};
@@ -138,10 +157,7 @@ ErrorModel multi_bit_flip(int bits) {
   PFI_CHECK(bits >= 1 && bits <= kFloatBits) << "multi_bit_flip bits=" << bits;
   return {"multi_bit_flip[" + std::to_string(bits) + "]",
           [bits](float v, const InjectionContext& ctx) {
-            const int width = ctx.dtype == DType::kInt8
-                                  ? kInt8Bits
-                                  : ctx.dtype == DType::kFloat16 ? kHalfBits
-                                                                 : kFloatBits;
+            const int width = dtype_bit_width(ctx.dtype);
             PFI_CHECK(bits <= width)
                 << "multi_bit_flip: " << bits << " bits exceed "
                 << dtype_name(ctx.dtype) << " width " << width;
@@ -163,6 +179,9 @@ ErrorModel multi_bit_flip(int bits) {
                   break;
                 case DType::kInt8:
                   out = quant::flip_bit_int8(out, positions[i], ctx.qparams);
+                  break;
+                case DType::kBFloat16:
+                  out = flip_bf16_bit(out, positions[i]);
                   break;
               }
             }

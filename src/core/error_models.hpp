@@ -20,10 +20,11 @@ namespace pfi::core {
 
 /// Numeric representation the model's activations are treated as.
 /// Mirrors the paper's "model data type (e.g., FP32 or FP16)" init option,
-/// extended with INT8 for the Sec. IV-A quantized campaigns.
-enum class DType { kFloat32, kFloat16, kInt8 };
+/// extended with INT8 for the Sec. IV-A quantized campaigns and bfloat16
+/// for the truncated-binary32 training/inference formats.
+enum class DType { kFloat32, kFloat16, kInt8, kBFloat16 };
 
-/// String name of a dtype ("fp32" / "fp16" / "int8").
+/// String name of a dtype ("fp32" / "fp16" / "bf16" / "int8").
 std::string dtype_name(DType dtype);
 
 /// Representation width in bits (32 / 16 / 8) — the sample space of a

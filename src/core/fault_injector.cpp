@@ -39,6 +39,11 @@ FaultInjector::FaultInjector(std::shared_ptr<nn::Module> model, FiConfig config)
     }
   }
 
+  // Per-layer numeric resolution, applied BEFORE the profiling pass so the
+  // dummy inference (and every later one) runs each layer in its deployed
+  // representation.
+  apply_native_modes();
+
   // Install the hooks up front; each hook body starts with the O(1)
   // emptiness check the paper's overhead argument rests on.
   hook_handles_.reserve(layers_.size());
@@ -82,9 +87,87 @@ FaultInjector::FaultInjector(std::shared_ptr<nn::Module> model, FiConfig config)
 
 FaultInjector::~FaultInjector() {
   clear();
+  reset_native_modes();
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     layers_[i]->remove_hook(hook_handles_[i]);
   }
+}
+
+void FaultInjector::apply_native_modes() {
+  layer_dtype_.assign(layers_.size(), config_.dtype);
+  layer_native_.assign(layers_.size(), config_.native ? 1 : 0);
+  for (const LayerResolution& res : config_.per_layer) {
+    bool matched = false;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      if (layer_paths_[i] != res.layer) continue;
+      layer_dtype_[i] = res.dtype;
+      layer_native_[i] = res.native ? 1 : 0;
+      matched = true;
+    }
+    PFI_CHECK(matched) << "per-layer resolution names '" << res.layer
+                       << "', which is not an instrumented layer path";
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layer_native_[i] == 0) continue;
+    kernels::LowPrec lp = kernels::LowPrec::kNone;
+    switch (layer_dtype_[i]) {
+      case DType::kFloat32:
+        // fp32 already IS the native execution; nothing to switch.
+        layer_native_[i] = 0;
+        continue;
+      case DType::kFloat16: lp = kernels::LowPrec::kFp16; break;
+      case DType::kBFloat16: lp = kernels::LowPrec::kBf16; break;
+      case DType::kInt8: lp = kernels::LowPrec::kInt8; break;
+    }
+    // INT8 weight scales are frozen from the GOLDEN weights here, per output
+    // channel, and handed to the module. A later weight fault then flips
+    // exactly one deployed code: the repack after invalidation re-quantizes
+    // with the SAME scales, so no other code in the channel moves.
+    std::vector<float> scales;
+    if (lp == kernels::LowPrec::kInt8) {
+      nn::Module* m = layers_[i];
+      const Tensor& w = m->kind() == "Conv2d"
+                            ? static_cast<nn::Conv2d*>(m)->weight().value
+                            : static_cast<nn::Linear*>(m)->weight().value;
+      for (const quant::QuantParams& qp : quant::calibrate_per_channel(w)) {
+        scales.push_back(qp.scale);
+      }
+    }
+    if (layers_[i]->kind() == "Conv2d") {
+      static_cast<nn::Conv2d*>(layers_[i])
+          ->set_native_dtype(lp, std::move(scales));
+    } else {
+      static_cast<nn::Linear*>(layers_[i])
+          ->set_native_dtype(lp, std::move(scales));
+    }
+  }
+}
+
+void FaultInjector::reset_native_modes() {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layer_native_[i] == 0) continue;
+    if (layers_[i]->kind() == "Conv2d") {
+      static_cast<nn::Conv2d*>(layers_[i])
+          ->set_native_dtype(kernels::LowPrec::kNone);
+    } else {
+      static_cast<nn::Linear*>(layers_[i])
+          ->set_native_dtype(kernels::LowPrec::kNone);
+    }
+  }
+}
+
+DType FaultInjector::layer_dtype(std::int64_t i) const {
+  PFI_CHECK(i >= 0 && i < num_layers())
+      << "layer " << i << " out of range; model has " << num_layers()
+      << " instrumented layers";
+  return layer_dtype_[static_cast<std::size_t>(i)];
+}
+
+bool FaultInjector::layer_native(std::int64_t i) const {
+  PFI_CHECK(i >= 0 && i < num_layers())
+      << "layer " << i << " out of range; model has " << num_layers()
+      << " instrumented layers";
+  return layer_native_[static_cast<std::size_t>(i)] != 0;
 }
 
 const Shape& FaultInjector::layer_shape(std::int64_t layer) const {
@@ -138,12 +221,15 @@ void FaultInjector::emit_event(trace::FaultKind kind, std::int64_t layer,
   ev.layer = layer;
   ev.layer_name = layer_paths_[static_cast<std::size_t>(layer)];
   ev.layer_kind = layers_[static_cast<std::size_t>(layer)]->kind();
-  ev.dtype = config_.dtype;
+  // Events carry the layer's OWN resolution — with per-layer configs this is
+  // the true deployed representation of the corrupted value, and diff_bit
+  // attributes the flip in that representation's bit domain.
+  ev.dtype = layer_dtype_[static_cast<std::size_t>(layer)];
   for (int i = 0; i < 4; ++i) ev.coords[i] = coords[i];
   ev.flat = flat;
   ev.pre = pre;
   ev.post = post;
-  ev.bit = trace::diff_bit(pre, post, config_.dtype, qparams);
+  ev.bit = trace::diff_bit(pre, post, ev.dtype, qparams);
   ev.model = model_name;
   sink_->record(std::move(ev));
 }
@@ -222,8 +308,20 @@ void FaultInjector::declare_weight_fault(const WeightLocation& loc,
   InjectionContext ctx;
   ctx.layer = loc.layer;
   ctx.flat_index = flat;
-  ctx.dtype = config_.dtype;
-  if (config_.dtype == DType::kInt8) ctx.qparams = quant::calibrate(w);
+  ctx.dtype = layer_dtype_[static_cast<std::size_t>(loc.layer)];
+  if (ctx.dtype == DType::kInt8) {
+    if (layer_native_[static_cast<std::size_t>(loc.layer)] != 0) {
+      // Native INT8 layer: the weight's deployed code lives at the frozen
+      // per-channel scale the module packs with, so a bit flip in THAT code
+      // is exactly what the next (invalidated) repack deploys.
+      const std::vector<float>& scales = conv.native_scales();
+      PFI_CHECK(!scales.empty())
+          << "native INT8 layer " << loc.layer << " has no frozen scales";
+      ctx.qparams.scale = scales[static_cast<std::size_t>(loc.out_c)];
+    } else {
+      ctx.qparams = quant::calibrate(w);
+    }
+  }
   ctx.rng = &rng_;
 
   // Offline corruption: mutate now, remember how to undo. The mutation
@@ -394,23 +492,28 @@ Tensor FaultInjector::forward(const Tensor& input, ForwardMode mode) {
       << "input batch " << input.size(0) << " exceeds configured batch size "
       << config_.batch_size;
 
-  if (mode == ForwardMode::kPlain || !prefix_cache_usable()) {
-    return (*model_)(input);
-  }
-
   if (mode == ForwardMode::kRecordGolden) {
-    prefix_cache_->begin_record(input);
+    // Golden quantization parameters must be captured on every golden pass
+    // regardless of cache availability: pruner-synthesized trace events
+    // decode masked faults through golden_qp_, and the prefix cache is
+    // documented as a pure speed knob (byte-identical results either way).
+    const bool record_snapshots = prefix_cache_usable();
+    if (record_snapshots) prefix_cache_->begin_record(input);
     recording_golden_ = true;
     try {
       Tensor out = (*model_)(input);
       recording_golden_ = false;
-      prefix_cache_->end_record();
+      if (record_snapshots) prefix_cache_->end_record();
       return out;
     } catch (...) {
       recording_golden_ = false;
-      prefix_cache_->end_record();
+      if (record_snapshots) prefix_cache_->end_record();
       throw;
     }
+  }
+
+  if (mode == ForwardMode::kPlain || !prefix_cache_usable()) {
+    return (*model_)(input);
   }
 
   // kReusePrefix: replay the golden prefix up to (for neuron faults:
@@ -452,7 +555,9 @@ std::string FaultInjector::describe() const {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     os << "  [" << i << "] " << layers_[i]->kind() << " '"
        << layers_[i]->name() << "' -> " << shape_to_string(layer_shapes_[i])
-       << " (" << faults_[i].size() << " faults armed)\n";
+       << " [" << dtype_name(layer_dtype_[i])
+       << (layer_native_[i] != 0 ? "-native" : "") << "] ("
+       << faults_[i].size() << " faults armed)\n";
   }
   return os.str();
 }
@@ -465,22 +570,33 @@ std::size_t FaultInjector::active_neuron_faults() const {
 
 void FaultInjector::hook_body(std::int64_t layer_index, Tensor& output) {
   auto& layer_faults = faults_[static_cast<std::size_t>(layer_index)];
+  const DType dt = layer_dtype_[static_cast<std::size_t>(layer_index)];
   // Fast path — the paper's "only a single check on every layer". With a
   // profiler attached the hook has observation work even when idle, so the
   // early-out is skipped (and the cost of that work is itself measured).
-  if (layer_faults.empty() && config_.dtype == DType::kFloat32 &&
-      profiler_ == nullptr) {
+  if (layer_faults.empty() && dt == DType::kFloat32 && profiler_ == nullptr) {
     return;
   }
   trace::HookTimer hook_timer(profiler_, layer_index);
 
+  // Output-grid projection, for native and emulated layers alike: a native
+  // layer's raw output (requantized i32 accumulators, or widened 16-bit
+  // arithmetic) is not itself on the layer dtype's grid, and injections must
+  // land in the SAME output-quantized domain either way — that uniformity is
+  // what makes native-vs-emulated flip semantics comparable bit-for-bit.
   quant::QuantParams qp;
-  switch (config_.dtype) {
+  switch (dt) {
     case DType::kFloat32:
       break;
     case DType::kFloat16:
-      // Emulate an FP16 inference: every activation lives on the fp16 grid.
-      output.apply_([](float v) { return round_to_fp16(v); });
+      // Software narrowing (not a _Float16 cast) so NaN payloads survive
+      // the grid projection and single-bit attribution holds on non-finite
+      // activations. Bit-identical to the hardware cast for all finite v.
+      output.apply_(
+          [](float v) { return float_from_f16_bits(f16_bits_from_float(v)); });
+      break;
+    case DType::kBFloat16:
+      output.apply_([](float v) { return round_to_bf16(v); });
       break;
     case DType::kInt8:
       // Emulate INT8 neuron quantization (paper Sec. IV-A): dynamic
@@ -513,7 +629,7 @@ void FaultInjector::apply_armed_faults(std::int64_t layer_index,
       << " but its output is " << output.to_string();
   InjectionContext ctx;
   ctx.layer = layer_index;
-  ctx.dtype = config_.dtype;
+  ctx.dtype = layer_dtype_[static_cast<std::size_t>(layer_index)];
   ctx.qparams = qp;
   ctx.rng = &rng_;
 

@@ -41,11 +41,31 @@ namespace pfi::core {
 /// Sentinel: apply the fault to every element of the batch.
 inline constexpr std::int64_t kAllBatchElements = -1;
 
+/// Per-layer numeric resolution override (an MRFI-style resolution config):
+/// the named layer runs at `dtype`, natively when `native` is set. Layers
+/// without an override inherit FiConfig::{dtype, native}.
+struct LayerResolution {
+  std::string layer;  ///< dotted module path, e.g. "features.3"
+  DType dtype = DType::kFloat32;
+  /// True: the layer EXECUTES in the low-precision representation (INT8
+  /// GEMM over quantized codes, or fp16/bf16-stored weights/activations
+  /// widened through the fp32 kernel). False: fp32 execution with the
+  /// injector's output-grid emulation only.
+  bool native = false;
+};
+
 /// Injector configuration (the arguments of the paper's init step).
 struct FiConfig {
   Shape input_shape;             ///< per-sample shape [C, H, W]
   std::int64_t batch_size = 1;
   DType dtype = DType::kFloat32;
+  /// Execute every instrumented layer natively at `dtype` (see
+  /// LayerResolution::native). Ignored for kFloat32, which always runs
+  /// natively by definition.
+  bool native = false;
+  /// Per-layer resolution overrides; each entry must name an instrumented
+  /// layer's dotted path (checked at construction).
+  std::vector<LayerResolution> per_layer = {};
   bool instrument_linear = false;  ///< extension: also hook Linear layers
   std::uint64_t seed = 0xf15eedull;
   /// Enable golden-prefix activation reuse (core/prefix_cache.hpp). Purely
@@ -211,6 +231,11 @@ class FaultInjector {
   /// report the paper's init step gathers (Sec. III-B step 2).
   std::string describe() const;
   DType dtype() const { return config_.dtype; }
+  /// Resolution of instrumented layer i: its dtype and whether the layer
+  /// executes natively in that representation. With no per-layer overrides
+  /// these are FiConfig::{dtype, native} for every layer.
+  DType layer_dtype(std::int64_t i) const;
+  bool layer_native(std::int64_t i) const;
   const FiConfig& config() const { return config_; }
   nn::Module& model() { return *model_; }
 
@@ -273,10 +298,22 @@ class FaultInjector {
                   float pre, float post, const std::string& model_name,
                   const quant::QuantParams& qparams);
 
+  /// Resolve config_.{dtype, native, per_layer} into layer_dtype_ /
+  /// layer_native_ and switch native layers' modules into their
+  /// low-precision execution mode (frozen per-channel INT8 scales computed
+  /// from the CURRENT — golden — weights, so a later weight fault flips one
+  /// deployed code without re-calibrating its channel).
+  void apply_native_modes();
+  /// Return every natively-executing module to fp32 (destructor path; the
+  /// injector borrows the model, it does not own its numeric mode).
+  void reset_native_modes();
+
   std::shared_ptr<nn::Module> model_;
   FiConfig config_;
   std::vector<nn::Module*> layers_;
   std::vector<std::string> layer_paths_;
+  std::vector<DType> layer_dtype_;       // per instrumented layer
+  std::vector<std::uint8_t> layer_native_;
   std::vector<nn::HookHandle> hook_handles_;
   std::vector<Shape> layer_shapes_;
   std::vector<std::vector<ArmedFault>> faults_;  // per layer

@@ -179,7 +179,7 @@ StratifiedSchedule make_stratified_schedule(
       << " must be in [0, 1)";
 
   StratifiedSchedule sched;
-  sched.strata = make_strata(fi, base.layer, fi.dtype());
+  sched.strata = make_strata(fi, base.layer);
   const std::size_t S = sched.strata.size();
   sched.trials_budget = static_cast<std::uint64_t>(base.trials);
   sched.target = config.target_half_width;
@@ -279,7 +279,7 @@ StratUnitOutcome run_stratum_attempt(FaultInjector& fi,
       masked = true;
       InjectionContext ctx;
       ctx.layer = st.layer;
-      ctx.dtype = fi.dtype();
+      ctx.dtype = fi.layer_dtype(st.layer);
       ctx.qparams = qp;
       ctx.rng = &analytic_rng;
       for (std::int64_t b = b0; b < b1; ++b) {
@@ -327,7 +327,7 @@ StratUnitOutcome run_stratum_attempt(FaultInjector& fi,
                                     : loc.batch + 1;
         InjectionContext ctx;
         ctx.layer = st.layer;
-        ctx.dtype = fi.dtype();
+        ctx.dtype = fi.layer_dtype(st.layer);
         ctx.qparams = qp;
         ctx.rng = &analytic_rng;
         for (std::int64_t b = b0; b < b1; ++b) {
@@ -340,7 +340,7 @@ StratUnitOutcome run_stratum_attempt(FaultInjector& fi,
           ev.layer = st.layer;
           ev.layer_name = fi.layer_path(st.layer);
           ev.layer_kind = fi.layer(st.layer).kind();
-          ev.dtype = fi.dtype();
+          ev.dtype = fi.layer_dtype(st.layer);
           ev.coords[0] = b;
           ev.coords[1] = loc.c;
           ev.coords[2] = loc.h;
@@ -348,7 +348,7 @@ StratUnitOutcome run_stratum_attempt(FaultInjector& fi,
           ev.flat = flat;
           ev.pre = pre;
           ev.post = post;
-          ev.bit = trace::diff_bit(pre, post, fi.dtype(), qp);
+          ev.bit = trace::diff_bit(pre, post, fi.layer_dtype(st.layer), qp);
           ev.model = em.name;
           local.record(std::move(ev));
         }
@@ -608,13 +608,16 @@ double StratifiedResult::uniform_equivalent_trials() const {
   return hi;
 }
 
-std::vector<Stratum> make_strata(const FaultInjector& fi, std::int64_t layer,
-                                 DType dtype) {
+namespace {
+
+/// Shared body of the two make_strata overloads: `dtype_of(l)` supplies the
+/// bit-class partition for each enumerated layer.
+template <typename DTypeOf>
+std::vector<Stratum> make_strata_impl(const FaultInjector& fi,
+                                      std::int64_t layer, DTypeOf dtype_of) {
   PFI_CHECK(layer < fi.num_layers())
       << "stratified campaign layer " << layer << " out of range [0, "
       << fi.num_layers() << ")";
-  const auto classes = bit_classes(dtype);
-  const int width = dtype_bit_width(dtype);
 
   std::vector<std::int64_t> layers;
   std::int64_t total_neurons = 0;
@@ -631,8 +634,9 @@ std::vector<Stratum> make_strata(const FaultInjector& fi, std::int64_t layer,
                      : "");
 
   std::vector<Stratum> out;
-  out.reserve(layers.size() * classes.size());
   for (const std::int64_t l : layers) {
+    const auto classes = bit_classes(dtype_of(l));
+    const int width = dtype_bit_width(dtype_of(l));
     const Shape& s = fi.layer_shape(l);
     const double neuron_share =
         static_cast<double>(s[1] * s[2] * s[3]) /
@@ -649,6 +653,18 @@ std::vector<Stratum> make_strata(const FaultInjector& fi, std::int64_t layer,
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<Stratum> make_strata(const FaultInjector& fi, std::int64_t layer,
+                                 DType dtype) {
+  return make_strata_impl(fi, layer, [dtype](std::int64_t) { return dtype; });
+}
+
+std::vector<Stratum> make_strata(const FaultInjector& fi, std::int64_t layer) {
+  return make_strata_impl(
+      fi, layer, [&fi](std::int64_t l) { return fi.layer_dtype(l); });
 }
 
 std::vector<bool> relu_adjacent_layers(FaultInjector& fi) {

@@ -136,6 +136,12 @@ struct StratifiedCampaignConfig {
 std::vector<Stratum> make_strata(const FaultInjector& fi, std::int64_t layer,
                                  DType dtype);
 
+/// Per-layer-resolution variant: each layer's bit classes come from its OWN
+/// resolved dtype (FaultInjector::layer_dtype), so a mixed fp32/int8 model
+/// stratifies every layer in its deployed representation. Identical to the
+/// uniform-dtype overload when no per-layer overrides are configured.
+std::vector<Stratum> make_strata(const FaultInjector& fi, std::int64_t layer);
+
 /// Instrumented layers whose output feeds directly (and solely) into a ReLU
 /// — the structural precondition for ReLU-dead pruning. Detected by walking
 /// Sequential containers: layer i qualifies iff it is some Sequential's

@@ -27,14 +27,21 @@ std::int32_t diff_bit(float pre, float post, core::DType dtype,
       x = float_to_bits(pre) ^ float_to_bits(post);
       break;
     case core::DType::kFloat16:
-      x = static_cast<std::uint32_t>(
-          std::bit_cast<std::uint16_t>(static_cast<_Float16>(pre)) ^
-          std::bit_cast<std::uint16_t>(static_cast<_Float16>(post)));
+      // Software narrowing, not a _Float16 cast: the hardware cast quiets
+      // signalling NaNs and canonicalizes payloads, so an exponent flip
+      // that produced an sNaN would diff in more than one bit and lose its
+      // attribution. f16_bits_from_float round-trips flip_fp16_bit exactly.
+      x = static_cast<std::uint32_t>(f16_bits_from_float(pre) ^
+                                     f16_bits_from_float(post));
       break;
     case core::DType::kInt8:
       x = static_cast<std::uint32_t>(
           static_cast<std::uint8_t>(quant::quantize_value(pre, qparams)) ^
           static_cast<std::uint8_t>(quant::quantize_value(post, qparams)));
+      break;
+    case core::DType::kBFloat16:
+      x = static_cast<std::uint32_t>(bf16_bits_from_float(pre) ^
+                                     bf16_bits_from_float(post));
       break;
   }
   return std::popcount(x) == 1 ? std::countr_zero(x) : -1;
@@ -116,6 +123,7 @@ core::DType dtype_from_name(const std::string& name) {
   if (name == "fp32") return core::DType::kFloat32;
   if (name == "fp16") return core::DType::kFloat16;
   if (name == "int8") return core::DType::kInt8;
+  if (name == "bf16") return core::DType::kBFloat16;
   PFI_CHECK(false) << "unknown dtype '" << name << "' in trace";
 }
 
@@ -211,10 +219,13 @@ std::vector<std::vector<InjectionEvent>> split_reps(
 
 void TraceReplayer::arm(std::span<const InjectionEvent> rep_events) {
   for (const InjectionEvent& ev : rep_events) {
-    PFI_CHECK(ev.dtype == fi_.dtype())
-        << "trace event recorded at dtype " << core::dtype_name(ev.dtype)
-        << " cannot replay on an injector configured for "
-        << core::dtype_name(fi_.dtype());
+    // Per-layer resolution configs make dtype a layer property; the event's
+    // recorded dtype must match the replica's resolution for THAT layer.
+    PFI_CHECK(ev.dtype == fi_.layer_dtype(ev.layer))
+        << "trace event on layer " << ev.layer << " recorded at dtype "
+        << core::dtype_name(ev.dtype)
+        << " cannot replay on an injector resolving that layer as "
+        << core::dtype_name(fi_.layer_dtype(ev.layer));
     // A constant fault writes the recorded post value at the recorded
     // position; because the hook applies it after dtype emulation, exactly
     // where the original model ran, the corrupted tensor is reproduced

@@ -382,6 +382,25 @@ void set_threads(int n) {
   g_threads = n;
 }
 
+namespace detail {
+
+void run_tiles(std::int64_t tiles,
+               const std::function<void(std::int64_t)>& fn) {
+  const int nthreads = g_threads;
+  if (nthreads <= 1 || tiles <= 1 || tls_in_kernel) {
+    for (std::int64_t t = 0; t < tiles; ++t) fn(t);
+    return;
+  }
+  intra_op_pool(static_cast<std::size_t>(nthreads))
+      .run(static_cast<std::size_t>(tiles), [&](std::size_t t) {
+        tls_in_kernel = true;
+        fn(static_cast<std::int64_t>(t));
+        tls_in_kernel = false;
+      });
+}
+
+}  // namespace detail
+
 void pack_a(std::int64_t m, std::int64_t k, const float* a, std::int64_t lda,
             bool trans_a, int mr, PackedPanels& out) {
   PFI_CHECK(mr == 4 || mr == 6 || mr == 8)
@@ -494,27 +513,13 @@ void gemm_core(std::int64_t m, std::int64_t n, std::int64_t k,
   const std::int64_t tiles = ti * tj;
   const MicroFn micro = micro_for(a.panel);
 
-  const auto run_tile = [&](std::size_t t) {
-    const std::int64_t row = static_cast<std::int64_t>(t) / tj;
-    const std::int64_t col = static_cast<std::int64_t>(t) % tj;
+  detail::run_tiles(tiles, [&](std::int64_t t) {
+    const std::int64_t row = t / tj;
+    const std::int64_t col = t % tj;
     compute_tile(m, n, k, a, bv, c, ldc, epilogue, bias, cfg.kc, row * mc,
                  std::min(m, (row + 1) * mc), col * nc,
                  std::min(n, (col + 1) * nc), micro);
-  };
-
-  const int nthreads = g_threads;
-  if (nthreads <= 1 || tiles == 1 || tls_in_kernel) {
-    for (std::int64_t t = 0; t < tiles; ++t) {
-      run_tile(static_cast<std::size_t>(t));
-    }
-    return;
-  }
-  intra_op_pool(static_cast<std::size_t>(nthreads))
-      .run(static_cast<std::size_t>(tiles), [&](std::size_t t) {
-        tls_in_kernel = true;
-        run_tile(t);
-        tls_in_kernel = false;
-      });
+  });
 }
 
 BView packed_view(const PackedPanels& b) {

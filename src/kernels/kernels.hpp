@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/error.hpp"
@@ -77,6 +78,16 @@ void set_block_config(BlockConfig cfg);
 /// grid itself never depends on this, so outputs are bit-identical.
 int threads();
 void set_threads(int n);
+
+namespace detail {
+/// Run `tiles` independent tile tasks over the intra-op pool configured by
+/// threads() — inline when single-threaded, down to one tile, or nested
+/// inside another kernel region (re-entering the pool would deadlock).
+/// Shared by the fp32 core and the INT8 core in lowp.cpp; callers must make
+/// the task decomposition independent of the thread count.
+void run_tiles(std::int64_t tiles,
+               const std::function<void(std::int64_t)>& fn);
+}  // namespace detail
 
 /// How a microkernel initializes the accumulator chain of the FIRST k panel
 /// (later panels always resume from the partial sums stored in C).

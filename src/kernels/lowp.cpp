@@ -1,0 +1,752 @@
+#include "kernels/lowp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PFI_KERNELS_X86 1
+#endif
+
+namespace pfi::kernels {
+
+namespace {
+
+std::int64_t round_up_even(std::int64_t v) { return (v + 1) & ~std::int64_t{1}; }
+
+// ----------------------------------------------------------- isa dispatch ----
+
+bool madd_supported() {
+#ifdef PFI_KERNELS_X86
+  static const bool available = __builtin_cpu_supports("avx2");
+  return available;
+#else
+  return false;
+#endif
+}
+
+bool vnni_supported() {
+#ifdef PFI_KERNELS_X86
+  // The EVEX-encoded 256-bit vpdpwssd needs AVX512-VNNI + AVX512-VL. (Pure
+  // AVX-VNNI parts without AVX-512 fall back to the madd path.)
+  static const bool available = __builtin_cpu_supports("avx512vnni") &&
+                                __builtin_cpu_supports("avx512vl");
+  return available;
+#else
+  return false;
+#endif
+}
+
+I8Isa resolve(I8Isa isa) {
+  if (isa != I8Isa::kAuto) return isa;
+  if (vnni_supported()) return I8Isa::kVnni;
+  if (madd_supported()) return I8Isa::kMadd;
+  return I8Isa::kScalar;
+}
+
+I8Isa g_i8_isa = I8Isa::kAuto;
+
+// ----------------------------------------------------------- microkernels ----
+
+// Every INT8 microkernel computes an mr x kNR tile of C = sum_k a*b over the
+// FULL (padded) K in i32 registers and stores once — no partial flushes are
+// needed because integer accumulation is exact, so any grouping of the adds
+// yields the same bits. ap walks mr*2 i16 per k-pair (two adjacent k's per
+// row, interleaved); bp walks kNR*2 i16 per k-pair (two adjacent k's per
+// column).
+
+/// One k-pair of one A row, as the 32-bit lane the SIMD kernels broadcast.
+std::int32_t load_pair(const std::int16_t* p) {
+  std::int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+template <int MR>
+void micro_i8_scalar(std::int64_t kp2, const std::int16_t* ap,
+                     const std::int16_t* bp, std::int32_t* c,
+                     std::int64_t ldc) {
+  std::int32_t acc[MR][kNR] = {};
+  for (std::int64_t q = 0; q < kp2; ++q) {
+    const std::int16_t* a = ap + q * MR * 2;
+    const std::int16_t* b = bp + q * kNR * 2;
+    for (int r = 0; r < MR; ++r) {
+      const std::int32_t a0 = a[r * 2];
+      const std::int32_t a1 = a[r * 2 + 1];
+      for (int j = 0; j < kNR; ++j) {
+        acc[r][j] += a0 * b[j * 2] + a1 * b[j * 2 + 1];
+      }
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    std::memcpy(c + r * ldc, acc[r], sizeof(std::int32_t) * kNR);
+  }
+}
+
+#ifdef PFI_KERNELS_X86
+
+// madd path: vpmaddwd multiplies 16 i16 pairs and adds each pair into an i32
+// lane — with |code| <= 127 the pair sum is at most 2*127^2, far from i16
+// saturation, so the op is exact; vpaddd folds it into the accumulator.
+
+/// Four rows of a kNR-wide tile; `astride` is the A-panel i16 row stride per
+/// k-pair (2*4 for a 4-tall panel, 2*8 for one half of the 8-row kernel).
+__attribute__((target("avx2"))) inline void micro_i8_madd_half4(
+    std::int64_t kp2, const std::int16_t* ap, int astride,
+    const std::int16_t* bp, std::int32_t* c, std::int64_t ldc) {
+  __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+  __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+  __m256i c20 = _mm256_setzero_si256(), c21 = _mm256_setzero_si256();
+  __m256i c30 = _mm256_setzero_si256(), c31 = _mm256_setzero_si256();
+  for (std::int64_t q = 0; q < kp2; ++q) {
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kNR * 2));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kNR * 2 + 16));
+    const std::int16_t* a = ap + q * astride;
+    __m256i av;
+    av = _mm256_set1_epi32(load_pair(a + 0));
+    c00 = _mm256_add_epi32(c00, _mm256_madd_epi16(av, b0));
+    c01 = _mm256_add_epi32(c01, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a + 2));
+    c10 = _mm256_add_epi32(c10, _mm256_madd_epi16(av, b0));
+    c11 = _mm256_add_epi32(c11, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a + 4));
+    c20 = _mm256_add_epi32(c20, _mm256_madd_epi16(av, b0));
+    c21 = _mm256_add_epi32(c21, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a + 6));
+    c30 = _mm256_add_epi32(c30, _mm256_madd_epi16(av, b0));
+    c31 = _mm256_add_epi32(c31, _mm256_madd_epi16(av, b1));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc), c00);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc + 8), c01);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc), c10);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc + 8), c11);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc), c20);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc + 8), c21);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc), c30);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc + 8), c31);
+}
+
+__attribute__((target("avx2"))) void micro_i8_madd_4(std::int64_t kp2,
+                                                     const std::int16_t* ap,
+                                                     const std::int16_t* bp,
+                                                     std::int32_t* c,
+                                                     std::int64_t ldc) {
+  micro_i8_madd_half4(kp2, ap, 8, bp, c, ldc);
+}
+
+__attribute__((target("avx2"))) void micro_i8_madd_8(std::int64_t kp2,
+                                                     const std::int16_t* ap,
+                                                     const std::int16_t* bp,
+                                                     std::int32_t* c,
+                                                     std::int64_t ldc) {
+  micro_i8_madd_half4(kp2, ap, 16, bp, c, ldc);
+  micro_i8_madd_half4(kp2, ap + 8, 16, bp, c + 4 * ldc, ldc);
+}
+
+// 6x16: 12 accumulators + 2 B vectors + 1 broadcast = 15 ymm registers.
+__attribute__((target("avx2"))) void micro_i8_madd_6(std::int64_t kp2,
+                                                     const std::int16_t* ap,
+                                                     const std::int16_t* bp,
+                                                     std::int32_t* c,
+                                                     std::int64_t ldc) {
+  __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+  __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+  __m256i c20 = _mm256_setzero_si256(), c21 = _mm256_setzero_si256();
+  __m256i c30 = _mm256_setzero_si256(), c31 = _mm256_setzero_si256();
+  __m256i c40 = _mm256_setzero_si256(), c41 = _mm256_setzero_si256();
+  __m256i c50 = _mm256_setzero_si256(), c51 = _mm256_setzero_si256();
+  for (std::int64_t q = 0; q < kp2; ++q) {
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kNR * 2));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kNR * 2 + 16));
+    const std::int16_t* a = ap + q * 12;
+    __m256i av;
+    av = _mm256_set1_epi32(load_pair(a + 0));
+    c00 = _mm256_add_epi32(c00, _mm256_madd_epi16(av, b0));
+    c01 = _mm256_add_epi32(c01, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a + 2));
+    c10 = _mm256_add_epi32(c10, _mm256_madd_epi16(av, b0));
+    c11 = _mm256_add_epi32(c11, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a + 4));
+    c20 = _mm256_add_epi32(c20, _mm256_madd_epi16(av, b0));
+    c21 = _mm256_add_epi32(c21, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a + 6));
+    c30 = _mm256_add_epi32(c30, _mm256_madd_epi16(av, b0));
+    c31 = _mm256_add_epi32(c31, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a + 8));
+    c40 = _mm256_add_epi32(c40, _mm256_madd_epi16(av, b0));
+    c41 = _mm256_add_epi32(c41, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a + 10));
+    c50 = _mm256_add_epi32(c50, _mm256_madd_epi16(av, b0));
+    c51 = _mm256_add_epi32(c51, _mm256_madd_epi16(av, b1));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc), c00);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc + 8), c01);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc), c10);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc + 8), c11);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc), c20);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc + 8), c21);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc), c30);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc + 8), c31);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 4 * ldc), c40);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 4 * ldc + 8), c41);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 5 * ldc), c50);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 5 * ldc + 8), c51);
+}
+
+// VNNI path: vpdpwssd fuses the madd+add pair into one op with the same
+// exact i32 arithmetic (signed i16 pairs, non-saturating accumulate for our
+// operand range), doubling the per-cycle MAC rate.
+
+__attribute__((target("avx512vnni,avx512vl"))) inline void
+micro_i8_vnni_half4(std::int64_t kp2, const std::int16_t* ap, int astride,
+                    const std::int16_t* bp, std::int32_t* c,
+                    std::int64_t ldc) {
+  __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+  __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+  __m256i c20 = _mm256_setzero_si256(), c21 = _mm256_setzero_si256();
+  __m256i c30 = _mm256_setzero_si256(), c31 = _mm256_setzero_si256();
+  for (std::int64_t q = 0; q < kp2; ++q) {
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kNR * 2));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kNR * 2 + 16));
+    const std::int16_t* a = ap + q * astride;
+    __m256i av;
+    av = _mm256_set1_epi32(load_pair(a + 0));
+    c00 = _mm256_dpwssd_epi32(c00, av, b0);
+    c01 = _mm256_dpwssd_epi32(c01, av, b1);
+    av = _mm256_set1_epi32(load_pair(a + 2));
+    c10 = _mm256_dpwssd_epi32(c10, av, b0);
+    c11 = _mm256_dpwssd_epi32(c11, av, b1);
+    av = _mm256_set1_epi32(load_pair(a + 4));
+    c20 = _mm256_dpwssd_epi32(c20, av, b0);
+    c21 = _mm256_dpwssd_epi32(c21, av, b1);
+    av = _mm256_set1_epi32(load_pair(a + 6));
+    c30 = _mm256_dpwssd_epi32(c30, av, b0);
+    c31 = _mm256_dpwssd_epi32(c31, av, b1);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc), c00);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc + 8), c01);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc), c10);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc + 8), c11);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc), c20);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc + 8), c21);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc), c30);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc + 8), c31);
+}
+
+__attribute__((target("avx512vnni,avx512vl"))) void micro_i8_vnni_4(
+    std::int64_t kp2, const std::int16_t* ap, const std::int16_t* bp,
+    std::int32_t* c, std::int64_t ldc) {
+  micro_i8_vnni_half4(kp2, ap, 8, bp, c, ldc);
+}
+
+__attribute__((target("avx512vnni,avx512vl"))) void micro_i8_vnni_8(
+    std::int64_t kp2, const std::int16_t* ap, const std::int16_t* bp,
+    std::int32_t* c, std::int64_t ldc) {
+  micro_i8_vnni_half4(kp2, ap, 16, bp, c, ldc);
+  micro_i8_vnni_half4(kp2, ap + 8, 16, bp, c + 4 * ldc, ldc);
+}
+
+__attribute__((target("avx512vnni,avx512vl"))) void micro_i8_vnni_6(
+    std::int64_t kp2, const std::int16_t* ap, const std::int16_t* bp,
+    std::int32_t* c, std::int64_t ldc) {
+  __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+  __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+  __m256i c20 = _mm256_setzero_si256(), c21 = _mm256_setzero_si256();
+  __m256i c30 = _mm256_setzero_si256(), c31 = _mm256_setzero_si256();
+  __m256i c40 = _mm256_setzero_si256(), c41 = _mm256_setzero_si256();
+  __m256i c50 = _mm256_setzero_si256(), c51 = _mm256_setzero_si256();
+  for (std::int64_t q = 0; q < kp2; ++q) {
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kNR * 2));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * kNR * 2 + 16));
+    const std::int16_t* a = ap + q * 12;
+    __m256i av;
+    av = _mm256_set1_epi32(load_pair(a + 0));
+    c00 = _mm256_dpwssd_epi32(c00, av, b0);
+    c01 = _mm256_dpwssd_epi32(c01, av, b1);
+    av = _mm256_set1_epi32(load_pair(a + 2));
+    c10 = _mm256_dpwssd_epi32(c10, av, b0);
+    c11 = _mm256_dpwssd_epi32(c11, av, b1);
+    av = _mm256_set1_epi32(load_pair(a + 4));
+    c20 = _mm256_dpwssd_epi32(c20, av, b0);
+    c21 = _mm256_dpwssd_epi32(c21, av, b1);
+    av = _mm256_set1_epi32(load_pair(a + 6));
+    c30 = _mm256_dpwssd_epi32(c30, av, b0);
+    c31 = _mm256_dpwssd_epi32(c31, av, b1);
+    av = _mm256_set1_epi32(load_pair(a + 8));
+    c40 = _mm256_dpwssd_epi32(c40, av, b0);
+    c41 = _mm256_dpwssd_epi32(c41, av, b1);
+    av = _mm256_set1_epi32(load_pair(a + 10));
+    c50 = _mm256_dpwssd_epi32(c50, av, b0);
+    c51 = _mm256_dpwssd_epi32(c51, av, b1);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc), c00);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc + 8), c01);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc), c10);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc + 8), c11);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc), c20);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc + 8), c21);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc), c30);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc + 8), c31);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 4 * ldc), c40);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 4 * ldc + 8), c41);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 5 * ldc), c50);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 5 * ldc + 8), c51);
+}
+
+#endif  // PFI_KERNELS_X86
+
+using MicroI8Fn = void (*)(std::int64_t, const std::int16_t*,
+                           const std::int16_t*, std::int32_t*, std::int64_t);
+
+MicroI8Fn micro_i8_for(int mr, I8Isa isa) {
+#ifdef PFI_KERNELS_X86
+  if (isa == I8Isa::kVnni) {
+    return mr == 8 ? micro_i8_vnni_8
+                   : (mr == 6 ? micro_i8_vnni_6 : micro_i8_vnni_4);
+  }
+  if (isa == I8Isa::kMadd) {
+    return mr == 8 ? micro_i8_madd_8
+                   : (mr == 6 ? micro_i8_madd_6 : micro_i8_madd_4);
+  }
+#else
+  (void)isa;
+#endif
+  return mr == 8 ? micro_i8_scalar<8>
+                 : (mr == 6 ? micro_i8_scalar<6> : micro_i8_scalar<4>);
+}
+
+// --------------------------------------------------------------- packing ----
+
+/// Shared A-side quantize+pack. `scale_of(row)` supplies the symmetric
+/// scale; rows past m and k's past the logical K pack as zero codes.
+template <typename ScaleOf>
+void pack_a_codes(std::int64_t m, std::int64_t k, const float* a,
+                  std::int64_t lda, bool trans_a, int mr, ScaleOf scale_of,
+                  PackedPanelsI8& out) {
+  PFI_CHECK(mr == 4 || mr == 6 || mr == 8)
+      << "quantize_pack_a mr must be 4, 6, or 8, got " << mr;
+  const std::int64_t kp = round_up_even(k);
+  const std::int64_t panels = (m + mr - 1) / mr;
+  out.data.resize(static_cast<std::size_t>(panels * mr * kp));
+  out.k = k;
+  out.kp = kp;
+  out.span = m;
+  out.panel = mr;
+  std::int16_t* dst = out.data.data();
+  for (std::int64_t ip = 0; ip < panels; ++ip) {
+    std::int16_t* panel = dst + ip * mr * kp;
+    const std::int64_t row0 = ip * mr;
+    for (int r = 0; r < mr; ++r) {
+      const std::int64_t row = row0 + r;
+      const bool live = row < m;
+      const float scale = live ? scale_of(row) : 1.0f;
+      for (std::int64_t kk = 0; kk < kp; ++kk) {
+        std::int16_t code = 0;
+        if (live && kk < k) {
+          const float v = trans_a ? a[kk * lda + row] : a[row * lda + kk];
+          code = quantize_unit(v, scale);
+        }
+        panel[(kk / 2) * (mr * 2) + r * 2 + (kk & 1)] = code;
+      }
+    }
+  }
+}
+
+/// Shared B-side quantize+pack with `scale_of(col)`.
+template <typename ScaleOf>
+void pack_b_codes(std::int64_t k, std::int64_t n, const float* b,
+                  std::int64_t ldb, bool trans_b, ScaleOf scale_of,
+                  PackedPanelsI8& out) {
+  const std::int64_t kp = round_up_even(k);
+  const std::int64_t panels = (n + kNR - 1) / kNR;
+  out.data.resize(static_cast<std::size_t>(panels * kNR * kp));
+  out.k = k;
+  out.kp = kp;
+  out.span = n;
+  out.panel = kNR;
+  std::int16_t* dst = out.data.data();
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    std::int16_t* panel = dst + jp * kNR * kp;
+    const std::int64_t col0 = jp * kNR;
+    for (int c = 0; c < kNR; ++c) {
+      const std::int64_t col = col0 + c;
+      const bool live = col < n;
+      const float scale = live ? scale_of(col) : 1.0f;
+      for (std::int64_t kk = 0; kk < kp; ++kk) {
+        std::int16_t code = 0;
+        if (live && kk < k) {
+          const float v = trans_b ? b[col * ldb + kk] : b[kk * ldb + col];
+          code = quantize_unit(v, scale);
+        }
+        panel[(kk / 2) * (kNR * 2) + c * 2 + (kk & 1)] = code;
+      }
+    }
+  }
+}
+
+/// Finite-only absolute maximum over a strided logical matrix (rows x cols,
+/// row stride ld, optional transpose). NaN and +-Inf contribute nothing —
+/// the per-tensor dynamic activation calibration must stay finite even when
+/// an upstream fp32 fault produced non-finite activations.
+float finite_absmax(std::int64_t rows, std::int64_t cols, const float* p,
+                    std::int64_t ld, bool trans) {
+  float absmax = 0.0f;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const float v = trans ? p[j * ld + i] : p[i * ld + j];
+      const float av = std::fabs(v);
+      if (std::isfinite(av) && av > absmax) absmax = av;
+    }
+  }
+  return absmax;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- public api ----
+
+I8Isa active_i8_isa() { return resolve(g_i8_isa); }
+
+void set_i8_isa(I8Isa isa) {
+  if (isa == I8Isa::kMadd) {
+    PFI_CHECK(madd_supported()) << "set_i8_isa: AVX2 madd not supported here";
+  }
+  if (isa == I8Isa::kVnni) {
+    PFI_CHECK(vnni_supported()) << "set_i8_isa: VNNI not supported here";
+  }
+  g_i8_isa = isa;
+}
+
+std::vector<float> per_row_scales_i8(std::int64_t m, std::int64_t k,
+                                     const float* a, std::int64_t lda,
+                                     bool trans_a) {
+  PFI_CHECK(k > 0) << "per-channel INT8 calibration over an empty channel "
+                      "(0 weights per output channel)";
+  std::vector<float> scales(static_cast<std::size_t>(m));
+  for (std::int64_t row = 0; row < m; ++row) {
+    float absmax = 0.0f;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float v = trans_a ? a[kk * lda + row] : a[row * lda + kk];
+      PFI_CHECK(std::isfinite(v))
+          << "per-channel INT8 calibration: output channel " << row
+          << " contains a non-finite weight (" << v
+          << ") — a NaN/Inf weight has no INT8 code";
+      const float av = std::fabs(v);
+      if (av > absmax) absmax = av;
+    }
+    scales[static_cast<std::size_t>(row)] = scale_from_absmax(absmax);
+  }
+  return scales;
+}
+
+void quantize_pack_a_i8(std::int64_t m, std::int64_t k, const float* a,
+                        std::int64_t lda, bool trans_a, int mr,
+                        const float* row_scales, PackedPanelsI8& out) {
+  out.scale.assign(row_scales, row_scales + m);
+  pack_a_codes(m, k, a, lda, trans_a, mr,
+               [&](std::int64_t row) { return row_scales[row]; }, out);
+}
+
+void quantize_pack_a_i8_tensor(std::int64_t m, std::int64_t k, const float* a,
+                               std::int64_t lda, bool trans_a, int mr,
+                               PackedPanelsI8& out) {
+  const float scale =
+      scale_from_absmax(trans_a ? finite_absmax(m, k, a, lda, true)
+                                : finite_absmax(m, k, a, lda, false));
+  out.scale.assign(1, scale);
+  pack_a_codes(m, k, a, lda, trans_a, mr,
+               [&](std::int64_t) { return scale; }, out);
+}
+
+void quantize_pack_b_i8(std::int64_t k, std::int64_t n, const float* b,
+                        std::int64_t ldb, bool trans_b,
+                        const float* col_scales, PackedPanelsI8& out) {
+  out.scale.assign(col_scales, col_scales + n);
+  pack_b_codes(k, n, b, ldb, trans_b,
+               [&](std::int64_t col) { return col_scales[col]; }, out);
+}
+
+void quantize_pack_b_i8_tensor(std::int64_t k, std::int64_t n, const float* b,
+                               std::int64_t ldb, bool trans_b,
+                               PackedPanelsI8& out) {
+  // finite_absmax walks the logical KxN matrix: rows=k, cols=n for the
+  // untransposed layout; the transposed operand is NxK in memory.
+  const float scale =
+      scale_from_absmax(trans_b ? finite_absmax(n, k, b, ldb, false)
+                                : finite_absmax(k, n, b, ldb, false));
+  out.scale.assign(1, scale);
+  pack_b_codes(k, n, b, ldb, trans_b,
+               [&](std::int64_t) { return scale; }, out);
+}
+
+void gemm_i8(std::int64_t m, std::int64_t n, std::int64_t k,
+             const PackedPanelsI8& a, const PackedPanelsI8& b, std::int32_t* c,
+             std::int64_t ldc) {
+  PFI_CHECK(a.panel == 4 || a.panel == 6 || a.panel == 8)
+      << "gemm_i8: A pack has panel " << a.panel;
+  PFI_CHECK(b.panel == kNR) << "gemm_i8: B pack has panel " << b.panel;
+  PFI_CHECK(a.k == k && b.k == k)
+      << "gemm_i8: packs have K " << a.k << "/" << b.k << ", need " << k;
+  PFI_CHECK(a.kp == b.kp) << "gemm_i8: pad mismatch " << a.kp << " vs "
+                          << b.kp;
+  PFI_CHECK(a.span >= m && b.span >= n)
+      << "gemm_i8: packs cover " << a.span << "x" << b.span << ", need " << m
+      << "x" << n;
+  PFI_CHECK(k <= kMaxI8Depth)
+      << "gemm_i8: K=" << k << " exceeds the exact-i32 depth bound "
+      << kMaxI8Depth;
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0);
+    }
+    return;
+  }
+
+  const int mr = a.panel;
+  const std::int64_t kp2 = a.kp / 2;
+  const BlockConfig cfg = block_config();
+  // Same fixed tile grid as the fp32 core (cosmetic here — integer results
+  // are grid-invariant regardless — but it keeps cache behavior and the
+  // threading structure identical across dtypes).
+  const std::int64_t mc = ((cfg.mc + mr - 1) / mr) * mr;
+  const std::int64_t nc = ((cfg.nc + kNR - 1) / kNR) * kNR;
+  const std::int64_t ti = (m + mc - 1) / mc;
+  const std::int64_t tj = (n + nc - 1) / nc;
+  const MicroI8Fn micro = micro_i8_for(mr, resolve(g_i8_isa));
+
+  detail::run_tiles(ti * tj, [&](std::int64_t t) {
+    const std::int64_t i0 = (t / tj) * mc;
+    const std::int64_t i1 = std::min(m, i0 + mc);
+    const std::int64_t j0 = (t % tj) * nc;
+    const std::int64_t j1 = std::min(n, j0 + nc);
+    std::int32_t scratch[8 * kNR];
+    for (std::int64_t j = j0; j < j1; j += kNR) {
+      const int nv = static_cast<int>(std::min<std::int64_t>(kNR, n - j));
+      const std::int16_t* bp = b.data.data() + (j / kNR) * (kNR * b.kp);
+      for (std::int64_t i = i0; i < i1; i += mr) {
+        const int mv = static_cast<int>(std::min<std::int64_t>(mr, m - i));
+        const std::int16_t* ap = a.data.data() + (i / mr) * (mr * a.kp);
+        if (mv == mr && nv == kNR) {
+          micro(kp2, ap, bp, c + i * ldc + j, ldc);
+          continue;
+        }
+        micro(kp2, ap, bp, scratch, kNR);
+        for (int r = 0; r < mv; ++r) {
+          std::memcpy(c + (i + r) * ldc + j, scratch + r * kNR,
+                      sizeof(std::int32_t) * nv);
+        }
+      }
+    }
+  });
+}
+
+void requantize_rows(std::int64_t m, std::int64_t n, const std::int32_t* acc,
+                     std::int64_t ldacc, const float* row_scale, float b_scale,
+                     const float* bias, float* out, std::int64_t ldout) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float s = row_scale[i] * b_scale;
+    const float bi = bias != nullptr ? bias[i] : 0.0f;
+    const std::int32_t* ai = acc + i * ldacc;
+    float* oi = out + i * ldout;
+    for (std::int64_t j = 0; j < n; ++j) {
+      oi[j] = std::fma(s, static_cast<float>(ai[j]), bi);
+    }
+  }
+}
+
+void requantize_cols(std::int64_t m, std::int64_t n, const std::int32_t* acc,
+                     std::int64_t ldacc, float a_scale, const float* col_scale,
+                     const float* bias, float* out, std::int64_t ldout) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int32_t* ai = acc + i * ldacc;
+    float* oi = out + i * ldout;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float bj = bias != nullptr ? bias[j] : 0.0f;
+      oi[j] = std::fma(a_scale * col_scale[j], static_cast<float>(ai[j]), bj);
+    }
+  }
+}
+
+// ----------------------------------------------------------- 16-bit packs ----
+
+void pack_a_16(std::int64_t m, std::int64_t k, const float* a,
+               std::int64_t lda, bool trans_a, int mr, Storage16 fmt,
+               PackedPanels16& out) {
+  PFI_CHECK(mr == 4 || mr == 6 || mr == 8)
+      << "pack_a_16 mr must be 4, 6, or 8, got " << mr;
+  const std::int64_t panels = (m + mr - 1) / mr;
+  out.data.resize(static_cast<std::size_t>(panels * mr * k));
+  out.k = k;
+  out.span = m;
+  out.panel = mr;
+  out.fmt = fmt;
+  std::uint16_t* dst = out.data.data();
+  for (std::int64_t ip = 0; ip < panels; ++ip) {
+    std::uint16_t* panel = dst + ip * mr * k;
+    const std::int64_t row0 = ip * mr;
+    const int rows = static_cast<int>(std::min<std::int64_t>(mr, m - row0));
+    for (int r = 0; r < rows; ++r) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float v =
+            trans_a ? a[kk * lda + row0 + r] : a[(row0 + r) * lda + kk];
+        panel[kk * mr + r] = narrow16(v, fmt);
+      }
+    }
+    for (int r = rows; r < mr; ++r) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        panel[kk * mr + r] = narrow16(0.0f, fmt);
+      }
+    }
+  }
+}
+
+void pack_b_16(std::int64_t k, std::int64_t n, const float* b,
+               std::int64_t ldb, bool trans_b, Storage16 fmt,
+               PackedPanels16& out) {
+  const std::int64_t panels = (n + kNR - 1) / kNR;
+  out.data.resize(static_cast<std::size_t>(panels * kNR * k));
+  out.k = k;
+  out.span = n;
+  out.panel = kNR;
+  out.fmt = fmt;
+  std::uint16_t* dst = out.data.data();
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    std::uint16_t* panel = dst + jp * kNR * k;
+    const std::int64_t col0 = jp * kNR;
+    const int cols = static_cast<int>(std::min<std::int64_t>(kNR, n - col0));
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (int c = 0; c < cols; ++c) {
+        const float v =
+            trans_b ? b[(col0 + c) * ldb + kk] : b[kk * ldb + col0 + c];
+        panel[kk * kNR + c] = narrow16(v, fmt);
+      }
+      for (int c = cols; c < kNR; ++c) {
+        panel[kk * kNR + c] = narrow16(0.0f, fmt);
+      }
+    }
+  }
+}
+
+void widen_pack(const PackedPanels16& in, PackedPanels& out) {
+  out.data.resize(in.data.size());
+  out.k = in.k;
+  out.span = in.span;
+  out.panel = in.panel;
+  for (std::size_t i = 0; i < in.data.size(); ++i) {
+    out.data[i] = widen16(in.data[i], in.fmt);
+  }
+}
+
+void narrow_buffer(const float* src, std::int64_t n, Storage16 fmt,
+                   std::vector<std::uint16_t>& dst) {
+  dst.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = narrow16(src[i], fmt);
+}
+
+void widen_buffer(const std::uint16_t* src, std::int64_t n, Storage16 fmt,
+                  std::vector<float>& dst) {
+  dst.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = widen16(src[i], fmt);
+}
+
+// -------------------------------------------------------------- the cache ----
+
+namespace {
+
+/// Fold the scale vector into the weight fingerprint: a pack quantized
+/// under different (e.g. frozen-golden vs freshly computed) scales must not
+/// be served for the other.
+std::uint64_t fp_with_scales(const float* w, std::int64_t wn,
+                             const float* scales, std::int64_t sn) {
+  return fingerprint(w, wn) * 1099511628211ull ^ fingerprint(scales, sn);
+}
+
+}  // namespace
+
+const PackedPanelsI8& LowPrecPackCache::packed_a_i8(
+    std::int64_t m, std::int64_t k, const float* w, std::int64_t lda,
+    bool trans_a, const float* row_scales) {
+  PFI_CHECK((trans_a ? lda == m : lda == k))
+      << "LowPrecPackCache::packed_a_i8 needs a contiguous weight matrix";
+  const std::uint64_t fp = fp_with_scales(w, m * k, row_scales, m);
+  const int mr = block_config().mr;
+  if (i8_valid_ && fp == i8_fp_ && i8_mr_ == mr && i8_.span == m &&
+      i8_.k == k && i8_.panel == mr) {
+    return i8_;
+  }
+  quantize_pack_a_i8(m, k, w, lda, trans_a, mr, row_scales, i8_);
+  i8_fp_ = fp;
+  i8_mr_ = mr;
+  i8_valid_ = true;
+  return i8_;
+}
+
+const PackedPanelsI8& LowPrecPackCache::packed_b_i8(
+    std::int64_t k, std::int64_t n, const float* w, std::int64_t ldb,
+    bool trans_b, const float* col_scales) {
+  PFI_CHECK((trans_b ? ldb == k : ldb == n))
+      << "LowPrecPackCache::packed_b_i8 needs a contiguous weight matrix";
+  const std::uint64_t fp = fp_with_scales(w, n * k, col_scales, n);
+  if (i8_valid_ && fp == i8_fp_ && i8_mr_ == 0 && i8_.span == n &&
+      i8_.k == k && i8_.panel == kNR) {
+    return i8_;
+  }
+  quantize_pack_b_i8(k, n, w, ldb, trans_b, col_scales, i8_);
+  i8_fp_ = fp;
+  i8_mr_ = 0;
+  i8_valid_ = true;
+  return i8_;
+}
+
+const PackedPanels16& LowPrecPackCache::packed_a_16(std::int64_t m,
+                                                    std::int64_t k,
+                                                    const float* w,
+                                                    std::int64_t lda,
+                                                    bool trans_a,
+                                                    Storage16 fmt) {
+  PFI_CHECK((trans_a ? lda == m : lda == k))
+      << "LowPrecPackCache::packed_a_16 needs a contiguous weight matrix";
+  const std::uint64_t fp = fingerprint(w, m * k);
+  const int mr = block_config().mr;
+  if (h_valid_ && fp == h_fp_ && h_mr_ == mr && h_.span == m && h_.k == k &&
+      h_.panel == mr && h_.fmt == fmt) {
+    return h_;
+  }
+  pack_a_16(m, k, w, lda, trans_a, mr, fmt, h_);
+  h_fp_ = fp;
+  h_mr_ = mr;
+  h_valid_ = true;
+  return h_;
+}
+
+const PackedPanels16& LowPrecPackCache::packed_b_16(std::int64_t k,
+                                                    std::int64_t n,
+                                                    const float* w,
+                                                    std::int64_t ldb,
+                                                    bool trans_b,
+                                                    Storage16 fmt) {
+  PFI_CHECK((trans_b ? ldb == k : ldb == n))
+      << "LowPrecPackCache::packed_b_16 needs a contiguous weight matrix";
+  const std::uint64_t fp = fingerprint(w, n * k);
+  if (h_valid_ && fp == h_fp_ && h_mr_ == 0 && h_.span == n && h_.k == k &&
+      h_.panel == kNR && h_.fmt == fmt) {
+    return h_;
+  }
+  pack_b_16(k, n, w, ldb, trans_b, fmt, h_);
+  h_fp_ = fp;
+  h_mr_ = 0;
+  h_valid_ = true;
+  return h_;
+}
+
+}  // namespace pfi::kernels

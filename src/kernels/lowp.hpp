@@ -1,0 +1,241 @@
+// pfi::kernels low-precision inference paths: native INT8 GEMM and an
+// fp16/bf16 storage format for weights and activations.
+//
+// INT8 GEMM
+// ---------
+// Operands are symmetric signed-INT8 codes (no zero point), pre-widened to
+// i16 at pack time and laid out in k-PAIR panels so the microkernel can use
+// `_mm256_madd_epi16` (and, when the CPU has it, the fused VNNI form
+// `_mm256_dpwssd_epi32`): each 32-bit lane accumulates a0*b0 + a1*b1 for
+// one output column. Widening to i16 is what makes the dot products EXACT —
+// the classic `_mm256_maddubs_epi16` u8*s8 trick saturates its intermediate
+// i16 pair sums (255*127*2 > 32767) and is therefore unsound for a
+// bit-deterministic tool. With |code| <= 127 the i16 pair products are at
+// most 2*127^2 = 32258, so madd never saturates, and the i32 accumulator is
+// exact for K <= kMaxI8Depth. Integer addition is associative, so the
+// result is bit-identical for EVERY tile grid, ISA (scalar / AVX2 madd /
+// VNNI), and thread count — a stronger form of the fp32 kernel's
+// fixed-chain guarantee. The fixed tile grid and ascending-k chains are
+// kept anyway so the execution structure mirrors kernels.cpp.
+//
+// Quantization
+// ------------
+// Weights use per-output-channel symmetric scales (one QuantParams-style
+// scale per GEMM row of A, or per column of B for the linear W^T shape);
+// activations use one dynamic per-tensor scale from a finite-only absmax.
+// quantize_unit() is the single scalar quantizer shared with
+// quant::quantize_value, so kernel codes and the injector's INT8 error
+// models agree bit-for-bit: a fault that flips bit b of a code produces
+// exactly the code the packed operand would hold. Non-finite activations
+// saturate deterministically (+-Inf -> +-127, NaN -> -127) instead of
+// aborting, because upstream fp32-layer faults can and do produce them.
+//
+// fp16/bf16 storage
+// -----------------
+// Weights and activations are stored as 16-bit codes (IEEE binary16 or
+// bfloat16, via the software converters in util/bits.hpp) and widened back
+// to fp32 on the fly for the existing fp32 microkernels. Widening is exact,
+// so the result equals the fp32 GEMM over the pre-narrowed operands and
+// inherits every fp32 determinism guarantee.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace pfi::kernels {
+
+/// Native low-precision mode of a module's forward path.
+enum class LowPrec { kNone, kInt8, kFp16, kBf16 };
+
+/// 16-bit storage format selector.
+enum class Storage16 { kFp16, kBf16 };
+
+/// INT8 microkernel ISA. kAuto resolves to the best supported at first use;
+/// set_i8_isa() forces a specific one (tests pin scalar-vs-SIMD
+/// bit-identity with it).
+enum class I8Isa { kAuto, kScalar, kMadd, kVnni };
+I8Isa active_i8_isa();
+void set_i8_isa(I8Isa isa);
+
+/// Deepest K for which an i32 accumulator of 127*127 products cannot
+/// overflow: floor((2^31 - 1) / 127^2).
+inline constexpr std::int64_t kMaxI8Depth = 133152;
+
+/// Symmetric scale from a (finite, non-negative) absolute maximum — the
+/// same formula as quant::calibrate_absmax, duplicated here because the
+/// kernel layer cannot depend on the tensor library.
+inline float scale_from_absmax(float absmax) {
+  return absmax > 0.0f ? absmax / 127.0f : 1.0f / 127.0f;
+}
+
+/// The single scalar quantizer: round-to-nearest-even onto the symmetric
+/// INT8 grid, saturating. quant::quantize_value delegates here, so codes
+/// computed by packs and by the injector's error models are bit-identical.
+/// NaN deterministically maps to -127, +-Inf to +-127.
+inline std::int8_t quantize_unit(float v, float scale) {
+  const float q = std::nearbyint(v / scale);
+  const float clamped = std::min(127.0f, std::max(-127.0f, q));
+  return static_cast<std::int8_t>(clamped);
+}
+
+/// A matrix quantized to INT8 codes, pre-widened to i16 and packed into
+/// k-pair microkernel panels. A-side panels hold mr rows (pair layout
+/// [a(r,2q), a(r,2q+1)] per row per pair); B-side panels hold kNR columns
+/// (pair layout [b(2q,c), b(2q+1,c)] per column per pair). K is zero-padded
+/// to even; padding rows/cols are zero codes.
+struct PackedPanelsI8 {
+  std::vector<std::int16_t> data;
+  std::int64_t k = 0;     ///< logical (un-padded) inner dimension
+  std::int64_t kp = 0;    ///< k rounded up to even
+  std::int64_t span = 0;  ///< M for A-side, N for B-side
+  int panel = 0;          ///< mr for A-side, kNR for B-side
+  /// Symmetric scales: one per row (A) / column (B) for per-channel packs,
+  /// or a single element for per-tensor packs.
+  std::vector<float> scale;
+  bool empty() const { return data.empty(); }
+};
+
+/// Per-row symmetric scales of a logical MxK matrix (the per-output-channel
+/// weight calibration). Rejects non-finite weights with a clear message —
+/// a NaN/Inf weight has no INT8 code and must not silently saturate.
+std::vector<float> per_row_scales_i8(std::int64_t m, std::int64_t k,
+                                     const float* a, std::int64_t lda,
+                                     bool trans_a);
+
+/// Quantize + pack logical A(MxK) into mr-row k-pair panels with the given
+/// per-row scales (size m). trans_a reads A(m,k) = a[k*lda+m].
+void quantize_pack_a_i8(std::int64_t m, std::int64_t k, const float* a,
+                        std::int64_t lda, bool trans_a, int mr,
+                        const float* row_scales, PackedPanelsI8& out);
+
+/// Quantize + pack logical A(MxK) with one dynamic per-tensor scale from a
+/// finite-only absmax (the linear-activation operand).
+void quantize_pack_a_i8_tensor(std::int64_t m, std::int64_t k, const float* a,
+                               std::int64_t lda, bool trans_a, int mr,
+                               PackedPanelsI8& out);
+
+/// Quantize + pack logical B(KxN) into kNR-column k-pair panels with the
+/// given per-column scales (size n). trans_b reads B(k,n) = b[n*ldb+k].
+void quantize_pack_b_i8(std::int64_t k, std::int64_t n, const float* b,
+                        std::int64_t ldb, bool trans_b,
+                        const float* col_scales, PackedPanelsI8& out);
+
+/// Quantize + pack logical B(KxN) with one dynamic per-tensor scale (the
+/// conv im2col operand).
+void quantize_pack_b_i8_tensor(std::int64_t k, std::int64_t n, const float* b,
+                               std::int64_t ldb, bool trans_b,
+                               PackedPanelsI8& out);
+
+/// Exact integer GEMM over packed INT8 operands: C(i32, MxN, ldc) =
+/// sum_k a_code(i,k) * b_code(k,j). Fixed tile grid from block_config(),
+/// intra-op threading from threads(); every configuration produces
+/// identical bits (integer adds are associative).
+void gemm_i8(std::int64_t m, std::int64_t n, std::int64_t k,
+             const PackedPanelsI8& a, const PackedPanelsI8& b, std::int32_t* c,
+             std::int64_t ldc);
+
+/// Dequantize i32 accumulators with per-row A scales and a scalar B scale:
+/// out[i,j] = fma(row_scale[i] * b_scale, acc[i,j], bias[i]) (bias may be
+/// null -> 0). The conv epilogue.
+void requantize_rows(std::int64_t m, std::int64_t n, const std::int32_t* acc,
+                     std::int64_t ldacc, const float* row_scale, float b_scale,
+                     const float* bias, float* out, std::int64_t ldout);
+
+/// Dequantize with a scalar A scale and per-column B scales:
+/// out[i,j] = fma(a_scale * col_scale[j], acc[i,j], bias[j]). The linear
+/// epilogue.
+void requantize_cols(std::int64_t m, std::int64_t n, const std::int32_t* acc,
+                     std::int64_t ldacc, float a_scale, const float* col_scale,
+                     const float* bias, float* out, std::int64_t ldout);
+
+/// Narrow one float to 16-bit storage codes / widen back (exact).
+inline std::uint16_t narrow16(float v, Storage16 fmt) {
+  return fmt == Storage16::kFp16 ? f16_bits_from_float(v)
+                                 : bf16_bits_from_float(v);
+}
+inline float widen16(std::uint16_t h, Storage16 fmt) {
+  return fmt == Storage16::kFp16 ? float_from_f16_bits(h)
+                                 : float_from_bf16_bits(h);
+}
+
+/// A matrix stored as 16-bit codes in fp32 panel layout (same indexing as
+/// PackedPanels, element type uint16).
+struct PackedPanels16 {
+  std::vector<std::uint16_t> data;
+  std::int64_t k = 0;
+  std::int64_t span = 0;
+  int panel = 0;
+  Storage16 fmt = Storage16::kFp16;
+  bool empty() const { return data.empty(); }
+};
+
+/// Narrow + pack logical A(MxK) / B(KxN) into 16-bit panels (the layouts of
+/// pack_a / pack_b with u16 elements).
+void pack_a_16(std::int64_t m, std::int64_t k, const float* a,
+               std::int64_t lda, bool trans_a, int mr, Storage16 fmt,
+               PackedPanels16& out);
+void pack_b_16(std::int64_t k, std::int64_t n, const float* b,
+               std::int64_t ldb, bool trans_b, Storage16 fmt,
+               PackedPanels16& out);
+
+/// Widen a 16-bit pack back to fp32 panels (exact, layout-preserving) for
+/// the existing fp32 microkernels.
+void widen_pack(const PackedPanels16& in, PackedPanels& out);
+
+/// Narrow a contiguous fp32 buffer to 16-bit storage / widen it back — the
+/// activation storage path.
+void narrow_buffer(const float* src, std::int64_t n, Storage16 fmt,
+                   std::vector<std::uint16_t>& dst);
+void widen_buffer(const std::uint16_t* src, std::int64_t n, Storage16 fmt,
+                  std::vector<float>& dst);
+
+/// Cached low-precision packs of a module's weight matrix — the quantized
+/// counterpart of WeightPackCache. Each representation keeps its OWN
+/// fingerprint (over the weight bits and, for INT8, the scales), so weight
+/// mutation through tensor aliases can never serve a stale quantized pack,
+/// and invalidate() (called by the FaultInjector on every weight-mutation
+/// path) drops every representation at once.
+class LowPrecPackCache {
+ public:
+  /// Per-row-quantized INT8 A-side panels (conv weights; row_scales size m).
+  const PackedPanelsI8& packed_a_i8(std::int64_t m, std::int64_t k,
+                                    const float* w, std::int64_t lda,
+                                    bool trans_a, const float* row_scales);
+
+  /// Per-column-quantized INT8 B-side panels (linear W^T; col_scales size n).
+  const PackedPanelsI8& packed_b_i8(std::int64_t k, std::int64_t n,
+                                    const float* w, std::int64_t ldb,
+                                    bool trans_b, const float* col_scales);
+
+  /// 16-bit-storage A-side / B-side panels.
+  const PackedPanels16& packed_a_16(std::int64_t m, std::int64_t k,
+                                    const float* w, std::int64_t lda,
+                                    bool trans_a, Storage16 fmt);
+  const PackedPanels16& packed_b_16(std::int64_t k, std::int64_t n,
+                                    const float* w, std::int64_t ldb,
+                                    bool trans_b, Storage16 fmt);
+
+  void invalidate() {
+    i8_valid_ = false;
+    h_valid_ = false;
+  }
+  bool cached() const { return i8_valid_ || h_valid_; }
+
+ private:
+  PackedPanelsI8 i8_;
+  std::uint64_t i8_fp_ = 0;
+  int i8_mr_ = 0;  ///< 0 marks a B-side pack
+  bool i8_valid_ = false;
+  PackedPanels16 h_;
+  std::uint64_t h_fp_ = 0;
+  int h_mr_ = 0;
+  bool h_valid_ = false;
+};
+
+}  // namespace pfi::kernels

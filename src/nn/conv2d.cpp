@@ -1,5 +1,7 @@
 #include "nn/conv2d.hpp"
 
+#include <cmath>
+
 #include "nn/init.hpp"
 
 namespace pfi::nn {
@@ -33,6 +35,25 @@ std::vector<Parameter*> Conv2d::local_parameters() {
   std::vector<Parameter*> out{&weight_};
   if (opts_.bias) out.push_back(&bias_);
   return out;
+}
+
+void Conv2d::set_native_dtype(kernels::LowPrec native,
+                              std::vector<float> out_channel_scales) {
+  PFI_CHECK(out_channel_scales.empty() || native == kernels::LowPrec::kInt8)
+      << kind() << "::set_native_dtype: channel scales only apply to kInt8";
+  PFI_CHECK(out_channel_scales.empty() ||
+            out_channel_scales.size() ==
+                static_cast<std::size_t>(opts_.out_channels))
+      << kind() << "::set_native_dtype: got " << out_channel_scales.size()
+      << " channel scales for " << opts_.out_channels << " output channels";
+  for (const float s : out_channel_scales) {
+    PFI_CHECK(std::isfinite(s) && s > 0.0f)
+        << kind() << "::set_native_dtype: channel scale " << s
+        << " must be finite and positive";
+  }
+  native_ = native;
+  native_scales_ = std::move(out_channel_scales);
+  for (auto& p : lowp_packed_) p.invalidate();
 }
 
 void Conv2d::im2col(const Tensor& input, std::int64_t n, std::int64_t group,
@@ -115,6 +136,12 @@ Tensor Conv2d::forward(const Tensor& input) {
       << kind() << " output would be empty for input " << input.to_string();
 
   cached_input_ = input;
+  if (native_ == kernels::LowPrec::kInt8) {
+    return forward_int8(input, h_out, w_out);
+  }
+  if (native_ != kernels::LowPrec::kNone) {
+    return forward_16(input, h_out, w_out);
+  }
   const auto g = opts_.groups;
   const auto cin_g = opts_.in_channels / g;
   const auto cout_g = opts_.out_channels / g;
@@ -154,6 +181,116 @@ Tensor Conv2d::forward(const Tensor& input) {
                             col.data().data(), spatial, false, op, spatial,
                             epilogue, bp);
       }
+    }
+  }
+  return output;
+}
+
+// Native INT8 forward: weights carry frozen per-output-channel symmetric
+// scales (golden-calibrated by the injector, or lazily calibrated here on
+// first use), the im2col matrix is quantized with one dynamic per-tensor
+// scale per (sample, group), and the integer GEMM's exact i32 accumulators
+// are requantized as fma(sw[oc] * sa, acc, bias[oc]). Everything downstream
+// of the quantizers is integer arithmetic, so the output is bit-identical
+// at any thread count, block config, or INT8 ISA.
+Tensor Conv2d::forward_int8(const Tensor& input, std::int64_t h_out,
+                            std::int64_t w_out) {
+  const auto n_batch = input.size(0);
+  const auto g = opts_.groups;
+  const auto cin_g = opts_.in_channels / g;
+  const auto cout_g = opts_.out_channels / g;
+  const auto col_rows = cin_g * opts_.kernel * opts_.kernel;
+  const auto spatial = h_out * w_out;
+
+  Tensor output({n_batch, opts_.out_channels, h_out, w_out});
+  Tensor col({col_rows, spatial});
+  const Tensor w_mat = weight_.value.reshape({opts_.out_channels, col_rows});
+  if (lowp_packed_.size() != static_cast<std::size_t>(g)) {
+    lowp_packed_.resize(static_cast<std::size_t>(g));
+  }
+  if (native_scales_.empty()) {
+    native_scales_ = kernels::per_row_scales_i8(
+        opts_.out_channels, col_rows, w_mat.data().data(), col_rows, false);
+  }
+
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(cout_g * spatial));
+  kernels::PackedPanelsI8 colq;
+  for (std::int64_t grp = 0; grp < g; ++grp) {
+    const auto* wp = w_mat.data().data() + grp * cout_g * col_rows;
+    const float* bp =
+        opts_.bias ? bias_.value.data().data() + grp * cout_g : nullptr;
+    const auto& pa =
+        lowp_packed_[static_cast<std::size_t>(grp)].packed_a_i8(
+            cout_g, col_rows, wp, col_rows, false,
+            native_scales_.data() + grp * cout_g);
+    for (std::int64_t n = 0; n < n_batch; ++n) {
+      im2col(input, n, grp, h_out, w_out, col);
+      kernels::quantize_pack_b_i8_tensor(col_rows, spatial,
+                                         col.data().data(), spatial, false,
+                                         colq);
+      kernels::gemm_i8(cout_g, spatial, col_rows, pa, colq, acc.data(),
+                       spatial);
+      auto* op = output.data().data() +
+                 (n * opts_.out_channels + grp * cout_g) * spatial;
+      kernels::requantize_rows(cout_g, spatial, acc.data(), spatial,
+                               pa.scale.data(), colq.scale[0], bp, op,
+                               spatial);
+    }
+  }
+  return output;
+}
+
+// Native fp16/bf16 forward: weights, activations, and bias are stored as
+// 16-bit codes and widened (exactly) into the fp32 blocked kernels, so the
+// result equals the fp32 GEMM over pre-narrowed operands and inherits the
+// fp32 determinism guarantees.
+Tensor Conv2d::forward_16(const Tensor& input, std::int64_t h_out,
+                          std::int64_t w_out) {
+  const auto fmt = native_ == kernels::LowPrec::kFp16
+                       ? kernels::Storage16::kFp16
+                       : kernels::Storage16::kBf16;
+  const auto n_batch = input.size(0);
+  const auto g = opts_.groups;
+  const auto cin_g = opts_.in_channels / g;
+  const auto cout_g = opts_.out_channels / g;
+  const auto col_rows = cin_g * opts_.kernel * opts_.kernel;
+  const auto spatial = h_out * w_out;
+
+  Tensor output({n_batch, opts_.out_channels, h_out, w_out});
+  Tensor col({col_rows, spatial});
+  const Tensor w_mat = weight_.value.reshape({opts_.out_channels, col_rows});
+  if (lowp_packed_.size() != static_cast<std::size_t>(g)) {
+    lowp_packed_.resize(static_cast<std::size_t>(g));
+  }
+  const auto epilogue =
+      opts_.bias ? kernels::Epilogue::kBiasRow : kernels::Epilogue::kZero;
+
+  kernels::PackedPanels wa;
+  std::vector<std::uint16_t> codes;
+  std::vector<float> colw;
+  std::vector<float> bias_w(static_cast<std::size_t>(opts_.bias ? cout_g : 0));
+  for (std::int64_t grp = 0; grp < g; ++grp) {
+    const auto* wp = w_mat.data().data() + grp * cout_g * col_rows;
+    const auto& ph = lowp_packed_[static_cast<std::size_t>(grp)].packed_a_16(
+        cout_g, col_rows, wp, col_rows, false, fmt);
+    kernels::widen_pack(ph, wa);
+    if (opts_.bias) {
+      const float* bp = bias_.value.data().data() + grp * cout_g;
+      for (std::int64_t i = 0; i < cout_g; ++i) {
+        bias_w[static_cast<std::size_t>(i)] =
+            kernels::widen16(kernels::narrow16(bp[i], fmt), fmt);
+      }
+    }
+    for (std::int64_t n = 0; n < n_batch; ++n) {
+      im2col(input, n, grp, h_out, w_out, col);
+      kernels::narrow_buffer(col.data().data(), col_rows * spatial, fmt,
+                             codes);
+      kernels::widen_buffer(codes.data(), col_rows * spatial, fmt, colw);
+      auto* op = output.data().data() +
+                 (n * opts_.out_channels + grp * cout_g) * spatial;
+      kernels::gemm_prepacked_a(cout_g, spatial, col_rows, wa, colw.data(),
+                                spatial, false, op, spatial, epilogue,
+                                opts_.bias ? bias_w.data() : nullptr);
     }
   }
   return output;

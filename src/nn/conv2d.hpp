@@ -17,6 +17,7 @@
 #pragma once
 
 #include "kernels/kernels.hpp"
+#include "kernels/lowp.hpp"
 #include "nn/module.hpp"
 #include "util/rng.hpp"
 
@@ -63,7 +64,25 @@ class Conv2d final : public Module {
   /// eager-release hook, not the only line of defense.
   void invalidate_weight_packs() {
     for (auto& p : packed_) p.invalidate();
+    for (auto& p : lowp_packed_) p.invalidate();
   }
+
+  /// Switch the forward path to a native low-precision representation.
+  /// kInt8 runs im2col -> per-tensor dynamic activation quantization ->
+  /// integer GEMM against per-output-channel-quantized weights -> fp32
+  /// requantize; kFp16/kBf16 store weights and activations as 16-bit codes
+  /// widened on the fly into the fp32 kernels. `out_channel_scales`
+  /// optionally freezes the per-channel weight scales (the FaultInjector
+  /// passes golden-calibrated scales so a weight fault flips exactly one
+  /// deployed code without re-calibrating the channel); empty means
+  /// calibrate lazily from the current weights at first pack. Backward is
+  /// unchanged (fp32) — campaigns only run inference.
+  void set_native_dtype(kernels::LowPrec native,
+                        std::vector<float> out_channel_scales = {});
+  kernels::LowPrec native_dtype() const { return native_; }
+  /// Per-output-channel weight scales of the native INT8 path (empty until
+  /// set or first lazily-calibrated forward).
+  const std::vector<float>& native_scales() const { return native_scales_; }
 
  private:
   /// Expand one sample's group-slice of input into a column matrix of shape
@@ -74,12 +93,22 @@ class Conv2d final : public Module {
   void col2im(const Tensor& col, std::int64_t n, std::int64_t group,
               std::int64_t h_out, std::int64_t w_out, Tensor& grad_input) const;
 
+  Tensor forward_int8(const Tensor& input, std::int64_t h_out,
+                      std::int64_t w_out);
+  Tensor forward_16(const Tensor& input, std::int64_t h_out,
+                    std::int64_t w_out);
+
   Conv2dOptions opts_;
   Parameter weight_;  // [out_channels, in_channels/groups, k, k]
   Parameter bias_;    // [out_channels]
   Tensor cached_input_;
   // Packed weight panels for the blocked GEMM, one cache per group.
   std::vector<kernels::WeightPackCache> packed_;
+  // Native low-precision state: quantized/16-bit pack caches (one per
+  // group) and the frozen per-output-channel INT8 scales.
+  kernels::LowPrec native_ = kernels::LowPrec::kNone;
+  std::vector<float> native_scales_;
+  std::vector<kernels::LowPrecPackCache> lowp_packed_;
 };
 
 }  // namespace pfi::nn

@@ -1,5 +1,7 @@
 #include "nn/linear.hpp"
 
+#include <cmath>
+
 #include "nn/init.hpp"
 
 namespace pfi::nn {
@@ -25,10 +27,88 @@ std::vector<Parameter*> Linear::local_parameters() {
   return out;
 }
 
+void Linear::set_native_dtype(kernels::LowPrec native,
+                              std::vector<float> out_feature_scales) {
+  PFI_CHECK(out_feature_scales.empty() || native == kernels::LowPrec::kInt8)
+      << "Linear::set_native_dtype: feature scales only apply to kInt8";
+  PFI_CHECK(out_feature_scales.empty() ||
+            out_feature_scales.size() == static_cast<std::size_t>(out_))
+      << "Linear::set_native_dtype: got " << out_feature_scales.size()
+      << " feature scales for " << out_ << " output features";
+  for (const float s : out_feature_scales) {
+    PFI_CHECK(std::isfinite(s) && s > 0.0f)
+        << "Linear::set_native_dtype: feature scale " << s
+        << " must be finite and positive";
+  }
+  native_ = native;
+  native_scales_ = std::move(out_feature_scales);
+  lowp_packed_.invalidate();
+}
+
+// Native INT8 forward: W^T is quantized per-out-feature (frozen scales as
+// in Conv2d), the activation matrix gets one dynamic per-tensor scale, and
+// the exact i32 GEMM is requantized as fma(sa * sw[o], acc, bias[o]).
+Tensor Linear::forward_int8(const Tensor& input) {
+  const auto n = input.size(0);
+  Tensor output({n, out_});
+  const auto* x = input.data().data();
+  const auto* w = weight_.value.data().data();
+  if (native_scales_.empty()) {
+    native_scales_ = kernels::per_row_scales_i8(out_, in_, w, in_, false);
+  }
+  const auto& pb =
+      lowp_packed_.packed_b_i8(in_, out_, w, in_, true, native_scales_.data());
+  kernels::PackedPanelsI8 xa;
+  kernels::quantize_pack_a_i8_tensor(n, in_, x, in_, false,
+                                     kernels::block_config().mr, xa);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(n * out_));
+  kernels::gemm_i8(n, out_, in_, xa, pb, acc.data(), out_);
+  kernels::requantize_cols(n, out_, acc.data(), out_, xa.scale[0],
+                           pb.scale.data(),
+                           has_bias_ ? bias_.value.data().data() : nullptr,
+                           output.data().data(), out_);
+  return output;
+}
+
+// Native fp16/bf16 forward: W^T, activations, and bias live as 16-bit codes
+// widened exactly into the fp32 blocked kernel.
+Tensor Linear::forward_16(const Tensor& input) {
+  const auto fmt = native_ == kernels::LowPrec::kFp16
+                       ? kernels::Storage16::kFp16
+                       : kernels::Storage16::kBf16;
+  const auto n = input.size(0);
+  Tensor output({n, out_});
+  const auto* x = input.data().data();
+  const auto* w = weight_.value.data().data();
+  const auto& ph = lowp_packed_.packed_b_16(in_, out_, w, in_, true, fmt);
+  kernels::PackedPanels wb;
+  kernels::widen_pack(ph, wb);
+  std::vector<std::uint16_t> codes;
+  std::vector<float> xw;
+  kernels::narrow_buffer(x, n * in_, fmt, codes);
+  kernels::widen_buffer(codes.data(), n * in_, fmt, xw);
+  std::vector<float> bias_w(static_cast<std::size_t>(has_bias_ ? out_ : 0));
+  if (has_bias_) {
+    const float* bp = bias_.value.data().data();
+    for (std::int64_t o = 0; o < out_; ++o) {
+      bias_w[static_cast<std::size_t>(o)] =
+          kernels::widen16(kernels::narrow16(bp[o], fmt), fmt);
+    }
+  }
+  const auto epilogue =
+      has_bias_ ? kernels::Epilogue::kBiasCol : kernels::Epilogue::kZero;
+  kernels::gemm_prepacked_b(n, out_, in_, xw.data(), in_, false, wb,
+                            output.data().data(), out_, epilogue,
+                            has_bias_ ? bias_w.data() : nullptr);
+  return output;
+}
+
 Tensor Linear::forward(const Tensor& input) {
   PFI_CHECK(input.dim() == 2 && input.size(1) == in_)
       << "Linear(" << in_ << " -> " << out_ << ") got " << input.to_string();
   cached_input_ = input;
+  if (native_ == kernels::LowPrec::kInt8) return forward_int8(input);
+  if (native_ != kernels::LowPrec::kNone) return forward_16(input);
   const auto n = input.size(0);
   Tensor output({n, out_});
   const auto* x = input.data().data();

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "kernels/kernels.hpp"
+#include "kernels/lowp.hpp"
 #include "nn/module.hpp"
 #include "util/rng.hpp"
 
@@ -33,9 +34,24 @@ class Linear final : public Module {
   Parameter& bias() { return bias_; }
 
   /// Drop the cached packed-weight panels (see Conv2d::invalidate_weight_packs).
-  void invalidate_weight_packs() { packed_.invalidate(); }
+  void invalidate_weight_packs() {
+    packed_.invalidate();
+    lowp_packed_.invalidate();
+  }
+
+  /// Native low-precision forward path (see Conv2d::set_native_dtype):
+  /// kInt8 quantizes activations per-tensor against a per-out-feature
+  /// quantized W^T; kFp16/kBf16 store both operands as 16-bit codes.
+  /// `out_feature_scales` freezes the INT8 weight scales (empty = lazy).
+  void set_native_dtype(kernels::LowPrec native,
+                        std::vector<float> out_feature_scales = {});
+  kernels::LowPrec native_dtype() const { return native_; }
+  const std::vector<float>& native_scales() const { return native_scales_; }
 
  private:
+  Tensor forward_int8(const Tensor& input);
+  Tensor forward_16(const Tensor& input);
+
   std::int64_t in_ = 0;
   std::int64_t out_ = 0;
   bool has_bias_ = true;
@@ -43,6 +59,9 @@ class Linear final : public Module {
   Parameter bias_;    // [out]
   Tensor cached_input_;
   kernels::WeightPackCache packed_;  // packed panels of W^T
+  kernels::LowPrec native_ = kernels::LowPrec::kNone;
+  std::vector<float> native_scales_;  // frozen per-out-feature INT8 scales
+  kernels::LowPrecPackCache lowp_packed_;
 };
 
 }  // namespace pfi::nn

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/lowp.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
 
@@ -24,11 +25,41 @@ QuantParams calibrate_absmax(float absmax) {
   return qp;
 }
 
+std::vector<QuantParams> calibrate_per_channel(const Tensor& t) {
+  PFI_CHECK(t.defined() && t.dim() >= 1)
+      << "calibrate_per_channel needs a tensor with a channel dimension";
+  const std::int64_t channels = t.size(0);
+  PFI_CHECK(channels > 0) << "calibrate_per_channel on 0 channels";
+  const std::int64_t per = t.numel() / channels;
+  PFI_CHECK(per > 0) << "calibrate_per_channel: channel 0 is empty (0 "
+                        "values per channel) — no scale exists for an empty "
+                        "channel";
+  const float* p = t.data().data();
+  std::vector<QuantParams> out(static_cast<std::size_t>(channels));
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float absmax = 0.0f;
+    std::int64_t finite = 0;
+    for (std::int64_t i = 0; i < per; ++i) {
+      const float av = std::abs(p[c * per + i]);
+      if (std::isfinite(av)) {
+        ++finite;
+        if (av > absmax) absmax = av;
+      }
+    }
+    PFI_CHECK(finite > 0)
+        << "calibrate_per_channel: channel " << c << " has no finite values ("
+        << per << " entries, all NaN/Inf) — refusing to emit a degenerate "
+        << "scale";
+    out[static_cast<std::size_t>(c)] = calibrate_absmax(absmax);
+  }
+  return out;
+}
+
 std::int8_t quantize_value(float v, const QuantParams& qp) {
   PFI_CHECK(qp.scale > 0.0f) << "quantize with scale " << qp.scale;
-  const float q = std::nearbyint(v / qp.scale);
-  const float clamped = std::min(127.0f, std::max(-127.0f, q));
-  return static_cast<std::int8_t>(clamped);
+  // Delegates to the kernel layer's quantizer so emulated codes and native
+  // packed codes are bit-identical by construction.
+  return kernels::quantize_unit(v, qp.scale);
 }
 
 float dequantize_value(std::int8_t q, const QuantParams& qp) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 
@@ -28,6 +29,16 @@ QuantParams calibrate(const Tensor& t);
 
 /// Calibrate from a known absolute bound.
 QuantParams calibrate_absmax(float absmax);
+
+/// Per-channel symmetric calibration along dim 0 (one QuantParams per
+/// output channel — the native INT8 weight scheme). Unlike the per-tensor
+/// calibrate, degenerate channels are REJECTED with a clear PFI_CHECK
+/// rather than silently falling back: an empty channel or one with no
+/// finite values (all NaN/Inf) has no meaningful scale, and emitting one
+/// would let a campaign quantize garbage without noticing. An all-zero
+/// channel still gets the standard 1/127 fallback scale — zero is a valid
+/// calibration, just a degenerate range.
+std::vector<QuantParams> calibrate_per_channel(const Tensor& t);
 
 /// Quantize one value to INT8 (round-to-nearest, clamped to [-127, 127]).
 std::int8_t quantize_value(float v, const QuantParams& qp);

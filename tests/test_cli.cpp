@@ -134,7 +134,60 @@ TEST(Cli, DtypeNameParser) {
   EXPECT_TRUE(parse_dtype_name("fp32").has_value());
   EXPECT_TRUE(parse_dtype_name("fp16").has_value());
   EXPECT_TRUE(parse_dtype_name("int8").has_value());
-  EXPECT_FALSE(parse_dtype_name("bf16").has_value());
+  EXPECT_TRUE(parse_dtype_name("bf16").has_value());
+  EXPECT_FALSE(parse_dtype_name("int4").has_value());
+  EXPECT_FALSE(parse_dtype_name("fp32-native").has_value());  // spec syntax
+}
+
+TEST(Cli, DtypeSpecParser) {
+  const auto plain = parse_dtype_spec("int8");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->dtype, DType::kInt8);
+  EXPECT_FALSE(plain->native);
+  const auto native = parse_dtype_spec("int8-native");
+  ASSERT_TRUE(native.has_value());
+  EXPECT_EQ(native->dtype, DType::kInt8);
+  EXPECT_TRUE(native->native);
+  EXPECT_TRUE(parse_dtype_spec("bf16-native").has_value());
+  EXPECT_TRUE(parse_dtype_spec("fp16-native").has_value());
+  EXPECT_FALSE(parse_dtype_spec("-native").has_value());
+  EXPECT_FALSE(parse_dtype_spec("int8-nativ").has_value());
+}
+
+TEST(Cli, PerLayerDtypeParser) {
+  std::string error;
+  const auto one = parse_per_layer_dtype("features.3=int8-native", &error);
+  ASSERT_TRUE(one.has_value()) << error;
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_EQ((*one)[0].layer, "features.3");
+  EXPECT_EQ((*one)[0].dtype, DType::kInt8);
+  EXPECT_TRUE((*one)[0].native);
+  const auto two =
+      parse_per_layer_dtype("features.0=fp16,classifier.1=bf16-native", &error);
+  ASSERT_TRUE(two.has_value()) << error;
+  ASSERT_EQ(two->size(), 2u);
+  EXPECT_EQ((*two)[1].layer, "classifier.1");
+  EXPECT_EQ((*two)[1].dtype, DType::kBFloat16);
+  EXPECT_TRUE((*two)[1].native);
+  EXPECT_FALSE(parse_per_layer_dtype("", &error).has_value());
+  EXPECT_FALSE(parse_per_layer_dtype("features.3", &error).has_value());
+  EXPECT_FALSE(parse_per_layer_dtype("=int8", &error).has_value());
+  EXPECT_FALSE(parse_per_layer_dtype("features.3=", &error).has_value());
+  EXPECT_FALSE(parse_per_layer_dtype("features.3=int9", &error).has_value());
+}
+
+TEST(Cli, NativeFlagAndSuffix) {
+  const auto flag = parse({"--dtype", "int8", "--native"});
+  ASSERT_TRUE(flag.ok()) << flag.error;
+  EXPECT_TRUE(flag.options.native);
+  EXPECT_EQ(flag.options.dtype, "int8");
+  // A -native dtype suffix folds into the flag and strips from the token.
+  const auto suffix = parse({"--dtype", "bf16-native"});
+  ASSERT_TRUE(suffix.ok()) << suffix.error;
+  EXPECT_TRUE(suffix.options.native);
+  EXPECT_EQ(suffix.options.dtype, "bf16");
+  expect_error({"--dtype", "int8-nativ"}, "unknown dtype");
+  expect_error({"--per-layer-dtype", "features.3"}, "not PATH=DTYPE");
 }
 
 // ---------------------------------------------------- shard validation ----

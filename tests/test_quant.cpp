@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "quant/quant.hpp"
 #include "util/error.hpp"
@@ -92,6 +93,60 @@ TEST(Quant, HighMagnitudeBitFlipIsLargePerturbation) {
   const auto qp = calibrate_absmax(127.0f);
   // Bit 6 carries 64 levels.
   EXPECT_NEAR(std::abs(flip_bit_int8(1.0f, 6, qp) - 1.0f), 64.0f, 1e-5f);
+}
+
+TEST(Quant, CalibratePerChannelScalesEachRowIndependently) {
+  // [3, 2] tensor: channel c is row c; each gets its own absmax scale.
+  Tensor t({3, 2},
+           std::vector<float>{1.0f, -4.0f, 0.5f, 0.25f, -127.0f, 3.0f});
+  const auto qps = calibrate_per_channel(t);
+  ASSERT_EQ(qps.size(), 3u);
+  EXPECT_FLOAT_EQ(qps[0].scale, 4.0f / 127.0f);
+  EXPECT_FLOAT_EQ(qps[1].scale, 0.5f / 127.0f);
+  EXPECT_FLOAT_EQ(qps[2].scale, 1.0f);
+  // Each channel's absmax sits exactly on its grid endpoint.
+  EXPECT_EQ(quantize_value(-4.0f, qps[0]), -127);
+  EXPECT_EQ(quantize_value(0.5f, qps[1]), 127);
+}
+
+TEST(Quant, CalibratePerChannelAllZeroChannelFallsBack) {
+  // Zero is a valid (degenerate) calibration: the standard 1/127 fallback,
+  // not a refusal.
+  Tensor t({2, 3},
+           std::vector<float>{0.0f, 0.0f, 0.0f, 1.0f, -2.0f, 0.5f});
+  const auto qps = calibrate_per_channel(t);
+  ASSERT_EQ(qps.size(), 2u);
+  EXPECT_FLOAT_EQ(qps[0].scale, 1.0f / 127.0f);
+  EXPECT_FLOAT_EQ(qps[1].scale, 2.0f / 127.0f);
+}
+
+TEST(Quant, CalibratePerChannelIgnoresNonFiniteOutliers) {
+  // A NaN or Inf entry must not poison the channel's absmax as long as at
+  // least one finite value remains.
+  Tensor t({1, 3},
+           std::vector<float>{std::numeric_limits<float>::quiet_NaN(), 2.0f,
+                              std::numeric_limits<float>::infinity()});
+  const auto qps = calibrate_per_channel(t);
+  ASSERT_EQ(qps.size(), 1u);
+  EXPECT_FLOAT_EQ(qps[0].scale, 2.0f / 127.0f);
+}
+
+TEST(Quant, CalibratePerChannelRefusesDegenerateInputs) {
+  // Undefined tensor / scalar-with-no-channel-dim.
+  EXPECT_THROW(calibrate_per_channel(Tensor()), Error);
+  // A channel whose every entry is non-finite has no meaningful scale.
+  Tensor all_bad({2, 2},
+                 std::vector<float>{1.0f, 2.0f,
+                                    std::numeric_limits<float>::quiet_NaN(),
+                                    -std::numeric_limits<float>::infinity()});
+  try {
+    calibrate_per_channel(all_bad);
+    ADD_FAILURE() << "expected a refusal for the all-non-finite channel";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("channel 1 has no finite values"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 struct BitSweepParam {

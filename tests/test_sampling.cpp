@@ -109,6 +109,15 @@ FiConfig tiny_fi_config(DType dtype = DType::kFloat32) {
   return cfg;
 }
 
+/// Native INT8 execution: the convs run the integer GEMM path, faults land
+/// in the deployed codes. Every determinism matrix below must hold
+/// unchanged.
+FiConfig tiny_native_config() {
+  FiConfig cfg = tiny_fi_config(DType::kInt8);
+  cfg.native = true;
+  return cfg;
+}
+
 bool logits_finite(const Tensor& t) {
   for (const float v : t.data()) {
     if (!std::isfinite(v)) return false;
@@ -411,9 +420,11 @@ TEST(Sampling, PrefixCacheDoesNotChangeResults) {
   }
 }
 
-void kill_and_resume_case(std::int64_t threads) {
+void kill_and_resume_case(std::int64_t threads,
+                          const FiConfig& fi_cfg = tiny_fi_config(),
+                          const std::string& suffix = "") {
   const auto& fx = tiny();
-  const std::string tag = "t" + std::to_string(threads);
+  const std::string tag = "t" + std::to_string(threads) + suffix;
   TempFile ck_ref("/tmp/pfi_sampling_ck_ref_" + tag + ".json");
   TempFile tr_ref("/tmp/pfi_sampling_tr_ref_" + tag + ".jsonl");
   TempFile ck_crash("/tmp/pfi_sampling_ck_crash_" + tag + ".json");
@@ -426,7 +437,7 @@ void kill_and_resume_case(std::int64_t threads) {
   CampaignCheckpointer ref(ck_ref.path, tr_ref.path);
   ref.begin(fp);
   trace::TraceSink ref_sink;
-  FaultInjector ref_fi(fx.model, tiny_fi_config());
+  FaultInjector ref_fi(fx.model, fi_cfg);
   const StratifiedResult ref_result =
       run_tiny(ref_fi, 37, threads, &ref_sink, &ref);
 
@@ -435,7 +446,7 @@ void kill_and_resume_case(std::int64_t threads) {
   crash.begin(fp);
   crash.fail_after_commits(1);
   trace::TraceSink crash_sink;
-  FaultInjector crash_fi(fx.model, tiny_fi_config());
+  FaultInjector crash_fi(fx.model, fi_cfg);
   EXPECT_THROW(run_tiny(crash_fi, 37, threads, &crash_sink, &crash),
                CampaignAborted);
 
@@ -448,7 +459,7 @@ void kill_and_resume_case(std::int64_t threads) {
   EXPECT_FALSE(resumed.strata().empty());
   EXPECT_LT(resumed.result().trials, ref_result.totals.trials);
   trace::TraceSink resume_sink;
-  FaultInjector resume_fi(fx.model, tiny_fi_config());
+  FaultInjector resume_fi(fx.model, fi_cfg);
   const StratifiedResult resumed_result =
       run_tiny(resume_fi, 37, threads, &resume_sink, &resumed);
 
@@ -465,7 +476,7 @@ void kill_and_resume_case(std::int64_t threads) {
   CampaignCheckpointer finished(ck_crash.path, tr_crash.path);
   ASSERT_TRUE(finished.resume(fp));
   EXPECT_TRUE(finished.done());
-  FaultInjector replay_fi(fx.model, tiny_fi_config());
+  FaultInjector replay_fi(fx.model, fi_cfg);
   trace::TraceSink replay_sink;
   const StratifiedResult replayed =
       run_tiny(replay_fi, 37, threads, &replay_sink, &finished);
@@ -477,6 +488,61 @@ void kill_and_resume_case(std::int64_t threads) {
 
 TEST(Sampling, KillAndResumeByteIdenticalSerial) { kill_and_resume_case(1); }
 TEST(Sampling, KillAndResumeByteIdenticalParallel) { kill_and_resume_case(4); }
+
+// ------------------------------------- native-dtype campaign equivalence ----
+
+// The same determinism matrix with the convs EXECUTING in native INT8
+// (integer GEMM over deployed codes) instead of fp32-with-emulation: the
+// campaign counters, CSV, and trace JSONL must stay byte-identical at any
+// thread count, under kill/resume, and with the prefix cache on or off.
+
+TEST(Sampling, NativeInt8ThreadCountInvariantCsvAndTrace) {
+  const auto& fx = tiny();
+  FaultInjector fi1(fx.model, tiny_native_config());
+  FaultInjector fi4(fx.model, tiny_native_config());
+  trace::TraceSink sink1;
+  trace::TraceSink sink4;
+  const StratifiedResult a = run_tiny(fi1, 61, 1, &sink1);
+  const StratifiedResult b = run_tiny(fi4, 61, 4, &sink4);
+  EXPECT_TRUE(same_bits(a.totals, b.totals));
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.faulty_passes, b.faulty_passes);
+  EXPECT_EQ(csv_bytes(a, "ni8_t1"), csv_bytes(b, "ni8_t4"));
+  if constexpr (trace::kEnabled) {
+    ASSERT_FALSE(sink1.events().empty());
+    // Events must record the deployed representation, not fp32.
+    for (const auto& ev : sink1.events()) {
+      EXPECT_EQ(ev.dtype, DType::kInt8);
+    }
+    EXPECT_EQ(trace::trace_to_jsonl(sink1.events()),
+              trace::trace_to_jsonl(sink4.events()));
+  }
+}
+
+TEST(Sampling, NativeInt8PrefixCacheDoesNotChangeResults) {
+  const auto& fx = tiny();
+  FiConfig off = tiny_native_config();
+  off.prefix_cache = false;
+  FaultInjector fi_on(fx.model, tiny_native_config());
+  FaultInjector fi_off(fx.model, off);
+  trace::TraceSink sink_on;
+  trace::TraceSink sink_off;
+  const StratifiedResult a = run_tiny(fi_on, 63, 1, &sink_on);
+  const StratifiedResult b = run_tiny(fi_off, 63, 1, &sink_off);
+  EXPECT_TRUE(same_bits(a.totals, b.totals));
+  EXPECT_EQ(csv_bytes(a, "ni8_cache_on"), csv_bytes(b, "ni8_cache_off"));
+  if constexpr (trace::kEnabled) {
+    EXPECT_EQ(trace::trace_to_jsonl(sink_on.events()),
+              trace::trace_to_jsonl(sink_off.events()));
+  }
+}
+
+TEST(Sampling, NativeKillAndResumeByteIdenticalSerial) {
+  kill_and_resume_case(1, tiny_native_config(), "_native");
+}
+TEST(Sampling, NativeKillAndResumeByteIdenticalParallel) {
+  kill_and_resume_case(4, tiny_native_config(), "_native");
+}
 
 TEST(Sampling, UniformCheckpointCannotResumeStratifiedRun) {
   const StratifiedCampaignConfig scfg = tiny_campaign(37);

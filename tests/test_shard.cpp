@@ -99,6 +99,15 @@ FiConfig tiny_fi_config(bool prefix_cache = true) {
   return cfg;
 }
 
+/// Native-int8 variant: faults land in the deployed quantized codes, so
+/// sharded runs must reproduce the native single-process bytes exactly.
+FiConfig tiny_native_fi_config(bool prefix_cache = true) {
+  FiConfig cfg = tiny_fi_config(prefix_cache);
+  cfg.dtype = DType::kInt8;
+  cfg.native = true;
+  return cfg;
+}
+
 CampaignConfig uniform_config(std::int64_t threads = 1,
                               std::int64_t trials = 24) {
   CampaignConfig cfg;
@@ -330,6 +339,43 @@ TEST(ShardEquivalence, UniformMatchesWithPrefixCacheOff) {
       fi, fx.ds, uniform_config(), 3, dir.path, &sink);
   EXPECT_TRUE(same_bits(merged, ref.result));
   EXPECT_EQ(trace::trace_to_jsonl(sink.take_events()), ref.jsonl);
+}
+
+TEST(ShardEquivalence, NativeInt8MergedMatchesSingleProcessAcrossCaches) {
+  // Native-dtype campaigns inherit the full shard contract: merged counts,
+  // trace JSONL, and CSV equal the single-process native run for any shard
+  // count, with the prefix cache on or off. The reference events must carry
+  // the deployed representation, not fp32.
+  const TinyFixture& fx = tiny();
+  Reference ref;
+  {
+    FaultInjector fi(fx.model, tiny_native_fi_config());
+    trace::TraceSink sink(false);
+    CampaignConfig cfg = uniform_config();
+    cfg.trace = &sink;
+    ref.result = run_classification_campaign(fi, fx.ds, cfg);
+    const auto events = sink.take_events();
+    ASSERT_FALSE(events.empty());
+    for (const auto& ev : events) EXPECT_EQ(ev.dtype, DType::kInt8);
+    ref.jsonl = trace::trace_to_jsonl(events);
+    ref.csv = csv_bytes(ref.result);
+  }
+
+  for (const bool cache : {true, false}) {
+    for (const std::int64_t shards : {1, 3}) {
+      FaultInjector fi(fx.model, tiny_native_fi_config(cache));
+      ShardDir dir("/tmp/pfi_shard_n" + std::to_string(shards) +
+                   (cache ? "_c1" : "_c0"));
+      trace::TraceSink sink(false);
+      const CampaignResult merged = run_sharded_classification(
+          fi, fx.ds, uniform_config(), shards, dir.path, &sink);
+      const std::string tag = "shards=" + std::to_string(shards) +
+                              " cache=" + (cache ? "on" : "off");
+      EXPECT_TRUE(same_bits(merged, ref.result)) << tag;
+      EXPECT_EQ(trace::trace_to_jsonl(sink.take_events()), ref.jsonl) << tag;
+      EXPECT_EQ(csv_bytes(merged), ref.csv) << tag;
+    }
+  }
 }
 
 TEST(ShardEquivalence, UniformCountsOnlyMergeNeedsNoEvents) {

@@ -55,6 +55,17 @@ TEST(TraceDiffBit, Fp16AttributionUsesTheHalfWord) {
             15);
 }
 
+TEST(TraceDiffBit, Bf16AttributionUsesTheBf16Word) {
+  const quant::QuantParams qp;
+  EXPECT_EQ(
+      trace::diff_bit(1.0f, flip_bf16_bit(1.0f, 6), DType::kBFloat16, qp), 6);
+  EXPECT_EQ(
+      trace::diff_bit(1.0f, flip_bf16_bit(1.0f, 15), DType::kBFloat16, qp),
+      15);
+  // A delta below bf16 resolution collapses under rounding: no attribution.
+  EXPECT_EQ(trace::diff_bit(1.0f, 1.0000001f, DType::kBFloat16, qp), -1);
+}
+
 TEST(TraceDiffBit, Int8AttributionLivesInTheQuantizedCodes) {
   const auto qp = quant::calibrate_absmax(2.0f);
   const float pre = quant::dequantize_value(64, qp);
@@ -190,6 +201,32 @@ TEST(TraceJsonl, NonFiniteValuesSurviveBitExactly) {
   expect_same_event(ev, trace::event_from_json(line));
 }
 
+TEST(TraceJsonl, HalfPrecisionNanPayloadsSurviveBitExactly) {
+  // fp16/bf16 events store the fp32 widening of the 16-bit pattern; a NaN
+  // produced by an exponent-field flip must round-trip through the
+  // null-decimal / hex-bits JSONL encoding with its payload intact.
+  auto ev = sample_event();
+  ev.dtype = DType::kFloat16;
+  ev.bit = 14;
+  ev.pre = float_from_f16_bits(0x3c01);  // 1 + 2^-10
+  ev.post = flip_fp16_bit(ev.pre, 14);   // exponent msb -> NaN, payload 1
+  ASSERT_TRUE(std::isnan(ev.post));
+  const std::string fp16_line = trace::event_to_json(ev);
+  EXPECT_NE(fp16_line.find("\"post\":null"), std::string::npos);
+  expect_same_event(ev, trace::event_from_json(fp16_line));
+  EXPECT_EQ(f16_bits_from_float(trace::event_from_json(fp16_line).post),
+            0x7c01);
+
+  ev.dtype = DType::kBFloat16;
+  ev.pre = float_from_bf16_bits(0x3f81);  // 1 + 2^-7
+  ev.post = flip_bf16_bit(ev.pre, 14);
+  ASSERT_TRUE(std::isnan(ev.post));
+  const std::string bf16_line = trace::event_to_json(ev);
+  expect_same_event(ev, trace::event_from_json(bf16_line));
+  EXPECT_EQ(bf16_bits_from_float(trace::event_from_json(bf16_line).post),
+            0x7f81);
+}
+
 TEST(TraceJsonl, HostileLayerNameCannotShadowFieldsOrBreakParsing) {
   auto ev = sample_event();
   // Quotes, a comma, a newline, and text that looks like a JSON field.
@@ -303,44 +340,80 @@ const GoldenCase kGoldenTraces[] = {
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp32","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15632296,"pre_bits":"3f940264","post":-0.157927275,"post_bits":"be21b7b0","model":"random_value[-1.000000,1.000000]"})json" "\n"},
     {"random_value", DType::kInt8,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"int8","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.13058972,"pre_bits":"3f90b72a","post":-0.157927275,"post_bits":"be21b7b0","model":"random_value[-1.000000,1.000000]"})json" "\n"},
+    {"random_value", DType::kFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":-0.157927275,"post_bits":"be21b7b0","model":"random_value[-1.000000,1.000000]"})json" "\n"},
+    {"random_value", DType::kBFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"bf16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":-0.157927275,"post_bits":"be21b7b0","model":"random_value[-1.000000,1.000000]"})json" "\n"},
     {"zero_value", DType::kFloat32,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp32","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15632296,"pre_bits":"3f940264","post":0,"post_bits":"00000000","model":"zero_value"})json" "\n"},
     {"zero_value", DType::kInt8,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"int8","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.13058972,"pre_bits":"3f90b72a","post":0,"post_bits":"00000000","model":"zero_value"})json" "\n"},
+    {"zero_value", DType::kFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":0,"post_bits":"00000000","model":"zero_value"})json" "\n"},
+    {"zero_value", DType::kBFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"bf16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":0,"post_bits":"00000000","model":"zero_value"})json" "\n"},
     {"constant_value", DType::kFloat32,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp32","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15632296,"pre_bits":"3f940264","post":10000,"post_bits":"461c4000","model":"constant_value[10000.000000]"})json" "\n"},
     {"constant_value", DType::kInt8,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"int8","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.13058972,"pre_bits":"3f90b72a","post":10000,"post_bits":"461c4000","model":"constant_value[10000.000000]"})json" "\n"},
+    {"constant_value", DType::kFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":10000,"post_bits":"461c4000","model":"constant_value[10000.000000]"})json" "\n"},
+    {"constant_value", DType::kBFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"bf16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":10000,"post_bits":"461c4000","model":"constant_value[10000.000000]"})json" "\n"},
     {"single_bit_flip", DType::kFloat32,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp32","coords":[0,2,12,11],"flat":715,"bit":13,"pre":1.15632296,"pre_bits":"3f940264","post":1.15729952,"post_bits":"3f942264","model":"single_bit_flip[random]"})json" "\n"},
     {"single_bit_flip", DType::kInt8,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"int8","coords":[0,2,12,11],"flat":715,"bit":3,"pre":1.13058972,"pre_bits":"3f90b72a","post":1.60662746,"post_bits":"3fcda5f8","model":"single_bit_flip[random]"})json" "\n"},
+    {"single_bit_flip", DType::kFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp16","coords":[0,2,12,11],"flat":715,"bit":6,"pre":1.15625,"pre_bits":"3f940000","post":1.21875,"post_bits":"3f9c0000","model":"single_bit_flip[random]"})json" "\n"},
+    {"single_bit_flip", DType::kBFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"bf16","coords":[0,2,12,11],"flat":715,"bit":6,"pre":1.15625,"pre_bits":"3f940000","post":1.65625,"post_bits":"3fd40000","model":"single_bit_flip[random]"})json" "\n"},
     {"scale_value", DType::kFloat32,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp32","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15632296,"pre_bits":"3f940264","post":2.31264591,"post_bits":"40140264","model":"scale_value[2.000000]"})json" "\n"},
     {"scale_value", DType::kInt8,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"int8","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.13058972,"pre_bits":"3f90b72a","post":2.26117945,"post_bits":"4010b72a","model":"scale_value[2.000000]"})json" "\n"},
+    {"scale_value", DType::kFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":2.3125,"post_bits":"40140000","model":"scale_value[2.000000]"})json" "\n"},
+    {"scale_value", DType::kBFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"bf16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":2.3125,"post_bits":"40140000","model":"scale_value[2.000000]"})json" "\n"},
     {"additive_noise", DType::kFloat32,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp32","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15632296,"pre_bits":"3f940264","post":1.07735932,"post_bits":"3f89e6e9","model":"additive_noise[0.500000]"})json" "\n"},
     {"additive_noise", DType::kInt8,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"int8","coords":[0,2,12,11],"flat":715,"bit":0,"pre":1.13058972,"pre_bits":"3f90b72a","post":1.05162609,"post_bits":"3f869baf","model":"additive_noise[0.500000]"})json" "\n"},
+    {"additive_noise", DType::kFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":1.07728636,"post_bits":"3f89e485","model":"additive_noise[0.500000]"})json" "\n"},
+    {"additive_noise", DType::kBFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"bf16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":1.07728636,"post_bits":"3f89e485","model":"additive_noise[0.500000]"})json" "\n"},
     {"multi_bit_flip", DType::kFloat32,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp32","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15632296,"pre_bits":"3f940264","post":1.17292452,"post_bits":"3f962264","model":"multi_bit_flip[2]"})json" "\n"},
     {"multi_bit_flip", DType::kInt8,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"int8","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.13058972,"pre_bits":"3f90b72a","post":0.654551923,"post_bits":"3f2790b7","model":"multi_bit_flip[2]"})json" "\n"},
+    {"multi_bit_flip", DType::kFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":1.46875,"post_bits":"3fbc0000","model":"multi_bit_flip[2]"})json" "\n"},
+    {"multi_bit_flip", DType::kBFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"bf16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":0.4140625,"post_bits":"3ed40000","model":"multi_bit_flip[2]"})json" "\n"},
     {"sign_flip", DType::kFloat32,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp32","coords":[0,2,12,11],"flat":715,"bit":31,"pre":1.15632296,"pre_bits":"3f940264","post":-1.15632296,"post_bits":"bf940264","model":"sign_flip"})json" "\n"},
     {"sign_flip", DType::kInt8,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"int8","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.13058972,"pre_bits":"3f90b72a","post":-1.13058972,"post_bits":"bf90b72a","model":"sign_flip"})json" "\n"},
+    {"sign_flip", DType::kFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp16","coords":[0,2,12,11],"flat":715,"bit":15,"pre":1.15625,"pre_bits":"3f940000","post":-1.15625,"post_bits":"bf940000","model":"sign_flip"})json" "\n"},
+    {"sign_flip", DType::kBFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"bf16","coords":[0,2,12,11],"flat":715,"bit":15,"pre":1.15625,"pre_bits":"3f940000","post":-1.15625,"post_bits":"bf940000","model":"sign_flip"})json" "\n"},
     {"saturate", DType::kFloat32,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp32","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15632296,"pre_bits":"3f940264","post":0.5,"post_bits":"3f000000","model":"saturate[0.500000]"})json" "\n"},
     {"saturate", DType::kInt8,
      R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"int8","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.13058972,"pre_bits":"3f90b72a","post":0.5,"post_bits":"3f000000","model":"saturate[0.500000]"})json" "\n"},
+    {"saturate", DType::kFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"fp16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":0.5,"post_bits":"3f000000","model":"saturate[0.500000]"})json" "\n"},
+    {"saturate", DType::kBFloat16,
+     R"json({"trial":0,"attempt":4,"rep":0,"kind":"neuron","layer":2,"layer_name":"squeezenet.2.1.branch0.0","layer_kind":"Conv2d","dtype":"bf16","coords":[0,2,12,11],"flat":715,"bit":-1,"pre":1.15625,"pre_bits":"3f940000","post":0.5,"post_bits":"3f000000","model":"saturate[0.500000]"})json" "\n"},
 };
 
 TEST(TraceGolden, EveryErrorModelMatchesItsCheckedInTrace) {
   if constexpr (!trace::kEnabled) GTEST_SKIP() << "trace compiled out";
-  ASSERT_EQ(std::size(kGoldenTraces), 18u)
-      << "expected 9 error models x {fp32, int8}";
+  ASSERT_EQ(std::size(kGoldenTraces), 36u)
+      << "expected 9 error models x {fp32, int8, fp16, bf16}";
   for (const auto& c : kGoldenTraces) {
     EXPECT_EQ(golden_trace(model_by_id(c.id), c.dtype), c.jsonl)
         << c.id << " @ " << dtype_name(c.dtype);
@@ -524,6 +597,34 @@ TEST(TraceReplay, ReplayerRejectsDtypeMismatch) {
   trace::TraceReplayer replayer(fi);
   const std::vector<trace::InjectionEvent> events{ev};
   EXPECT_THROW(replayer.arm(events), Error);
+  fi.clear();
+}
+
+TEST(TraceReplay, ReplayerChecksDtypePerLayerUnderResolutionConfigs) {
+  // With a per-layer resolution config, dtype is a layer property: an event
+  // recorded at the GLOBAL dtype must be rejected on an overridden layer,
+  // and one recorded at the layer's resolved dtype must arm cleanly.
+  if constexpr (!trace::kEnabled) GTEST_SKIP() << "trace compiled out";
+  Rng rng(90);
+  auto model = make_model("squeezenet", {.num_classes = 10}, rng);
+  std::string path0;
+  {
+    FaultInjector probe(model, trace_config());
+    path0 = probe.layer_path(0);
+  }
+  FiConfig cfg = trace_config();  // global fp32
+  cfg.per_layer = {{.layer = path0, .dtype = DType::kFloat16, .native = false}};
+  FaultInjector fi(model, cfg);
+  trace::TraceReplayer replayer(fi);
+
+  auto ev = sample_event();
+  ev.layer = 0;
+  for (int i = 0; i < 4; ++i) ev.coords[i] = 0;
+  ev.dtype = DType::kFloat32;  // global dtype, but not layer 0's resolution
+  EXPECT_THROW(replayer.arm(std::vector<trace::InjectionEvent>{ev}), Error);
+  fi.clear();
+  ev.dtype = DType::kFloat16;
+  EXPECT_NO_THROW(replayer.arm(std::vector<trace::InjectionEvent>{ev}));
   fi.clear();
 }
 
