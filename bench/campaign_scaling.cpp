@@ -33,24 +33,16 @@
 #include "core/checkpoint.hpp"
 #include "core/shard.hpp"
 #include "models/zoo.hpp"
+#include "util/env.hpp"
 #include "util/thread_pool.hpp"
-
-namespace {
-
-std::int64_t env_int(const char* name, std::int64_t fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoll(v) : fallback;
-}
-
-}  // namespace
 
 int main() {
   using namespace pfi;
-  const std::int64_t trials = env_int("PFI_TRIALS", 200);
-  const std::int64_t max_threads = env_int("PFI_MAX_THREADS", 8);
-  const bool tracing = env_int("PFI_CAMPAIGN_TRACE", 0) != 0;
-  const bool checkpointing = env_int("PFI_CAMPAIGN_CHECKPOINT", 0) != 0;
-  const std::int64_t shards = env_int("PFI_SHARDS", 1);
+  const std::int64_t trials = util::env_int("PFI_TRIALS", 200);
+  const std::int64_t max_threads = util::env_int("PFI_MAX_THREADS", 8);
+  const bool tracing = util::env_int("PFI_CAMPAIGN_TRACE", 0) != 0;
+  const bool checkpointing = util::env_int("PFI_CAMPAIGN_CHECKPOINT", 0) != 0;
+  const std::int64_t shards = util::env_int("PFI_SHARDS", 1);
   if (tracing && !trace::kEnabled) {
     std::printf("PFI_CAMPAIGN_TRACE=1 but tracing is compiled out "
                 "(PFI_TRACE=OFF)\n");

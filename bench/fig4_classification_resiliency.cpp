@@ -50,28 +50,14 @@
 #include "core/shard.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
+#include "util/env.hpp"
 
 namespace {
-
-std::int64_t env_int(const char* name, std::int64_t fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoll(v) : fallback;
-}
-
-std::string env_str(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::string(v) : std::string();
-}
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atof(v) : fallback;
-}
 
 /// PFI_SAMPLER: unset or "uniform" -> false, "stratified" -> true; anything
 /// else aborts rather than silently benchmarking the wrong configuration.
 bool stratified_sampler_enabled() {
-  const std::string s = env_str("PFI_SAMPLER");
+  const std::string s = pfi::util::env_str("PFI_SAMPLER", "");
   if (s.empty() || s == "uniform") return false;
   if (s == "stratified") return true;
   std::fprintf(stderr, "PFI_SAMPLER must be uniform or stratified, got '%s'\n",
@@ -83,20 +69,20 @@ bool stratified_sampler_enabled() {
 
 int main() {
   using namespace pfi;
-  const std::int64_t trials = env_int("PFI_TRIALS", 1200);
-  const std::int64_t epochs = env_int("PFI_EPOCHS", 3);
-  const std::int64_t threads = env_int("PFI_THREADS", 0);
-  const std::string checkpoint_prefix = env_str("PFI_CHECKPOINT");
-  const bool resume = env_int("PFI_RESUME", 0) != 0;
+  const std::int64_t trials = util::env_int("PFI_TRIALS", 1200);
+  const std::int64_t epochs = util::env_int("PFI_EPOCHS", 3);
+  const std::int64_t threads = util::env_int("PFI_THREADS", 0);
+  const std::string checkpoint_prefix = util::env_str("PFI_CHECKPOINT", "");
+  const bool resume = util::env_int("PFI_RESUME", 0) != 0;
   // Strict parse: a typo in PFI_PREFIX_CACHE throws instead of silently
   // timing the wrong configuration.
   const bool prefix_cache = core::prefix_cache_env_enabled(true);
   const bool stratified = stratified_sampler_enabled();
-  const double ci_target = env_double("PFI_CI_TARGET", 0.0);
-  const std::int64_t shards = env_int("PFI_SHARDS", 1);
-  std::string shard_dir = env_str("PFI_SHARD_DIR");
+  const double ci_target = util::env_double("PFI_CI_TARGET", 0.0);
+  const std::int64_t shards = util::env_int("PFI_SHARDS", 1);
+  std::string shard_dir = util::env_str("PFI_SHARD_DIR", "");
   if (shard_dir.empty()) shard_dir = "fig4-shards";
-  std::string dtype_text = env_str("PFI_DTYPE");
+  std::string dtype_text = util::env_str("PFI_DTYPE", "");
   if (dtype_text.empty()) dtype_text = "int8";
   const auto dtype_spec = core::parse_dtype_spec(dtype_text);
   if (!dtype_spec.has_value()) {

@@ -16,13 +16,9 @@
 
 #include "core/fault_injector.hpp"
 #include "detect/yolo.hpp"
+#include "util/env.hpp"
 
 namespace {
-
-std::int64_t env_int(const char* name, std::int64_t fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoll(v) : fallback;
-}
 
 /// Coarse ASCII view of a scene with detection boxes overlaid.
 void render_scene(const pfi::Tensor& image,
@@ -54,7 +50,7 @@ void render_scene(const pfi::Tensor& image,
 
 int main() {
   using namespace pfi;
-  const std::int64_t num_scenes = env_int("PFI_SCENES", 60);
+  const std::int64_t num_scenes = util::env_int("PFI_SCENES", 60);
   const detect::YoloConfig cfg;
   const data::SceneSpec scenes;
 

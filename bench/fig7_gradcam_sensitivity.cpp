@@ -19,19 +19,11 @@
 #include "interpret/gradcam.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
-
-namespace {
-
-std::int64_t env_int(const char* name, std::int64_t fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoll(v) : fallback;
-}
-
-}  // namespace
+#include "util/env.hpp"
 
 int main() {
   using namespace pfi;
-  const std::int64_t num_images = env_int("PFI_IMAGES", 25);
+  const std::int64_t num_images = util::env_int("PFI_IMAGES", 25);
 
   data::SyntheticDataset ds(data::cifar10_like());
   Rng rng(1);

@@ -32,6 +32,7 @@
 #include "kernels/kernels.hpp"
 #include "kernels/lowp.hpp"
 #include "models/zoo.hpp"
+#include "util/env.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -43,11 +44,6 @@ struct GemmShape {
   std::int64_t m = 0, n = 0, k = 0;
   std::int64_t weight = 1;  // groups x batch occurrences
 };
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atof(v) : fallback;
-}
 
 /// im2col GEMM shapes of every Conv2d in `model_name` at CIFAR geometry.
 std::vector<GemmShape> conv_gemm_shapes(const std::string& model_name) {
@@ -108,7 +104,7 @@ double time_per_call(Fn&& fn, double target_ms) {
 }  // namespace
 
 int main() {
-  const double target_ms = env_double("PFI_BENCH_REPS_MS", 300.0);
+  const double target_ms = util::env_double("PFI_BENCH_REPS_MS", 300.0);
   std::printf("pfi::kernels GEMM microbenchmark (simd %s, %d thread%s)\n",
               kernels::simd_available() ? "avx2+fma" : "scalar",
               kernels::threads(), kernels::threads() == 1 ? "" : "s");

@@ -31,28 +31,15 @@
 #include "core/checkpoint.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
-
-namespace {
-
-std::int64_t env_int(const char* name, std::int64_t fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoll(v) : fallback;
-}
-
-std::string env_str(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::string(v) : std::string();
-}
-
-}  // namespace
+#include "util/env.hpp"
 
 int main() {
   using namespace pfi;
-  const std::int64_t trials = env_int("PFI_TRIALS", 1500);
-  const std::int64_t epochs = env_int("PFI_EPOCHS", 3);
-  const std::int64_t threads = env_int("PFI_THREADS", 0);
-  const std::string checkpoint_prefix = env_str("PFI_CHECKPOINT");
-  const bool resume = env_int("PFI_RESUME", 0) != 0;
+  const std::int64_t trials = util::env_int("PFI_TRIALS", 1500);
+  const std::int64_t epochs = util::env_int("PFI_EPOCHS", 3);
+  const std::int64_t threads = util::env_int("PFI_THREADS", 0);
+  const std::string checkpoint_prefix = util::env_str("PFI_CHECKPOINT", "");
+  const bool resume = util::env_int("PFI_RESUME", 0) != 0;
 
   data::SyntheticDataset ds(data::cifar10_like());
   const models::TrainConfig train_cfg{.epochs = epochs,

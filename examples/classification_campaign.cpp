@@ -11,10 +11,22 @@
 #include "core/campaign.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
+#include "util/parse.hpp"
 
 int main(int argc, char** argv) {
   using namespace pfi;
-  const std::int64_t trials = argc > 1 ? std::atoll(argv[1]) : 400;
+  // Strict: "400x" or "abc" is a usage error, not a silently-misread count
+  // (atoll would have run a 400- or 0-trial campaign).
+  std::int64_t trials = 400;
+  if (argc > 1) {
+    const auto parsed = util::parse_int(argv[1], 1, 100'000'000);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "usage: %s [trials]  (got '%s')\n", argv[0],
+                   argv[1]);
+      return 2;
+    }
+    trials = *parsed;
+  }
 
   data::SyntheticDataset ds(data::cifar10_like());
   Rng rng(1);

@@ -25,6 +25,17 @@
 // --resume to continue an interrupted campaign; the finished run's CSV-able
 // counters and trace JSONL are byte-identical to an uninterrupted run.
 //
+// Persistent faults (core/persistent.hpp): --horizon N switches to a
+// fleet campaign — N inference events on a simulated clock with faults
+// that accumulate in the weights instead of one-shot transient trials.
+// --ber R injects Bernoulli bit flips over the target layer's weight
+// bytes at rate R per event; --persist stuckat:N[:V] pins N cells'
+// drawn bits stuck at V (re-asserted after every weight write);
+// --persist distance:MEAN:STDDEV walks the weight bytes with Normal
+// strides (spatially correlated multi-bit damage). Reports accuracy
+// over time and time-to-first-SDC; byte-identical at any --threads and
+// across --checkpoint/--resume.
+//
 // Sharding (core/shard.hpp): --shard-dir DIR --shards S splits the
 // campaign's attempt space across S shards and merges deterministically —
 // the merged counts, CSV, and trace are byte-identical to a single-process
@@ -138,8 +149,11 @@ int main(int argc, char** argv) {
   const double acc = models::evaluate_accuracy(*model, ds, 8, 12, eval_rng);
   std::printf("eval accuracy: %.1f%%\n", 100.0 * acc);
 
+  // Fleet mode scores a whole batch of rows per inference event (so the
+  // accuracy-over-time curve has resolution); transient campaigns inject
+  // one image at a time.
   core::FiConfig fi_cfg{.input_shape = {spec.channels, spec.height, spec.width},
-                        .batch_size = 1};
+                        .batch_size = opt.fleet_mode() ? 8 : 1};
   fi_cfg.dtype = *core::parse_dtype_name(opt.dtype);
   fi_cfg.native = opt.native;
   if (!opt.per_layer_dtype.empty()) {
@@ -162,6 +176,110 @@ int main(int argc, char** argv) {
   if (want_trace && !trace::kEnabled) {
     std::fprintf(stderr, "error: --trace requires a build with PFI_TRACE=ON\n");
     return 2;
+  }
+
+  // --- fleet-degradation mode: serve `horizon` inference events while the
+  // persistent fault process (--ber / --persist) corrupts the weights in
+  // place. Orthogonal to the transient campaigns below — the parser rejects
+  // combining it with --error / sharding / stratified sampling.
+  if (opt.fleet_mode()) {
+    core::PersistScenario scenario;
+    scenario.ber = opt.ber;
+    if (!opt.persist.empty()) {
+      // Already validated by parse_cli_args; this fills in the fields.
+      core::parse_persist_spec(opt.persist, &scenario);
+    }
+    scenario.layer = opt.layer;
+    scenario.seed = opt.seed + 3;
+
+    core::FleetCampaignConfig fcfg;
+    fcfg.horizon = opt.horizon;
+    fcfg.scenario = scenario;
+    fcfg.batch_size = fi.config().batch_size;
+    fcfg.seed = opt.seed + 2;
+    fcfg.threads = opt.threads;
+    if (want_trace) fcfg.trace = &sink;
+
+    const std::string fleet_context =
+        opt.model + "|" + opt.dataset + "|" + opt.dtype +
+        (opt.native ? "-native" : "") +
+        (opt.per_layer_dtype.empty() ? ""
+                                     : "|per-layer=" + opt.per_layer_dtype) +
+        "|epochs=" + std::to_string(opt.epochs) + "|load=" + opt.load_path;
+
+    std::unique_ptr<core::CampaignCheckpointer> ckpt;
+    if (!opt.checkpoint_path.empty()) {
+      ckpt = std::make_unique<core::CampaignCheckpointer>(opt.checkpoint_path,
+                                                          opt.trace_path);
+      const std::uint64_t fp =
+          core::fleet_campaign_fingerprint(fcfg, fleet_context);
+      if (opt.resume && ckpt->resume(fp)) {
+        std::printf("resuming fleet campaign from %s: next event %llu%s\n",
+                    opt.checkpoint_path.c_str(),
+                    static_cast<unsigned long long>(ckpt->next_unit()),
+                    ckpt->done() ? " (already complete)" : "");
+      } else {
+        if (!opt.resume) ckpt->begin(fp);
+        std::printf("checkpointing to %s after every wave\n",
+                    opt.checkpoint_path.c_str());
+      }
+      fcfg.checkpoint = ckpt.get();
+    }
+
+    std::printf("fleet campaign: %lld events, ber=%g, persist='%s', dtype "
+                "%s%s\n",
+                static_cast<long long>(opt.horizon), opt.ber,
+                opt.persist.c_str(), opt.dtype.c_str(),
+                opt.native ? " (native execution)" : "");
+
+    const core::FleetResult fr = core::run_fleet_campaign(fi, ds, fcfg);
+
+    std::printf("\nfleet results:\n");
+    std::printf("  events served        %zu\n", fr.timeline.size());
+    std::printf("  rows scored          %llu\n",
+                static_cast<unsigned long long>(fr.rows));
+    std::printf("  top-1 mismatches     %llu\n",
+                static_cast<unsigned long long>(fr.mismatches));
+    std::printf("  non-finite outputs   %llu\n",
+                static_cast<unsigned long long>(fr.non_finite));
+    std::printf("  persistent faults    %llu\n",
+                static_cast<unsigned long long>(fr.total_faults));
+    if (fr.first_sdc == core::kNoSdc) {
+      std::printf("  first SDC            none within the horizon\n");
+    } else {
+      std::printf("  first SDC            event %llu\n",
+                  static_cast<unsigned long long>(fr.first_sdc));
+    }
+    if (!fr.timeline.empty()) {
+      // Sample ~10 evenly spaced timeline rows (always including the last)
+      // so long horizons stay readable.
+      std::printf("\n  %8s %12s %10s\n", "event", "faults", "top-1");
+      const std::size_t n = fr.timeline.size();
+      const std::size_t step = n <= 10 ? 1 : (n + 9) / 10;
+      for (std::size_t i = 0; i < n; i += step) {
+        const std::size_t at = (i + step >= n) ? n - 1 : i;
+        const core::FleetEvent& ev = fr.timeline[at];
+        std::printf("  %8llu %12llu %9.1f%%\n",
+                    static_cast<unsigned long long>(ev.event),
+                    static_cast<unsigned long long>(ev.faults),
+                    ev.rows == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(ev.correct) /
+                                       static_cast<double>(ev.rows));
+        if (at == n - 1) break;
+      }
+    }
+
+    if (want_trace) {
+      if (fcfg.checkpoint != nullptr) {
+        std::printf("\ntrace: streamed to %s (%zu events this run)\n",
+                    opt.trace_path.c_str(), sink.events().size());
+      } else {
+        trace::write_trace_jsonl(opt.trace_path, sink.events());
+        std::printf("\ntrace: %zu injection events written to %s\n",
+                    sink.events().size(), opt.trace_path.c_str());
+      }
+    }
+    return 0;
   }
 
   core::CampaignConfig cfg;

@@ -397,6 +397,217 @@ CampaignResult run_weight_campaign(FaultInjector& fi,
   return result;
 }
 
+namespace {
+
+/// Everything one fleet event produced, buffered so waves merge strictly in
+/// event order (the timeline, counts, and trace stream are then identical
+/// for every thread count).
+struct FleetEventOutcome {
+  FleetEvent ev;
+  std::vector<trace::InjectionEvent> events;
+  Tensor logits;
+};
+
+/// Pack the timeline into the checkpoint's per-stratum records (plain
+/// integers in a fixed order); inverse of the unpack in the resume path.
+std::vector<StratumCheckpoint> fleet_timeline_to_strata(
+    const std::vector<FleetEvent>& timeline) {
+  std::vector<StratumCheckpoint> strata;
+  strata.reserve(timeline.size());
+  for (const FleetEvent& ev : timeline) {
+    StratumCheckpoint s;
+    s.trials = ev.event;
+    s.corruptions = ev.faults;
+    s.skipped = ev.correct;
+    s.non_finite = ev.non_finite;
+    s.pruned = ev.rows;
+    strata.push_back(s);
+  }
+  return strata;
+}
+
+}  // namespace
+
+FleetResult run_fleet_campaign(FaultInjector& fi,
+                               const data::SyntheticDataset& ds,
+                               const FleetCampaignConfig& config) {
+  PFI_CHECK(config.horizon > 0) << "fleet campaign horizon=" << config.horizon;
+  PFI_CHECK(config.batch_size >= 1 &&
+            config.batch_size <= fi.config().batch_size)
+      << "fleet campaign batch_size " << config.batch_size
+      << " exceeds injector batch size " << fi.config().batch_size;
+  PFI_CHECK(config.threads >= 0) << "fleet campaign threads=" << config.threads;
+
+  fi.model().eval();
+  const bool tracing = config.trace != nullptr;
+  const auto horizon = static_cast<std::int64_t>(config.horizon);
+
+  FleetResult result;
+  std::int64_t next_event = 0;
+  if (config.checkpoint != nullptr) {
+    // The folded counters and the per-event timeline both live in the
+    // checkpoint; every event's inputs and faults are pure functions of
+    // (seed, event), so (counters, timeline, next event) is the complete
+    // resume state.
+    const CampaignResult& folded = config.checkpoint->result();
+    result.rows = folded.trials;
+    result.mismatches = folded.corruptions;
+    result.non_finite = folded.non_finite;
+    next_event = static_cast<std::int64_t>(config.checkpoint->next_unit());
+    for (const StratumCheckpoint& s : config.checkpoint->strata()) {
+      result.timeline.push_back({.event = s.trials,
+                                 .faults = s.corruptions,
+                                 .correct = s.skipped,
+                                 .rows = s.pruned,
+                                 .non_finite = s.non_finite});
+    }
+  }
+  const auto finalize = [&result] {
+    for (const FleetEvent& ev : result.timeline) {
+      if (result.first_sdc == kNoSdc && ev.correct < ev.rows) {
+        result.first_sdc = ev.event;
+      }
+    }
+    if (!result.timeline.empty()) {
+      result.total_faults = result.timeline.back().faults;
+    }
+  };
+  if (config.checkpoint != nullptr &&
+      (config.checkpoint->done() || next_event >= horizon)) {
+    finalize();
+    return result;
+  }
+  WaveCommitter committer(config.checkpoint, config.trace);
+
+  const std::int64_t threads =
+      resolve_threads(config.threads,
+                      std::max<std::int64_t>(1, (horizon - next_event) / 4));
+  WorkerSet set(fi, threads);
+
+  // Phase A — golden predictions. Computed on the still-quiescent workers
+  // (plain forwards, fault-free weights) before any persistent fault lands;
+  // each event scores its corrupted serve against these.
+  std::vector<std::vector<std::int64_t>> golden_top1(
+      static_cast<std::size_t>(horizon));
+  {
+    util::ThreadPool pool(static_cast<std::size_t>(threads));
+    const std::int64_t base = next_event;
+    pool.run(static_cast<std::size_t>(threads), [&](std::size_t g) {
+      for (std::int64_t t = base + static_cast<std::int64_t>(g); t < horizon;
+           t += threads) {
+        const auto batch =
+            fleet_campaign_event_batch(ds, config,
+                                       static_cast<std::uint64_t>(t));
+        golden_top1[static_cast<std::size_t>(t)] =
+            nn::argmax_rows(set.workers[g]->forward(batch.images));
+      }
+    });
+  }
+
+  // Phase B — the corrupted timeline. Every worker owns a PersistentFaultSet
+  // over its replica and advances it through EVERY event in order (fault
+  // state is a pure function of (scenario, event), so all replicas hold
+  // byte-identical weights at any event); it runs the forward — and emits
+  // the trace — only for the events it is assigned. Declared after the
+  // WorkerSet so the sets heal their injectors before the replicas die.
+  std::vector<std::unique_ptr<PersistentFaultSet>> sets;
+  for (std::int64_t g = 0; g < threads; ++g) {
+    sets.push_back(std::make_unique<PersistentFaultSet>(
+        *set.workers[static_cast<std::size_t>(g)], config.scenario));
+  }
+
+  auto run_event = [&](std::size_t g, std::int64_t t) {
+    FaultInjector& worker = *set.workers[g];
+    PersistentFaultSet& faults = *sets[g];
+    const auto tu = static_cast<std::uint64_t>(t);
+    // Catch up silently (events other workers own — their fault records are
+    // theirs to emit), then apply THIS event's faults with the worker-local
+    // sink attached so they are recorded exactly once across the fleet.
+    {
+      ScopedSink quiet(worker, nullptr);
+      faults.advance_to(tu);
+    }
+    trace::TraceSink local(tracing && config.trace->capture_logits());
+    {
+      ScopedSink sink_guard(worker, tracing ? &local : nullptr);
+      if (tracing) local.set_context(tu, 0);
+      faults.advance_to(tu + 1);
+    }
+    const auto batch = fleet_campaign_event_batch(ds, config, tu);
+    const Tensor faulty = worker.forward(batch.images);
+    const std::vector<std::int64_t>& golden =
+        golden_top1[static_cast<std::size_t>(t)];
+    const RepScorer scorer(golden, faulty, CorruptionCriterion::kTop1Mismatch);
+
+    FleetEventOutcome out;
+    out.ev.event = tu;
+    out.ev.faults = faults.faults_applied();
+    out.ev.rows = static_cast<std::uint64_t>(batch.labels.size());
+    out.ev.non_finite = scorer.faulty_non_finite ? 1 : 0;
+    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+      if (!scorer.is_corrupted(static_cast<std::int64_t>(i))) ++out.ev.correct;
+    }
+    if (tracing) {
+      out.events = local.take_events();
+      if (local.capture_logits()) out.logits = faulty.clone();
+    }
+    return out;
+  };
+
+  auto merge_event = [&](FleetEventOutcome& out) {
+    result.rows += out.ev.rows;
+    result.mismatches += out.ev.rows - out.ev.correct;
+    result.non_finite += out.ev.non_finite;
+    if (tracing) {
+      for (trace::InjectionEvent& ev : out.events) ev.trial = out.ev.event;
+      config.trace->append(std::move(out.events));
+      if (config.trace->capture_logits() && out.logits.defined()) {
+        config.trace->append_logits({out.ev.event, 0, std::move(out.logits)});
+      }
+    }
+    result.timeline.push_back(out.ev);
+  };
+
+  util::ThreadPool pool(static_cast<std::size_t>(threads));
+  while (next_event < horizon) {
+    // Waves of 8 events per worker, like the other runners: the partition
+    // changes nothing about the merged result, it only bounds the outcome
+    // buffer and gives the checkpointer its commit points.
+    const std::int64_t wave =
+        std::min<std::int64_t>(threads * 8, horizon - next_event);
+    std::vector<FleetEventOutcome> outcomes(static_cast<std::size_t>(wave));
+    const std::int64_t base = next_event;
+    pool.run(static_cast<std::size_t>(threads), [&](std::size_t g) {
+      for (std::int64_t i = static_cast<std::int64_t>(g); i < wave;
+           i += threads) {
+        outcomes[static_cast<std::size_t>(i)] = run_event(g, base + i);
+      }
+    });
+    for (std::int64_t i = 0; i < wave; ++i) {
+      merge_event(outcomes[static_cast<std::size_t>(i)]);
+    }
+    next_event += wave;
+    if (config.checkpoint != nullptr) {
+      CampaignResult folded;
+      folded.trials = result.rows;
+      folded.corruptions = result.mismatches;
+      folded.non_finite = result.non_finite;
+      committer.commit(folded, static_cast<std::uint64_t>(next_event),
+                       next_event >= horizon,
+                       fleet_timeline_to_strata(result.timeline));
+    }
+  }
+  finalize();
+  return result;
+}
+
+data::Batch fleet_campaign_event_batch(const data::SyntheticDataset& ds,
+                                       const FleetCampaignConfig& config,
+                                       std::uint64_t event) {
+  Rng rng(derive_seed(config.seed, event, kDrawStream));
+  return ds.sample_batch(config.batch_size, rng);
+}
+
 data::Batch campaign_attempt_batch(const data::SyntheticDataset& ds,
                                    const CampaignConfig& config,
                                    std::uint64_t attempt) {

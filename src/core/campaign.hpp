@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/fault_injector.hpp"
+#include "core/persistent.hpp"
 #include "core/trace.hpp"
 #include "data/synthetic.hpp"
 #include "util/stats.hpp"
@@ -146,6 +147,66 @@ struct WeightCampaignConfig {
 CampaignResult run_weight_campaign(FaultInjector& fi,
                                    const data::SyntheticDataset& ds,
                                    const WeightCampaignConfig& config);
+
+// -- Fleet-degradation campaign (persistent faults over deployment time) --------
+
+/// Sentinel for FleetResult::first_sdc: no event ever mismatched golden.
+inline constexpr std::uint64_t kNoSdc = ~0ull;
+
+/// A long-horizon deployment simulation: the model serves `horizon`
+/// inference events while a PersistScenario's fault process (BER / stuck-at
+/// / distance-based; core/persistent.hpp) corrupts its weight memory
+/// between events. Each event draws a fresh input batch, runs the
+/// corrupted model, and scores it against the SAME batch's fault-free
+/// (golden) prediction — a mismatch is a silent data corruption (SDC).
+struct FleetCampaignConfig {
+  std::uint64_t horizon = 100;     ///< simulated inference events
+  PersistScenario scenario;        ///< the fault process (owns its own seed)
+  std::int64_t batch_size = 8;     ///< rows served per event
+  std::uint64_t seed = 7;          ///< input-draw seed
+  /// Worker threads (same semantics and byte-identity guarantee as
+  /// CampaignConfig::threads: every thread count produces the same result,
+  /// timeline, and trace stream).
+  std::int64_t threads = 0;
+  /// Optional trace: each event's persistent writes land as kPersist
+  /// events stamped with the event index, merged strictly in event order.
+  trace::TraceSink* trace = nullptr;
+  /// Optional crash safety (same guarantees as CampaignConfig::checkpoint;
+  /// the unit counter is the next event index, and the per-event timeline
+  /// rides in the checkpoint's strata records).
+  CampaignCheckpointer* checkpoint = nullptr;
+};
+
+/// One event of the timeline: the model's health at simulated time `event`.
+struct FleetEvent {
+  std::uint64_t event = 0;
+  std::uint64_t faults = 0;      ///< cumulative persistent faults so far
+  std::uint64_t correct = 0;     ///< rows matching the golden top-1
+  std::uint64_t rows = 0;        ///< rows served this event
+  std::uint64_t non_finite = 0;  ///< 1 when the logits held NaN/Inf
+};
+
+/// Fleet campaign outcome: the accuracy-over-time curve and its summary.
+struct FleetResult {
+  std::vector<FleetEvent> timeline;  ///< one entry per event, in order
+  std::uint64_t rows = 0;            ///< total rows served
+  std::uint64_t mismatches = 0;      ///< rows that diverged from golden
+  std::uint64_t non_finite = 0;      ///< events with non-finite logits
+  std::uint64_t total_faults = 0;    ///< persistent faults applied in all
+  std::uint64_t first_sdc = kNoSdc;  ///< earliest event with a mismatch
+};
+
+/// Run a fleet-degradation campaign. The injector is healed (golden
+/// weights restored bit-exactly) before this returns.
+FleetResult run_fleet_campaign(FaultInjector& fi,
+                               const data::SyntheticDataset& ds,
+                               const FleetCampaignConfig& config);
+
+/// Re-derive the exact input batch event `event` served (pure function of
+/// (config.seed, event)) — the replay half of a fleet trace.
+data::Batch fleet_campaign_event_batch(const data::SyntheticDataset& ds,
+                                       const FleetCampaignConfig& config,
+                                       std::uint64_t event);
 
 /// Re-derive the exact input batch attempt `attempt` of a classification
 /// campaign drew (all attempt randomness is a pure function of

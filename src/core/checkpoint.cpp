@@ -161,6 +161,20 @@ std::uint64_t weight_campaign_fingerprint(const WeightCampaignConfig& config,
   return fnv1a(context, fnv1a(os.str()));
 }
 
+std::uint64_t fleet_campaign_fingerprint(const FleetCampaignConfig& config,
+                                         std::string_view context) {
+  std::ostringstream os;
+  os << "fleet|horizon=" << config.horizon << "|batch=" << config.batch_size
+     << "|seed=" << config.seed << "|ber=" << config.scenario.ber
+     << "|stuck=" << config.scenario.stuck_bits << ":"
+     << config.scenario.stuck_value
+     << "|distance=" << config.scenario.distance_mean << ":"
+     << config.scenario.distance_stddev
+     << "|layer=" << config.scenario.layer
+     << "|pseed=" << config.scenario.seed << "|ctx=";
+  return fnv1a(context, fnv1a(os.str()));
+}
+
 CampaignCheckpointer::CampaignCheckpointer(std::string checkpoint_path,
                                            std::string trace_path)
     : path_(std::move(checkpoint_path)), trace_path_(std::move(trace_path)) {

@@ -101,6 +101,11 @@ std::uint64_t campaign_fingerprint(const CampaignConfig& config,
 std::uint64_t weight_campaign_fingerprint(const WeightCampaignConfig& config,
                                           std::string_view context = "");
 
+/// Fleet-degradation analogue: fingerprints the horizon, batch, input seed,
+/// and the full persistent-fault scenario.
+std::uint64_t fleet_campaign_fingerprint(const FleetCampaignConfig& config,
+                                         std::string_view context = "");
+
 /// Owns a campaign's checkpoint file and (optionally) its streaming trace
 /// JSONL. Initialize with begin() for a fresh run or resume() to continue
 /// an interrupted one, then hand the pointer to CampaignConfig::checkpoint;

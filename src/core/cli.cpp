@@ -51,8 +51,14 @@ std::string cli_usage() {
       "               [--ci-target HW] [--no-prune]\n"
       "               [--shard-dir DIR] [--shards S] [--shard-index K]\n"
       "               [--shard-horizon H]\n"
+      "               [--horizon N] [--ber RATE] [--persist SPEC]\n"
       "error models: bitflip | bitflip:BIT | random | random:LO:HI |"
       " zero | const:V | noise:MAG\n"
+      "fleet mode: --horizon N simulates N inference events under a\n"
+      "            persistent memory-fault process; --ber RATE flips each\n"
+      "            weight bit with probability RATE per event, --persist\n"
+      "            stuckat:N[:0|1] sticks N cells at event 0, --persist\n"
+      "            distance:MEAN:STDDEV spaces errors ~N(MEAN,STDDEV) bytes\n"
       "dtypes: fp32 | fp16 | bf16 | int8; a -native suffix (or --native)\n"
       "        runs layers IN that representation (INT8 GEMM / 16-bit\n"
       "        storage) instead of emulating on fp32 outputs\n"
@@ -96,6 +102,63 @@ std::optional<ErrorModel> parse_error_model_spec(const std::string& spec,
   if (head == "const" && args.size() == 1) return constant_value(args[0]);
   if (head == "noise" && args.size() == 1) return additive_noise(args[0]);
   return fail("unknown error model '" + spec + "'");
+}
+
+bool parse_persist_spec(const std::string& spec, PersistScenario* scenario,
+                        std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::vector<std::string> parts;
+  for (std::size_t pos = 0; pos <= spec.size();) {
+    const auto colon = spec.find(':', pos);
+    parts.push_back(spec.substr(
+        pos, colon == std::string::npos ? std::string::npos : colon - pos));
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  if (parts[0] == "stuckat") {
+    if (parts.size() < 2 || parts.size() > 3) {
+      return fail("stuckat spec is stuckat:N or stuckat:N:0|1, got '" + spec +
+                  "'");
+    }
+    const auto n = util::parse_int(parts[1], 1, 1'000'000'000);
+    if (!n.has_value()) {
+      return fail("stuck-cell count '" + parts[1] +
+                  "' is not a positive integer");
+    }
+    scenario->stuck_bits = *n;
+    if (parts.size() == 3) {
+      const auto v = util::parse_int(parts[2], 0, 1);
+      if (!v.has_value()) {
+        return fail("stuck value '" + parts[2] + "' must be 0 or 1");
+      }
+      scenario->stuck_value = static_cast<int>(*v);
+    }
+    return true;
+  }
+  if (parts[0] == "distance") {
+    if (parts.size() != 3) {
+      return fail("distance spec is distance:MEAN:STDDEV (bytes), got '" +
+                  spec + "'");
+    }
+    const auto mean = util::parse_double(parts[1]);
+    if (!mean.has_value() || *mean <= 0.0) {
+      return fail("distance mean '" + parts[1] +
+                  "' is not a positive number of bytes");
+    }
+    const auto stddev = util::parse_double(parts[2]);
+    if (!stddev.has_value() || *stddev < 0.0) {
+      return fail("distance stddev '" + parts[2] +
+                  "' is not a non-negative number of bytes");
+    }
+    scenario->distance_mean = *mean;
+    scenario->distance_stddev = *stddev;
+    return true;
+  }
+  return fail("unknown persist spec '" + spec +
+              "' (stuckat:N[:0|1] | distance:MEAN:STDDEV)");
 }
 
 std::optional<DType> parse_dtype_name(const std::string& name) {
@@ -197,7 +260,8 @@ CliParse parse_cli_args(int argc, const char* const* argv) {
                a != "--checkpoint" && a != "--sampler" &&
                a != "--ci-target" && a != "--shards" &&
                a != "--shard-index" && a != "--shard-horizon" &&
-               a != "--shard-dir") {
+               a != "--shard-dir" && a != "--horizon" && a != "--ber" &&
+               a != "--persist") {
       error = "unknown flag '" + a + "'";
     } else if ((v = need_value(a)) == nullptr) {
       break;  // error already set
@@ -256,6 +320,19 @@ CliParse parse_cli_args(int argc, const char* const* argv) {
       if (n) opt.shard_horizon = *n;
     } else if (a == "--shard-dir") {
       opt.shard_dir = v;
+    } else if (a == "--horizon") {
+      const auto n = int_flag(a, v, 1, 1'000'000'000'000, &error);
+      if (n) opt.horizon = *n;
+    } else if (a == "--ber") {
+      const auto r = util::parse_double(v, 0.0, 1.0);
+      if (!r.has_value() || *r >= 1.0) {
+        error = "--ber expects a per-bit rate in [0, 1), got '" +
+                std::string(v) + "'";
+      } else {
+        opt.ber = *r;
+      }
+    } else if (a == "--persist") {
+      opt.persist = v;
     }
   }
   if (!error.empty()) return out;
@@ -296,6 +373,48 @@ CliParse parse_cli_args(int argc, const char* const* argv) {
   if (opt.resume && opt.checkpoint_path.empty()) {
     error = "--resume requires --checkpoint PATH";
     return out;
+  }
+  // Fleet-mode rules: the persistent fault process replaces the transient
+  // error model, and event-ordered accumulation is incompatible with shard
+  // partitioning and the stratified estimator.
+  if (opt.fleet_mode()) {
+    if (opt.shard_mode()) {
+      error = "--horizon fleet campaigns accumulate faults across events in "
+              "order and cannot be sharded";
+      return out;
+    }
+    if (opt.per_layer) {
+      error = "--per-layer does not apply to fleet campaigns (use --layer L "
+              "to restrict the fault process)";
+      return out;
+    }
+    if (opt.sampler == "stratified") {
+      error = "--sampler stratified is a transient-campaign mode; fleet "
+              "campaigns use --ber/--persist";
+      return out;
+    }
+    if (!opt.error.empty()) {
+      error = "--error does not apply to fleet campaigns — the fault process "
+              "comes from --ber/--persist";
+      return out;
+    }
+    if (opt.ber <= 0.0 && opt.persist.empty()) {
+      error = "--horizon needs a fault process: give --ber RATE and/or "
+              "--persist SPEC";
+      return out;
+    }
+  } else if (opt.ber > 0.0 || !opt.persist.empty()) {
+    error = "--ber/--persist need --horizon N (the number of simulated "
+            "inference events)";
+    return out;
+  }
+  if (!opt.persist.empty()) {
+    PersistScenario scratch;
+    std::string persist_error;
+    if (!parse_persist_spec(opt.persist, &scratch, &persist_error)) {
+      error = persist_error;
+      return out;
+    }
   }
   if (opt.sampler != "uniform" && opt.sampler != "stratified") {
     error = "unknown sampler '" + opt.sampler + "'";

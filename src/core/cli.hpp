@@ -11,6 +11,7 @@
 
 #include "core/error_models.hpp"
 #include "core/fault_injector.hpp"
+#include "core/persistent.hpp"
 
 namespace pfi::core {
 
@@ -51,8 +52,15 @@ struct CliOptions {
   std::int64_t shard_index = -1;  ///< -1 = not a worker (run all + merge)
   std::int64_t shard_horizon = 0;  ///< 0 = auto
   std::string shard_dir;
+  // Fleet-degradation mode (core/persistent.hpp). Engages when --horizon is
+  // given: the model serves `horizon` inference events while the persistent
+  // fault process configured by --ber / --persist corrupts its weights.
+  double ber = 0.0;       ///< per-bit upset probability per event
+  std::string persist;    ///< raw --persist spec; see parse_persist_spec
+  std::int64_t horizon = 0;  ///< 0 = no fleet mode
 
   bool shard_mode() const { return !shard_dir.empty(); }
+  bool fleet_mode() const { return horizon > 0; }
 };
 
 /// Outcome of parsing one argv. Exactly one of these holds: ok() (run the
@@ -95,6 +103,15 @@ struct DtypeSpec {
 /// Parse a dtype spec token (DTYPE or DTYPE-native); nullopt on anything
 /// else.
 std::optional<DtypeSpec> parse_dtype_spec(const std::string& spec);
+
+/// Parse a --persist spec onto `scenario`:
+///   stuckat:N        N stuck-at cells, each stuck at a random value
+///   stuckat:N:V      N cells stuck at V (0 or 1)
+///   distance:M:S     distance-based errors, N(M, S) bytes apart
+/// Returns false and (when `error` is non-null) stores an explanation on a
+/// malformed spec. --ber rides in its own flag, not this spec.
+bool parse_persist_spec(const std::string& spec, PersistScenario* scenario,
+                        std::string* error = nullptr);
 
 /// Parse a --per-layer-dtype value: comma-separated PATH=DTYPE[-native]
 /// entries, e.g. "features.0=int8-native,features.3=fp16". Layer paths are

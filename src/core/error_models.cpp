@@ -201,6 +201,50 @@ ErrorModel saturate(float limit) {
           }};
 }
 
+float force_bit(float v, int bit, int value, DType dtype,
+                const quant::QuantParams& qparams) {
+  PFI_CHECK(value >= -1 && value <= 1)
+      << "force_bit value=" << value << " must be -1 (flip), 0, or 1";
+  PFI_CHECK(bit >= 0 && bit < dtype_bit_width(dtype))
+      << "bit " << bit << " out of range for " << dtype_name(dtype);
+  const auto apply32 = [&](std::uint32_t bits) {
+    const std::uint32_t mask = 1u << bit;
+    if (value < 0) return bits ^ mask;
+    return value != 0 ? (bits | mask) : (bits & ~mask);
+  };
+  switch (dtype) {
+    case DType::kFloat32:
+      return bits_to_float(apply32(float_to_bits(v)));
+    case DType::kFloat16:
+      return float_from_f16_bits(
+          static_cast<std::uint16_t>(apply32(f16_bits_from_float(v))));
+    case DType::kBFloat16:
+      return float_from_bf16_bits(
+          static_cast<std::uint16_t>(apply32(bf16_bits_from_float(v))));
+    case DType::kInt8: {
+      const auto code =
+          static_cast<std::uint8_t>(quant::quantize_value(v, qparams));
+      return quant::dequantize_value(
+          static_cast<std::int8_t>(static_cast<std::uint8_t>(apply32(code))),
+          qparams);
+    }
+  }
+  PFI_CHECK(false) << "unreachable dtype";
+}
+
+ErrorModel stuck_at_bit(int bit, int value) {
+  PFI_CHECK(bit >= 0 && bit < kFloatBits) << "stuck_at_bit bit=" << bit;
+  PFI_CHECK(value == 0 || value == 1) << "stuck_at_bit value=" << value;
+  return {"stuck_at_bit[" + std::to_string(bit) + "=" + std::to_string(value) +
+              "]",
+          [bit, value](float v, const InjectionContext& ctx) {
+            PFI_CHECK(bit < dtype_bit_width(ctx.dtype))
+                << "stuck_at_bit: bit " << bit << " out of range for "
+                << dtype_name(ctx.dtype);
+            return force_bit(v, bit, value, ctx.dtype, ctx.qparams);
+          }};
+}
+
 ErrorModel additive_noise(float magnitude) {
   PFI_CHECK(magnitude > 0.0f) << "additive_noise magnitude=" << magnitude;
   return {"additive_noise[" + std::to_string(magnitude) + "]",

@@ -109,4 +109,18 @@ ErrorModel sign_flip();
 /// Clamp-saturate to [-limit, limit] — a stuck-at-rail / saturation model.
 ErrorModel saturate(float limit);
 
+/// Force bit `bit` of the value's representation (in the context dtype) to
+/// `value` (0 or 1) — the per-write half of a persistent stuck-at memory
+/// fault (core/persistent.hpp re-asserts it across inferences). Idempotent:
+/// a value whose bit already reads `value` is returned unchanged. `bit` must
+/// fit every dtype the model is applied under (checked at injection time).
+ErrorModel stuck_at_bit(int bit, int value);
+
+/// The raw transformation behind stuck_at_bit, shared with the injector's
+/// persistent-write path: `v` with bit `bit` of its `dtype` representation
+/// forced to `value` (0/1), or flipped when `value` is -1. INT8 operates on
+/// the quantized code under `qparams`.
+float force_bit(float v, int bit, int value, DType dtype,
+                const quant::QuantParams& qparams);
+
 }  // namespace pfi::core

@@ -86,7 +86,10 @@ FaultInjector::FaultInjector(std::shared_ptr<nn::Module> model, FiConfig config)
 }
 
 FaultInjector::~FaultInjector() {
+  // Order matters: clear() re-asserts stuck bits, so the persistent heal
+  // (which forgets the registrations first) must run after it.
   clear();
+  heal_persistent_faults();
   reset_native_modes();
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     layers_[i]->remove_hook(hook_handles_[i]);
@@ -215,9 +218,11 @@ void FaultInjector::emit_event(trace::FaultKind kind, std::int64_t layer,
                                const std::int64_t (&coords)[4],
                                std::int64_t flat, float pre, float post,
                                const std::string& model_name,
-                               const quant::QuantParams& qparams) {
+                               const quant::QuantParams& qparams,
+                               std::uint64_t time) {
   trace::InjectionEvent ev;
   ev.kind = kind;
+  ev.time = time;
   ev.layer = layer;
   ev.layer_name = layer_paths_[static_cast<std::size_t>(layer)];
   ev.layer_kind = layers_[static_cast<std::size_t>(layer)]->kind();
@@ -411,9 +416,11 @@ WeightLocation FaultInjector::random_weight_location(Rng& rng,
 }
 
 std::unique_ptr<FaultInjector> FaultInjector::replicate() const {
-  PFI_CHECK(weight_undo_.empty() && active_neuron_faults() == 0)
-      << "replicate() requires a quiescent injector — call clear() first so "
-         "the replica starts from golden weights";
+  PFI_CHECK(weight_undo_.empty() && active_neuron_faults() == 0 &&
+            persist_undo_.empty() && stuck_bits_.empty())
+      << "replicate() requires a quiescent injector — call clear() (and "
+         "heal_persistent_faults()) first so the replica starts from golden "
+         "weights";
   auto model_copy = nn::clone_model(*model_);
   return std::make_unique<FaultInjector>(std::move(model_copy), config_);
 }
@@ -426,9 +433,158 @@ void FaultInjector::clear() {
   // pack of the corrupted weights behind.
   for (auto it = weight_undo_.rbegin(); it != weight_undo_.rend(); ++it) {
     it->param->value[it->flat] = it->original;
-    it->conv->invalidate_weight_packs();
+    invalidate_module_packs(*it->owner);
   }
   weight_undo_.clear();
+  // Stuck memory cells cannot be scrubbed by a restore: re-force them so
+  // the post-clear() state still reads the stuck value.
+  reassert_stuck_bits();
+}
+
+void FaultInjector::invalidate_module_packs(nn::Module& module) {
+  if (module.kind() == "Conv2d") {
+    static_cast<nn::Conv2d&>(module).invalidate_weight_packs();
+  } else {
+    static_cast<nn::Linear&>(module).invalidate_weight_packs();
+  }
+}
+
+nn::Parameter& FaultInjector::weight_param(std::int64_t layer) const {
+  nn::Module& m = this->layer(layer);  // validates the index
+  PFI_CHECK(m.kind() == "Conv2d" || m.kind() == "Linear")
+      << "layer " << layer << " (" << m.kind() << ") has no weight tensor";
+  return m.kind() == "Conv2d" ? static_cast<nn::Conv2d&>(m).weight()
+                              : static_cast<nn::Linear&>(m).weight();
+}
+
+quant::QuantParams FaultInjector::persistent_qparams(std::int64_t layer,
+                                                     std::int64_t flat) const {
+  quant::QuantParams qp;
+  if (layer_dtype_[static_cast<std::size_t>(layer)] != DType::kInt8) return qp;
+  const Tensor& w = weight_param(layer).value;
+  if (layer_native_[static_cast<std::size_t>(layer)] != 0) {
+    // Native INT8: the deployed code lives at the frozen per-channel scale.
+    // Row-major contiguous weights put output channel c at flat indices
+    // [c * inner, (c + 1) * inner) with inner = numel / size(0).
+    nn::Module& m = this->layer(layer);
+    const std::vector<float>& scales =
+        m.kind() == "Conv2d" ? static_cast<nn::Conv2d&>(m).native_scales()
+                             : static_cast<nn::Linear&>(m).native_scales();
+    PFI_CHECK(!scales.empty())
+        << "native INT8 layer " << layer << " has no frozen scales";
+    const std::int64_t inner = w.numel() / w.size(0);
+    qp.scale = scales[static_cast<std::size_t>(flat / inner)];
+  } else {
+    qp = quant::calibrate(w);
+  }
+  return qp;
+}
+
+namespace {
+
+/// Decompose a flat index into per-dimension coordinates of `w` (row-major
+/// contiguous), padding trailing entries with 0 — Conv2d weights fill all
+/// four slots (out_c, in_c, kh, kw), Linear weights fill (out, in, 0, 0).
+void weight_coords(const Tensor& w, std::int64_t flat,
+                   std::int64_t (&coords)[4]) {
+  coords[0] = coords[1] = coords[2] = coords[3] = 0;
+  std::int64_t rem = flat;
+  const int dims = static_cast<int>(w.dim());
+  for (int d = dims - 1; d >= 0; --d) {
+    coords[d] = rem % w.size(d);
+    rem /= w.size(d);
+  }
+}
+
+}  // namespace
+
+void FaultInjector::commit_persistent_write(std::int64_t layer,
+                                            std::int64_t flat, float pre,
+                                            float post, std::uint64_t time,
+                                            const std::string& model_name,
+                                            const quant::QuantParams& qparams) {
+  nn::Parameter& param = weight_param(layer);
+  persist_undo_.push_back(
+      {&param, flat, pre, layers_[static_cast<std::size_t>(layer)]});
+  param.value[flat] = post;
+  invalidate_module_packs(*layers_[static_cast<std::size_t>(layer)]);
+  ++injections_;
+  if constexpr (trace::kEnabled) {
+    if (sink_ != nullptr) {
+      std::int64_t coords[4];
+      weight_coords(param.value, flat, coords);
+      emit_event(trace::FaultKind::kPersist, layer, coords, flat, pre, post,
+                 model_name, qparams, time);
+    }
+  }
+}
+
+FaultInjector::PersistentWrite FaultInjector::write_persistent_bit(
+    std::int64_t layer, std::int64_t flat, int bit, int op, std::uint64_t time,
+    const std::string& model_name) {
+  Tensor& w = weight_param(layer).value;  // validates the layer
+  PFI_CHECK(flat >= 0 && flat < w.numel())
+      << "persistent write at flat index " << flat
+      << " out of range for layer " << layer << " weights " << w.to_string();
+  const DType dt = layer_dtype_[static_cast<std::size_t>(layer)];
+  PFI_CHECK(bit >= 0 && bit < dtype_bit_width(dt))
+      << "persistent write bit " << bit << " out of range for layer " << layer
+      << " deployed as " << dtype_name(dt);
+  const quant::QuantParams qp = persistent_qparams(layer, flat);
+  const float pre = w[flat];
+  const float post = force_bit(pre, bit, op, dt, qp);
+  commit_persistent_write(layer, flat, pre, post, time, model_name, qp);
+  return {pre, post};
+}
+
+void FaultInjector::write_persistent_value(std::int64_t layer,
+                                           std::int64_t flat, float value,
+                                           std::uint64_t time,
+                                           const std::string& model_name) {
+  Tensor& w = weight_param(layer).value;
+  PFI_CHECK(flat >= 0 && flat < w.numel())
+      << "persistent write at flat index " << flat
+      << " out of range for layer " << layer << " weights " << w.to_string();
+  commit_persistent_write(layer, flat, w[flat], value, time, model_name,
+                          persistent_qparams(layer, flat));
+}
+
+void FaultInjector::register_stuck_bit(std::int64_t layer, std::int64_t flat,
+                                       int bit, int value) {
+  const Tensor& w = weight_param(layer).value;
+  PFI_CHECK(flat >= 0 && flat < w.numel())
+      << "stuck bit at flat index " << flat << " out of range for layer "
+      << layer << " weights " << w.to_string();
+  const DType dt = layer_dtype_[static_cast<std::size_t>(layer)];
+  PFI_CHECK(bit >= 0 && bit < dtype_bit_width(dt))
+      << "stuck bit " << bit << " out of range for layer " << layer
+      << " deployed as " << dtype_name(dt);
+  PFI_CHECK(value == 0 || value == 1) << "stuck bit value=" << value;
+  stuck_bits_.push_back({layer, flat, bit, value});
+}
+
+void FaultInjector::reassert_stuck_bits() {
+  for (const StuckBit& s : stuck_bits_) {
+    Tensor& w = weight_param(s.layer).value;
+    const float pre = w[s.flat];
+    const float post =
+        force_bit(pre, s.bit, s.value,
+                  layer_dtype_[static_cast<std::size_t>(s.layer)],
+                  persistent_qparams(s.layer, s.flat));
+    if (float_to_bits(post) == float_to_bits(pre)) continue;  // already stuck
+    w[s.flat] = post;
+    invalidate_module_packs(*layers_[static_cast<std::size_t>(s.layer)]);
+  }
+}
+
+void FaultInjector::heal_persistent_faults() {
+  // Forget the registrations FIRST so nothing re-asserts over the restore.
+  stuck_bits_.clear();
+  for (auto it = persist_undo_.rbegin(); it != persist_undo_.rend(); ++it) {
+    it->param->value[it->flat] = it->original;
+    invalidate_module_packs(*it->owner);
+  }
+  persist_undo_.clear();
 }
 
 bool FaultInjector::prefix_cache_usable() const {
@@ -448,9 +604,15 @@ FaultInjector::ReusePlan FaultInjector::reuse_plan() const {
   };
   // Weight faults: the perturbed conv itself must recompute (its forward
   // changed), so only layers strictly before its first execution replay.
+  // Persistent writes bound reuse exactly the same way — a recording made
+  // before (or after) a persistent write is only valid for layers whose
+  // weights the write never touched.
   std::size_t limit = prefix_cache_->num_events();
   for (const WeightUndo& undo : weight_undo_) {
-    limit = std::min(limit, first_idx(undo.conv));
+    limit = std::min(limit, first_idx(undo.owner));
+  }
+  for (const WeightUndo& undo : persist_undo_) {
+    limit = std::min(limit, first_idx(undo.owner));
   }
   std::size_t neuron_min = PrefixCache::kNoEvent;
   std::int64_t neuron_layer = -1;

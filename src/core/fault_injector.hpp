@@ -154,7 +154,61 @@ class FaultInjector {
   WeightLocation random_weight_location(Rng& rng, std::int64_t layer = -1) const;
 
   /// Remove all declared neuron faults and restore all perturbed weights.
+  /// Persistent faults are NOT removed — stuck-at bits re-assert themselves
+  /// at the end of every clear(), so a transient restore can never scrub a
+  /// stuck memory cell back to golden. Use heal_persistent_faults() to
+  /// actually repair the memory.
   void clear();
+
+  // -- Persistent memory faults (event-time; driven by core/persistent.hpp) --------
+  /// Result of one persistent write: the master (fp32) weight value before
+  /// and after, bit-exact.
+  struct PersistentWrite {
+    float pre = 0.0f;
+    float post = 0.0f;
+  };
+
+  /// Corrupt one bit of weight `flat` (flat index into the layer's weight
+  /// tensor) in the layer's DEPLOYED representation: the fp32 word, the
+  /// fp16/bf16 storage bits, or the INT8 code under the layer's deployed
+  /// scale (the frozen per-channel scale for native layers, per-tensor
+  /// calibration for emulated ones). `op` = -1 flips the bit, 0/1 forces
+  /// it. Unlike declare_weight_fault the write SURVIVES clear(); only
+  /// heal_persistent_faults() (or destruction) restores golden. The layer's
+  /// packed-weight caches are invalidated so the next forward deploys the
+  /// corrupted code, and a kPersist trace event stamped with `time` is
+  /// emitted into the attached sink.
+  PersistentWrite write_persistent_bit(std::int64_t layer, std::int64_t flat,
+                                       int bit, int op, std::uint64_t time,
+                                       const std::string& model_name);
+
+  /// Replay primitive (trace::TraceReplayer): write the recorded `value` at
+  /// (layer, flat) as a persistent fault — same undo/invalidation/trace
+  /// semantics as write_persistent_bit, no bit arithmetic.
+  void write_persistent_value(std::int64_t layer, std::int64_t flat,
+                              float value, std::uint64_t time,
+                              const std::string& model_name);
+
+  /// Register a stuck-at cell: after its initial write_persistent_bit, the
+  /// bit is re-forced by every clear() and by reassert_stuck_bits(), so
+  /// later writes to the weight (transient-fault restores, other persistent
+  /// flips) cannot un-stick it.
+  void register_stuck_bit(std::int64_t layer, std::int64_t flat, int bit,
+                          int value);
+
+  /// Re-force every registered stuck bit in place (no trace, no new undo
+  /// entries — the original golden value was recorded by the birth write).
+  /// Invalidates packs only for cells that actually changed.
+  void reassert_stuck_bits();
+
+  /// Restore every persistently-corrupted weight to golden (reverse write
+  /// order, bit-exact) and forget all stuck-bit registrations. Idempotent.
+  void heal_persistent_faults();
+
+  /// Number of persistent writes currently held in the undo log.
+  std::size_t active_persistent_faults() const {
+    return persist_undo_.size();
+  }
 
   /// Reseed the injector's internal RNG (the one stochastic error models
   /// draw from via InjectionContext::rng). The campaign engine reseeds with
@@ -251,9 +305,16 @@ class FaultInjector {
     nn::Parameter* param;
     std::int64_t flat;
     float original;
-    // The owning layer, so restore can also drop its stale packed-weight
-    // panels (the blocked-GEMM cache keyed on the weight bits).
-    nn::Conv2d* conv;
+    // The owning layer (Conv2d, or Linear for persistent writes), so restore
+    // can also drop its stale packed-weight panels (the blocked-GEMM cache
+    // keyed on the weight bits).
+    nn::Module* owner;
+  };
+  struct StuckBit {
+    std::int64_t layer;
+    std::int64_t flat;
+    int bit;
+    int value;
   };
 
   void hook_body(std::int64_t layer_index, Tensor& output);
@@ -293,10 +354,34 @@ class FaultInjector {
   bool prefix_cache_usable() const;
 
   /// Emit one InjectionEvent into the attached sink (trace builds only).
+  /// `time` stamps kPersist events with the simulated event index; it is
+  /// ignored (and unserialized) for transient kinds.
   void emit_event(trace::FaultKind kind, std::int64_t layer,
                   const std::int64_t (&coords)[4], std::int64_t flat,
                   float pre, float post, const std::string& model_name,
-                  const quant::QuantParams& qparams);
+                  const quant::QuantParams& qparams, std::uint64_t time = 0);
+
+  /// The weight parameter of instrumented layer i; checks the layer is
+  /// weight-bearing (Conv2d, or Linear when instrumented).
+  nn::Parameter& weight_param(std::int64_t layer) const;
+
+  /// Quantization params a persistent write on (layer, flat) operates under
+  /// when the layer resolves to INT8: the frozen per-channel deployed scale
+  /// for native layers, per-tensor calibration of the current weights for
+  /// emulated ones. Default-constructed for float dtypes.
+  quant::QuantParams persistent_qparams(std::int64_t layer,
+                                        std::int64_t flat) const;
+
+  /// Drop `module`'s packed-weight caches (Conv2d or Linear dispatch).
+  static void invalidate_module_packs(nn::Module& module);
+
+  /// Shared body of the persistent-write entry points: record the undo
+  /// entry, store `post`, invalidate packs, bump the counter, emit the
+  /// kPersist trace event.
+  void commit_persistent_write(std::int64_t layer, std::int64_t flat,
+                               float pre, float post, std::uint64_t time,
+                               const std::string& model_name,
+                               const quant::QuantParams& qparams);
 
   /// Resolve config_.{dtype, native, per_layer} into layer_dtype_ /
   /// layer_native_ and switch native layers' modules into their
@@ -318,6 +403,10 @@ class FaultInjector {
   std::vector<Shape> layer_shapes_;
   std::vector<std::vector<ArmedFault>> faults_;  // per layer
   std::vector<WeightUndo> weight_undo_;
+  /// Persistent-fault undo log, in write order. Survives clear(); unwound
+  /// (in reverse) only by heal_persistent_faults() / destruction.
+  std::vector<WeightUndo> persist_undo_;
+  std::vector<StuckBit> stuck_bits_;
   /// Per-layer dtype-emulation params captured during the last golden
   /// (kRecordGolden) pass. A cache-off faulty pass recomputes the same
   /// params at the injection site (its raw output is bit-identical to the

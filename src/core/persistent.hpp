@@ -1,0 +1,112 @@
+// Persistent & rate-based memory-fault scenarios.
+//
+// Transient campaigns (core/campaign.hpp) model soft errors in datapath
+// values: one corruption, one inference, then the fault is gone. Real
+// deployed accelerators also suffer MEMORY faults that do not go away —
+// a stuck-at cell in a weight SRAM, an accumulating bit-error rate in DRAM
+// holding the packed weights, or burst upsets spaced by a characteristic
+// physical distance. Those faults persist across inferences and accumulate
+// over deployment time.
+//
+// PersistentFaultSet owns that process on top of a FaultInjector:
+//
+//  * A simulated clock counts inference EVENTS (0, 1, 2, ...). advance_to(t)
+//    applies every fault event with index < t, in order.
+//
+//  * Every fault is a pure function of (scenario.seed, event index, layer):
+//    each (event, layer) pair derives its own counter-based RNG, so two
+//    PersistentFaultSets with the same scenario replay byte-identical fault
+//    streams — on any thread, in any process, resumed from any point.
+//
+//  * Three fault processes, combinable:
+//      - BER: every bit of every eligible weight tensor flips independently
+//        with probability `ber` per event. Sampled with geometric gap
+//        skipping, so the cost is O(#flips), not O(#bits).
+//      - distance: errors land on a byte-walk whose gaps are draws from
+//        N(distance_mean, distance_stddev) bytes — a burst/row-hammer-style
+//        spatial error model. One random bit of each landed byte flips.
+//      - stuck-at: `stuck_bits` cells drawn once at event 0 and registered
+//        with the injector, which re-forces them after every clear() so no
+//        transient restore (or later flip) can un-stick them.
+//
+//  * Faults land in the DEPLOYED representation: the injector invalidates
+//    the layer's packed-weight caches on every write, so native INT8 /
+//    fp16 / bf16 layers re-pack the corrupted codes before the next
+//    forward (FaultInjector::write_persistent_bit).
+//
+// The set heals its injector on destruction (and via heal()), restoring
+// golden weights bit-exactly.
+#pragma once
+
+#include "core/fault_injector.hpp"
+
+namespace pfi::core {
+
+/// The fault process of one persistent-fault scenario. All-zero defaults
+/// describe a fault-free fleet (advance_to is then a no-op).
+struct PersistScenario {
+  /// Per-bit upset probability per event over every eligible weight bit
+  /// (in the layer's deployed representation). Must be in [0, 1).
+  double ber = 0.0;
+  /// Number of stuck-at cells drawn (uniformly over the eligible bit
+  /// space) at event 0.
+  std::int64_t stuck_bits = 0;
+  /// Value the stuck cells are forced to: 0, 1, or -1 for a random value
+  /// per cell.
+  int stuck_value = -1;
+  /// Mean byte distance between consecutive errors of the distance-based
+  /// walk; 0 disables the process.
+  double distance_mean = 0.0;
+  double distance_stddev = 0.0;
+  /// Restrict faults to one instrumented layer; -1 = all layers.
+  std::int64_t layer = -1;
+  /// Root seed of the fault process (independent of input-draw seeds).
+  std::uint64_t seed = 0x5eedfa17ull;
+};
+
+/// Event-time persistent faults over a FaultInjector's weight memory.
+class PersistentFaultSet {
+ public:
+  /// Validates the scenario against the injector's instrumented layers.
+  /// The injector must be persistently quiescent (no prior persistent
+  /// faults) — the set assumes ownership of its persistent state.
+  PersistentFaultSet(FaultInjector& fi, PersistScenario scenario);
+
+  /// Heals the injector (weights restored bit-exactly to golden).
+  ~PersistentFaultSet();
+
+  PersistentFaultSet(const PersistentFaultSet&) = delete;
+  PersistentFaultSet& operator=(const PersistentFaultSet&) = delete;
+
+  /// Apply every fault event with index in [now(), t), advancing the clock
+  /// to t. Monotonic: t < now() is an error. Each event's faults emit
+  /// kPersist trace events (stamped with the event index) into whatever
+  /// sink is attached to the injector at the time.
+  void advance_to(std::uint64_t t);
+
+  /// The clock: number of events applied so far.
+  std::uint64_t now() const { return now_; }
+
+  /// Cumulative persistent writes performed (BER + distance + stuck
+  /// births) — a pure function of (scenario, now()).
+  std::uint64_t faults_applied() const { return faults_applied_; }
+
+  /// Restore the injector to golden and reset the clock to 0.
+  void heal();
+
+  const PersistScenario& scenario() const { return scenario_; }
+
+ private:
+  void apply_event(std::uint64_t t);
+  void draw_stuck_cells();
+
+  FaultInjector& fi_;
+  PersistScenario scenario_;
+  std::vector<std::int64_t> layers_;  ///< eligible instrumented layer indices
+  std::uint64_t now_ = 0;
+  std::uint64_t faults_applied_ = 0;
+  std::string ber_name_;       ///< trace model id, e.g. "ber[1e-05]"
+  std::string distance_name_;  ///< e.g. "distance[64,16]"
+};
+
+}  // namespace pfi::core

@@ -30,10 +30,18 @@ std::string Profiler::table() const {
     os << std::left << std::setw(name_col)
        << (p.name.empty() ? std::string("<root>") : p.name) << std::setw(10)
        << p.kind << std::right << std::setw(9) << p.forwards << std::fixed
-       << std::setprecision(4) << std::setw(12)
-       << (p.count == 0 ? 0.0 : p.min) << std::setw(12)
-       << (p.count == 0 ? 0.0 : p.max) << std::setw(12) << p.mean()
-       << std::setw(10) << p.non_finite << std::setprecision(3)
+       << std::setprecision(4);
+    if (p.count == 0) {
+      // No finite samples: an honest "-" instead of an innocuous-looking
+      // 0.0000 (an all-non-finite layer MUST read as broken, not idle; the
+      // nonfinite column holds the evidence).
+      os << std::setw(12) << "-" << std::setw(12) << "-" << std::setw(12)
+         << "-";
+    } else {
+      os << std::setw(12) << p.min << std::setw(12) << p.max << std::setw(12)
+         << p.mean();
+    }
+    os << std::setw(10) << p.non_finite << std::setprecision(3)
        << std::setw(14) << p.hook_us_per_call() << '\n';
   }
   return os.str();

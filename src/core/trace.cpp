@@ -15,6 +15,7 @@ std::string fault_kind_name(FaultKind kind) {
   switch (kind) {
     case FaultKind::kNeuron: return "neuron";
     case FaultKind::kWeight: return "weight";
+    case FaultKind::kPersist: return "persist";
   }
   PFI_CHECK(false) << "unreachable fault kind";
 }
@@ -142,7 +143,11 @@ std::string event_to_json(const InjectionEvent& ev) {
      << ",\"pre\":" << json_number(ev.pre) << ",\"pre_bits\":\""
      << util::float_bits_hex(ev.pre) << "\",\"post\":" << json_number(ev.post)
      << ",\"post_bits\":\"" << util::float_bits_hex(ev.post)
-     << "\",\"model\":\"" << util::json_escape(ev.model) << "\"}";
+     << "\",\"model\":\"" << util::json_escape(ev.model) << "\"";
+  // The event-time stamp exists only for persistent faults; transient
+  // events keep the exact field set (and bytes) they always serialized to.
+  if (ev.kind == FaultKind::kPersist) os << ",\"time\":" << ev.time;
+  os << "}";
   return os.str();
 }
 
@@ -152,9 +157,11 @@ InjectionEvent event_from_json(const std::string& line) {
   ev.attempt = static_cast<std::uint64_t>(int_field(line, "attempt"));
   ev.rep = static_cast<std::int32_t>(int_field(line, "rep"));
   const std::string kind = string_field(line, "kind");
-  PFI_CHECK(kind == "neuron" || kind == "weight")
+  PFI_CHECK(kind == "neuron" || kind == "weight" || kind == "persist")
       << "unknown fault kind '" << kind << "' in trace";
-  ev.kind = kind == "neuron" ? FaultKind::kNeuron : FaultKind::kWeight;
+  ev.kind = kind == "neuron"
+                ? FaultKind::kNeuron
+                : (kind == "weight" ? FaultKind::kWeight : FaultKind::kPersist);
   ev.layer = int_field(line, "layer");
   ev.layer_name = string_field(line, "layer_name");
   ev.layer_kind = string_field(line, "layer_kind");
@@ -169,9 +176,22 @@ InjectionEvent event_from_json(const std::string& line) {
   }
   ev.flat = int_field(line, "flat");
   ev.bit = static_cast<std::int32_t>(int_field(line, "bit"));
+  // A recorded flip attribution must fit the recorded dtype's own
+  // representation: diff_bit=28 on an fp16 event can only mean a corrupted
+  // or hand-edited trace, and accepting it would push an impossible flip
+  // through replay. The replayer checks dtype against per-layer resolution;
+  // this is the parse-time half of that contract.
+  PFI_CHECK(ev.bit >= -1 && ev.bit < core::dtype_bit_width(ev.dtype))
+      << "trace event records diff_bit " << ev.bit << " but dtype '"
+      << core::dtype_name(ev.dtype) << "' is only "
+      << core::dtype_bit_width(ev.dtype)
+      << " bits wide — corrupted trace line: " << line;
   ev.pre = util::float_from_bits_hex(string_field(line, "pre_bits"));
   ev.post = util::float_from_bits_hex(string_field(line, "post_bits"));
   ev.model = string_field(line, "model");
+  if (ev.kind == FaultKind::kPersist) {
+    ev.time = static_cast<std::uint64_t>(int_field(line, "time"));
+  }
   return ev;
 }
 
@@ -226,6 +246,17 @@ void TraceReplayer::arm(std::span<const InjectionEvent> rep_events) {
         << core::dtype_name(ev.dtype)
         << " cannot replay on an injector resolving that layer as "
         << core::dtype_name(fi_.layer_dtype(ev.layer));
+    // Persistent events re-assert immediately: the recorded post value is
+    // written into the weight's deployed representation right now, and it
+    // stays there across clear() until heal_persistent_faults(). Replaying
+    // every persist event with time <= t in stream order reconstructs the
+    // exact weight state of simulated event t (later writes to the same
+    // position land last, as they did live).
+    if (ev.kind == FaultKind::kPersist) {
+      fi_.write_persistent_value(ev.layer, ev.flat, ev.post, ev.time,
+                                 ev.model);
+      continue;
+    }
     // A constant fault writes the recorded post value at the recorded
     // position; because the hook applies it after dtype emulation, exactly
     // where the original model ran, the corrupted tensor is reproduced
@@ -254,6 +285,10 @@ Tensor TraceReplayer::replay(const Tensor& input,
   arm(rep_events);
   Tensor out = fi_.forward(input);
   fi_.clear();
+  // clear() deliberately leaves persistent faults in place (that is their
+  // defining property); the one-shot replay heals them so the injector
+  // returns to golden like it always has. No-op for transient-only reps.
+  fi_.heal_persistent_faults();
   return out;
 }
 

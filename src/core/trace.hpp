@@ -52,10 +52,13 @@ inline constexpr bool kEnabled = false;
 inline constexpr bool kEnabled = true;
 #endif
 
-/// What was corrupted: a neuron in a layer's output fmap, or a weight.
-enum class FaultKind { kNeuron, kWeight };
+/// What was corrupted: a neuron in a layer's output fmap, a weight (one
+/// transient offline perturbation, restored by clear()), or a persistent
+/// memory fault (an event-time corruption that survives across inferences
+/// until heal_persistent_faults(); see core/persistent.hpp).
+enum class FaultKind { kNeuron, kWeight, kPersist };
 
-/// "neuron" / "weight".
+/// "neuron" / "weight" / "persist".
 std::string fault_kind_name(FaultKind kind);
 
 /// One injection, as it actually happened.
@@ -79,6 +82,12 @@ struct InjectionEvent {
   float pre = 0.0f;           ///< value before injection (post-quantization)
   float post = 0.0f;          ///< value the error model produced
   std::string model;          ///< error-model id, e.g. "single_bit_flip[30]"
+  /// Persistent faults only: the simulated inference-event index the fault
+  /// was born at (PersistentFaultSet's clock). Serialized for kPersist
+  /// events exclusively, so transient traces keep their exact historical
+  /// byte encoding. Replaying all persist events with time <= t, in stream
+  /// order, reconstructs the weight state at event t bit-for-bit.
+  std::uint64_t time = 0;
 };
 
 /// The flipped-bit attribution for a (pre, post) pair in the given dtype's
@@ -198,11 +207,16 @@ class TraceReplayer {
   /// campaign injector, or the campaign injector itself after the run.
   explicit TraceReplayer(core::FaultInjector& fi) : fi_(fi) {}
 
-  /// Arm one recorded rep's events as constant faults. The caller runs the
-  /// forward and clears; use replay() for the one-shot path.
+  /// Arm one recorded rep's events as constant faults. Neuron/weight events
+  /// become armed transient faults; kPersist events are re-asserted
+  /// immediately as persistent weight writes (the recorded post value lands
+  /// at the recorded position, surviving clear() until the injector's
+  /// heal_persistent_faults()). The caller runs the forward and
+  /// clears/heals; use replay() for the one-shot path.
   void arm(std::span<const InjectionEvent> rep_events);
 
-  /// Arm `rep_events`, forward `input`, clear, return the corrupted logits.
+  /// Arm `rep_events`, forward `input`, clear (and heal any persistent
+  /// faults the rep asserted), return the corrupted logits.
   Tensor replay(const Tensor& input,
                 std::span<const InjectionEvent> rep_events);
 

@@ -30,6 +30,24 @@ inline std::optional<std::int64_t> parse_int(
   return value;
 }
 
+/// Parse a finite decimal floating-point value in [lo, hi]. Returns nullopt
+/// on empty input, non-numeric text, trailing junk, overflow, NaN/Inf
+/// spellings, or out-of-range values — the bench-knob regression where
+/// PFI_BER=1e-5x silently read as 1e-5 (or 0) with atof.
+inline std::optional<double> parse_double(
+    const std::string& text,
+    double lo = std::numeric_limits<double>::lowest(),
+    double hi = std::numeric_limits<double>::max()) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  if (!(v >= lo && v <= hi)) return std::nullopt;  // also rejects NaN
+  return v;
+}
+
 /// Parse a base-10 unsigned 64-bit integer. Rejects a leading '-' (strtoull
 /// would silently wrap it) along with everything parse_int rejects.
 inline std::optional<std::uint64_t> parse_uint(const std::string& text) {

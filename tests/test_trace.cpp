@@ -227,6 +227,32 @@ TEST(TraceJsonl, HalfPrecisionNanPayloadsSurviveBitExactly) {
             0x7f81);
 }
 
+// The regression pinned here: the parser used to accept any diff_bit the
+// line claimed, so a trace asserting diff_bit=28 on an fp16 event — a bit
+// that cannot exist in a 16-bit container — replayed as if it were valid.
+// dtype and diff_bit must agree or the line is rejected.
+TEST(TraceJsonl, RejectsDiffBitWiderThanTheDtype) {
+  auto ev = sample_event();
+  ev.dtype = DType::kFloat16;
+  ev.bit = 28;  // valid for fp32, impossible on fp16
+  EXPECT_THROW(trace::event_from_json(trace::event_to_json(ev)), Error);
+  ev.bit = 16;  // first bit past the fp16 container
+  EXPECT_THROW(trace::event_from_json(trace::event_to_json(ev)), Error);
+  ev.dtype = DType::kBFloat16;
+  EXPECT_THROW(trace::event_from_json(trace::event_to_json(ev)), Error);
+  ev.dtype = DType::kInt8;
+  ev.bit = 9;
+  EXPECT_THROW(trace::event_from_json(trace::event_to_json(ev)), Error);
+  // The same indices are fine where the container is wide enough, and the
+  // no-bit-diff sentinel (-1, value faults) is always legal.
+  ev.dtype = DType::kFloat32;
+  ev.bit = 28;
+  EXPECT_NO_THROW(trace::event_from_json(trace::event_to_json(ev)));
+  ev.dtype = DType::kFloat16;
+  ev.bit = -1;
+  EXPECT_NO_THROW(trace::event_from_json(trace::event_to_json(ev)));
+}
+
 TEST(TraceJsonl, HostileLayerNameCannotShadowFieldsOrBreakParsing) {
   auto ev = sample_event();
   // Quotes, a comma, a newline, and text that looks like a JSON field.
@@ -752,6 +778,35 @@ TEST(TraceProfiler, AllNonFiniteLayerHasVacuousMean) {
   EXPECT_EQ(prof.layers()[0].count, 0u);
   EXPECT_EQ(prof.layers()[0].non_finite, 2u);
   EXPECT_TRUE(std::isfinite(prof.layers()[0].mean()));
+}
+
+// The regression pinned here: a layer whose every activation went non-finite
+// used to print an innocuous-looking "0.0000  0.0000  0.0000" min/max/mean
+// row — indistinguishable from a healthy all-zero layer. The table must
+// show "-" for stats that have no finite samples behind them.
+TEST(TraceProfiler, AllNonFiniteLayerTableShowsDashNotZero) {
+  trace::Profiler prof;
+  prof.init({{.name = "features.0", .kind = "Conv2d"},
+             {.name = "features.3", .kind = "Conv2d"}});
+  const float bad[2] = {std::numeric_limits<float>::quiet_NaN(),
+                        std::numeric_limits<float>::infinity()};
+  const float good[2] = {1.0f, 3.0f};
+  prof.observe(0, std::span<const float>(bad, 2));
+  prof.observe(1, std::span<const float>(good, 2));
+  const std::string table = prof.table();
+  std::istringstream lines(table);
+  std::string line, bad_row, good_row;
+  while (std::getline(lines, line)) {
+    if (line.find("features.0") != std::string::npos) bad_row = line;
+    if (line.find("features.3") != std::string::npos) good_row = line;
+  }
+  ASSERT_FALSE(bad_row.empty());
+  ASSERT_FALSE(good_row.empty());
+  EXPECT_EQ(bad_row.find("0.0000"), std::string::npos) << bad_row;
+  EXPECT_NE(bad_row.find('-'), std::string::npos) << bad_row;
+  EXPECT_NE(good_row.find("1.0000"), std::string::npos) << good_row;
+  EXPECT_NE(good_row.find("3.0000"), std::string::npos) << good_row;
+  EXPECT_NE(good_row.find("2.0000"), std::string::npos) << good_row;
 }
 
 TEST(TraceProfiler, ResetKeepsTheLayerTable) {

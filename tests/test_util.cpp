@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "util/bits.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/fileio.hpp"
 #include "util/parse.hpp"
@@ -482,6 +483,58 @@ TEST(Fnv1a, SensitiveToEveryByte) {
     mutated[i] ^= 1;
     EXPECT_NE(util::fnv1a(mutated), h) << "byte " << i;
   }
+}
+
+// ------------------------------------------------------- env knobs ----------
+// The bench/example front ends read their PFI_* parameters through
+// util/env.hpp. The regression pinned here: atoll-era parsing read
+// PFI_SHARDS=4x as 4 and PFI_TRIALS=abc as 0; the strict helpers must throw
+// instead, naming the variable.
+
+TEST(ParseEnv, FallsBackWhenUnset) {
+  unsetenv("PFI_TEST_KNOB");
+  EXPECT_EQ(util::env_int("PFI_TEST_KNOB", 7), 7);
+  EXPECT_EQ(util::env_uint("PFI_TEST_KNOB", 9u), 9u);
+  EXPECT_DOUBLE_EQ(util::env_double("PFI_TEST_KNOB", 0.5), 0.5);
+  EXPECT_EQ(util::env_str("PFI_TEST_KNOB", "dflt"), "dflt");
+}
+
+TEST(ParseEnv, ParsesWellFormedValues) {
+  setenv("PFI_TEST_KNOB", "42", 1);
+  EXPECT_EQ(util::env_int("PFI_TEST_KNOB", 0), 42);
+  EXPECT_EQ(util::env_uint("PFI_TEST_KNOB", 0), 42u);
+  setenv("PFI_TEST_KNOB", "-3", 1);
+  EXPECT_EQ(util::env_int("PFI_TEST_KNOB", 0), -3);
+  setenv("PFI_TEST_KNOB", "1e-3", 1);
+  EXPECT_DOUBLE_EQ(util::env_double("PFI_TEST_KNOB", 0.0), 1e-3);
+  unsetenv("PFI_TEST_KNOB");
+}
+
+TEST(ParseEnv, RejectsTrailingJunkLoudly) {
+  setenv("PFI_TEST_KNOB", "4x", 1);
+  EXPECT_THROW(util::env_int("PFI_TEST_KNOB", 0), Error);  // atoll read 4
+  EXPECT_THROW(util::env_uint("PFI_TEST_KNOB", 0), Error);
+  setenv("PFI_TEST_KNOB", "abc", 1);
+  EXPECT_THROW(util::env_int("PFI_TEST_KNOB", 0), Error);  // atoll read 0
+  setenv("PFI_TEST_KNOB", "1.5.2", 1);
+  EXPECT_THROW(util::env_double("PFI_TEST_KNOB", 0.0), Error);
+  setenv("PFI_TEST_KNOB", "nan", 1);
+  EXPECT_THROW(util::env_double("PFI_TEST_KNOB", 0.0), Error);
+  unsetenv("PFI_TEST_KNOB");
+}
+
+TEST(ParseEnv, RejectsOutOfRangeAndNamesTheVariable) {
+  setenv("PFI_TEST_KNOB", "99", 1);
+  EXPECT_THROW(util::env_int("PFI_TEST_KNOB", 0, 0, 10), Error);
+  try {
+    util::env_int("PFI_TEST_KNOB", 0, 0, 10);
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("PFI_TEST_KNOB"), std::string::npos);
+  }
+  setenv("PFI_TEST_KNOB", "0.5", 1);
+  EXPECT_THROW(util::env_double("PFI_TEST_KNOB", 0.6, 0.6, 1.0), Error);
+  unsetenv("PFI_TEST_KNOB");
 }
 
 }  // namespace
