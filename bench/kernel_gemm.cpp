@@ -15,9 +15,13 @@
 // the GOP/s columns compare directly):
 //   int8-gemm : prepacked steady state — both operands already quantized
 //               and packed; per call = exact i32 GEMM + fp32 requantize.
-//   int8-path : what a conv forward actually pays per pass — weights
-//               prepacked, activations quantized+packed per call, then
-//               GEMM + requantize.
+//   int8-path : what a STATICALLY-CALIBRATED conv forward actually pays per
+//               pass — weights prepacked, activations quantized+packed in a
+//               single sweep at the frozen scale (no per-inference absmax),
+//               then GEMM + fused requantize-to-grid epilogue. The three
+//               phases (quantize+pack / gemm / requantize) are timed
+//               separately; the row reports their sum and the footer the
+//               weighted phase breakdown.
 //
 // Environment knobs: PFI_BENCH_REPS_MS (target ms per measurement, default
 // 300), PFI_KERNEL_THREADS (intra-op threads for the blocked kernel,
@@ -126,6 +130,7 @@ int main() {
 
   double naive_total_s = 0.0, blocked_total_s = 0.0, flops_total = 0.0;
   double i8_total_s = 0.0, i8_path_total_s = 0.0;
+  double quant_total_s = 0.0, gemm_total_s = 0.0, req_total_s = 0.0;
   Rng rng(7);
   for (const auto& s : shapes) {
     std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
@@ -170,16 +175,33 @@ int main() {
                                    c.data(), s.n);
         },
         target_ms);
-    const double t_i8_path = time_per_call(
+
+    // Static-calibration per-pass cost, phase by phase. The frozen scales
+    // stand in for a calibration file: activation scale from the operand's
+    // absmax (paid ONCE here, like the golden calibration pass), output
+    // scale from the fp32 result the blocked kernel just produced.
+    const float act_scale = kernels::scale_from_absmax(kernels::finite_absmax_i8(
+        b.data(), static_cast<std::int64_t>(b.size())));
+    const float out_scale = kernels::scale_from_absmax(kernels::finite_absmax_i8(
+        c.data(), static_cast<std::int64_t>(c.size())));
+    const double t_quant = time_per_call(
         [&] {
-          kernels::quantize_pack_b_i8_tensor(s.k, s.n, b.data(), s.n, false,
-                                             pb);
-          kernels::gemm_i8(s.m, s.n, s.k, pa, pb, acc.data(), s.n);
-          kernels::requantize_rows(s.m, s.n, acc.data(), s.n,
-                                   row_scales.data(), pb.scale[0], bias.data(),
-                                   c.data(), s.n);
+          kernels::quantize_pack_b_i8_static(s.k, s.n, b.data(), s.n, false,
+                                             act_scale, pb);
         },
         target_ms);
+    const double t_gemm = time_per_call(
+        [&] { kernels::gemm_i8(s.m, s.n, s.k, pa, pb, acc.data(), s.n); },
+        target_ms);
+    const double t_req = time_per_call(
+        [&] {
+          kernels::requantize_rows_grid(s.m, s.n, acc.data(), s.n,
+                                        row_scales.data(), pb.scale[0],
+                                        bias.data(), out_scale, true, c.data(),
+                                        s.n);
+        },
+        target_ms);
+    const double t_i8_path = t_quant + t_gemm + t_req;
 
     std::printf(
         "%-34s %6lld %6lld %6lld | %9.2f %9.2f %9.2f %9.2f | %6.2fx %6.2fx\n",
@@ -193,6 +215,9 @@ int main() {
     blocked_total_s += t_blocked * w;
     i8_total_s += t_i8 * w;
     i8_path_total_s += t_i8_path * w;
+    quant_total_s += t_quant * w;
+    gemm_total_s += t_gemm * w;
+    req_total_s += t_req * w;
     flops_total += flops * w;
   }
 
@@ -209,5 +234,10 @@ int main() {
   std::printf("  int8-gemm vs blocked: %6.2fx\n", blocked_total_s / i8_total_s);
   std::printf("  int8-path vs blocked: %6.2fx\n",
               blocked_total_s / i8_path_total_s);
+  std::printf("  int8-path phases (weighted): quantize+pack %.1f%%, gemm "
+              "%.1f%%, requantize %.1f%%\n",
+              100.0 * quant_total_s / i8_path_total_s,
+              100.0 * gemm_total_s / i8_path_total_s,
+              100.0 * req_total_s / i8_path_total_s);
   return 0;
 }

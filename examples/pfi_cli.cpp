@@ -53,7 +53,9 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/calibrate.hpp"
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
 #include "core/cli.hpp"
@@ -63,6 +65,8 @@
 #include "core/shard.hpp"
 #include "models/trainer.hpp"
 #include "models/zoo.hpp"
+#include "quant/static_act.hpp"
+#include "util/fileio.hpp"
 
 namespace {
 
@@ -163,6 +167,47 @@ int main(int argc, char** argv) {
   // knobs (campaign results are byte-identical either way).
   fi_cfg.prefix_cache =
       opt.prefix_cache && core::prefix_cache_env_enabled(true);
+
+  // Static activation calibration (--static-calib): frozen per-layer INT8
+  // activation scales from a golden fp32 pass, so native INT8 layers skip
+  // the per-inference absmax pass and conv->ReLU->conv boundaries stay
+  // INT8-resident. Calibrating needs a PLAIN fp32 injector (the golden
+  // model), so when the file does not exist yet we instrument a temporary
+  // one, run the calibration batches through it, and persist the result
+  // before building the real (native) injector below. The temporary
+  // injector's destructor removes its hooks, so the model is clean again.
+  std::shared_ptr<const quant::StaticActQuant> static_act;
+  if (!opt.static_calib.empty()) {
+    if (util::file_exists(opt.static_calib)) {
+      static_act = std::make_shared<const quant::StaticActQuant>(
+          quant::StaticActQuant::load(opt.static_calib));
+      std::printf("static calibration: loaded %s (fingerprint %llu)\n",
+                  opt.static_calib.c_str(),
+                  static_cast<unsigned long long>(static_act->fingerprint()));
+    } else {
+      Rng calib_rng(opt.seed + 4);
+      std::vector<Tensor> batches;
+      for (int b = 0; b < 8; ++b) {
+        batches.push_back(ds.sample_batch(12, calib_rng).images);
+      }
+      quant::StaticActQuant calib;
+      {
+        core::FaultInjector calib_fi(
+            model, {.input_shape = {spec.channels, spec.height, spec.width},
+                    .batch_size = 12});
+        calib = core::calibrate_static_act(calib_fi, batches);
+      }
+      calib.save(opt.static_calib);
+      std::printf("static calibration: golden fp32 pass over %zu batches "
+                  "saved to %s (fingerprint %llu)\n",
+                  batches.size(), opt.static_calib.c_str(),
+                  static_cast<unsigned long long>(calib.fingerprint()));
+      static_act =
+          std::make_shared<const quant::StaticActQuant>(std::move(calib));
+    }
+    fi_cfg.static_act = static_act;
+  }
+
   core::FaultInjector fi(model, fi_cfg);
   std::printf("instrumented %lld conv layers (%lld neurons)\n",
               static_cast<long long>(fi.num_layers()),
@@ -205,6 +250,9 @@ int main(int argc, char** argv) {
         (opt.native ? "-native" : "") +
         (opt.per_layer_dtype.empty() ? ""
                                      : "|per-layer=" + opt.per_layer_dtype) +
+        (static_act == nullptr
+             ? ""
+             : "|static=" + std::to_string(static_act->fingerprint())) +
         "|epochs=" + std::to_string(opt.epochs) + "|load=" + opt.load_path;
 
     std::unique_ptr<core::CampaignCheckpointer> ckpt;
@@ -304,14 +352,19 @@ int main(int argc, char** argv) {
   // The experiment-identity string folded into checkpoint and shard
   // fingerprints: same format either way, so every shard worker of one
   // campaign agrees on it.
-  // Native execution and per-layer overrides change the numbers, so they are
-  // part of the experiment identity (a checkpoint from an emulated run must
-  // not resume a native one).
+  // Native execution, per-layer overrides and frozen static-calibration
+  // scales all change the numbers, so they are part of the experiment
+  // identity (a checkpoint from an emulated run must not resume a native
+  // one, nor a dynamically-calibrated run a statically-calibrated one).
   const std::string context = opt.model + "|" + opt.dataset + "|" +
                               opt.dtype + (opt.native ? "-native" : "") +
                               (opt.per_layer_dtype.empty()
                                    ? ""
                                    : "|per-layer=" + opt.per_layer_dtype) +
+                              (static_act == nullptr
+                                   ? ""
+                                   : "|static=" + std::to_string(
+                                                      static_act->fingerprint())) +
                               "|" + opt.error + "|epochs=" +
                               std::to_string(opt.epochs) +
                               "|load=" + opt.load_path;

@@ -1,0 +1,72 @@
+#include "core/calibrate.hpp"
+
+#include <cmath>
+
+#include "kernels/kernels.hpp"
+#include "util/strings.hpp"
+
+namespace pfi::core {
+
+std::uint64_t model_weight_fingerprint(nn::Module& model) {
+  std::uint64_t h = util::fnv1a("pfi-weights-v1");
+  for (const nn::Parameter* p : model.parameters()) {
+    const std::uint64_t tfp = kernels::fingerprint(
+        p->value.data().data(), static_cast<std::int64_t>(p->value.numel()));
+    h = util::fnv1a(p->name, h);
+    h = util::fnv1a(
+        std::string_view(reinterpret_cast<const char*>(&tfp), sizeof tfp), h);
+  }
+  return h;
+}
+
+quant::StaticActQuant calibrate_static_act(FaultInjector& fi,
+                                           std::span<const Tensor> inputs) {
+  PFI_CHECK(!inputs.empty())
+      << "calibrate_static_act needs at least one input batch";
+  PFI_CHECK(fi.dtype() == DType::kFloat32)
+      << "calibrate_static_act needs a plain fp32 injector (the golden "
+         "pass), got dtype "
+      << dtype_name(fi.dtype());
+  for (std::int64_t i = 0; i < fi.num_layers(); ++i) {
+    PFI_CHECK(fi.layer_dtype(i) == DType::kFloat32 && !fi.layer_native(i))
+        << "calibrate_static_act: layer " << i << " ('" << fi.layer_path(i)
+        << "') has a non-fp32 resolution — calibration must observe the "
+           "golden fp32 activations";
+  }
+  PFI_CHECK(fi.active_neuron_faults() == 0 && fi.active_weight_faults() == 0 &&
+            fi.active_persistent_faults() == 0)
+      << "calibrate_static_act: the calibration pass must be fault-free";
+
+  trace::Profiler profiler;
+  fi.set_profiler(&profiler);
+  const bool was_training = fi.model().is_training();
+  fi.model().eval();
+  for (const Tensor& in : inputs) fi.forward(in);
+  fi.model().train(was_training);
+  fi.set_profiler(nullptr);
+
+  quant::StaticActQuant calib;
+  calib.weight_fingerprint = model_weight_fingerprint(fi.model());
+  const std::vector<trace::LayerProfile>& layers = profiler.layers();
+  for (std::int64_t i = 0; i < fi.num_layers(); ++i) {
+    const trace::LayerProfile& p = layers[static_cast<std::size_t>(i)];
+    PFI_CHECK(p.forwards > 0)
+        << "calibration pass never reached layer '" << fi.layer_path(i)
+        << "'";
+    // min/max hold exact observed floats (no accumulation), so the
+    // double->float casts are exact and the scale matches what the dynamic
+    // per-forward absmax would produce over the union of all passes.
+    const float out_absmax =
+        p.count == 0 ? 0.0f
+                     : std::max(std::fabs(static_cast<float>(p.min)),
+                                std::fabs(static_cast<float>(p.max)));
+    quant::LayerActScales l;
+    l.path = fi.layer_path(i);
+    l.in_scale = kernels::scale_from_absmax(p.in_absmax);
+    l.out_scale = kernels::scale_from_absmax(out_absmax);
+    calib.layers.push_back(std::move(l));
+  }
+  return calib;
+}
+
+}  // namespace pfi::core

@@ -1,0 +1,36 @@
+// Static activation calibration driver: one golden fp32 profiling pass over
+// representative inputs, frozen into a quant::StaticActQuant.
+//
+// The flow mirrors deployed INT8 runtimes: run the UNquantized model under a
+// trace::Profiler (the injector's hooks record each instrumented layer's
+// input and output activation ranges), then freeze one symmetric input scale
+// and one output scale per layer with the same scale_from_absmax formula the
+// dynamic path applies per forward. A campaign then hands the result to
+// FiConfig::static_act and every covered native-INT8 layer stops paying the
+// per-inference absmax pass. The calibration records the model's weight
+// fingerprint so stale scales are refused at injector construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/fault_injector.hpp"
+
+namespace pfi::core {
+
+/// Order-sensitive digest of every parameter tensor in the model (dotted
+/// name + exact weight bits, via kernels::fingerprint). A single flipped
+/// weight bit anywhere changes the digest — the identity check between a
+/// StaticActQuant and the model it was calibrated for.
+std::uint64_t model_weight_fingerprint(nn::Module& model);
+
+/// Run the golden calibration pass: forward every input through `fi` (which
+/// must be a plain fp32 injector — no emulated or native dtypes, no armed
+/// or persistent faults) with a profiler attached, and freeze the observed
+/// per-layer activation ranges into static scales. Layers the pass reaches
+/// with no finite output activations calibrate to the degenerate 1/127
+/// scale, like the dynamic path on an all-zero tensor.
+quant::StaticActQuant calibrate_static_act(FaultInjector& fi,
+                                           std::span<const Tensor> inputs);
+
+}  // namespace pfi::core

@@ -62,6 +62,11 @@ std::string cli_usage() {
       "dtypes: fp32 | fp16 | bf16 | int8; a -native suffix (or --native)\n"
       "        runs layers IN that representation (INT8 GEMM / 16-bit\n"
       "        storage) instead of emulating on fp32 outputs\n"
+      "static calibration: --static-calib PATH freezes per-layer INT8\n"
+      "        activation scales (computed by a golden fp32 pass and saved\n"
+      "        to PATH on first use; loaded afterwards) so native INT8\n"
+      "        layers skip the per-inference absmax pass and keep\n"
+      "        conv->ReLU->conv boundaries INT8-resident\n"
       "sharding: --shard-dir alone runs all S shards in-process and merges;\n"
       "          --shard-index K runs this process as shard K only"
       " (pfi_launch\n"
@@ -261,7 +266,7 @@ CliParse parse_cli_args(int argc, const char* const* argv) {
                a != "--ci-target" && a != "--shards" &&
                a != "--shard-index" && a != "--shard-horizon" &&
                a != "--shard-dir" && a != "--horizon" && a != "--ber" &&
-               a != "--persist") {
+               a != "--persist" && a != "--static-calib") {
       error = "unknown flag '" + a + "'";
     } else if ((v = need_value(a)) == nullptr) {
       break;  // error already set
@@ -320,6 +325,8 @@ CliParse parse_cli_args(int argc, const char* const* argv) {
       if (n) opt.shard_horizon = *n;
     } else if (a == "--shard-dir") {
       opt.shard_dir = v;
+    } else if (a == "--static-calib") {
+      opt.static_calib = v;
     } else if (a == "--horizon") {
       const auto n = int_flag(a, v, 1, 1'000'000'000'000, &error);
       if (n) opt.horizon = *n;

@@ -44,6 +44,12 @@ struct CliOptions {
   bool resume = false;
   bool profile = false;
   bool prefix_cache = true;
+  /// Static activation calibration file (--static-calib PATH): load the
+  /// frozen per-layer INT8 activation scales from PATH, or — when PATH does
+  /// not exist yet — run the golden fp32 calibration pass, write PATH, and
+  /// then use it. Only meaningful with a native INT8 dtype. Empty = dynamic
+  /// per-forward calibration.
+  std::string static_calib;
   // Sharded-campaign mode (core/shard.hpp). Sharding engages when
   // --shard-dir is given: --shard-index runs this process as ONE shard
   // worker (pfi_launch spawns these); without it the process runs all

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "core/calibrate.hpp"
 #include "nn/serialize.hpp"
 #include "util/bits.hpp"
 
@@ -49,8 +50,8 @@ FaultInjector::FaultInjector(std::shared_ptr<nn::Module> model, FiConfig config)
   hook_handles_.reserve(layers_.size());
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     hook_handles_.push_back(layers_[i]->register_forward_hook(
-        [this, i](nn::Module&, const Tensor&, Tensor& out) {
-          hook_body(static_cast<std::int64_t>(i), out);
+        [this, i](nn::Module&, const Tensor& in, Tensor& out) {
+          hook_body(static_cast<std::int64_t>(i), in, out);
         }));
   }
 
@@ -99,6 +100,20 @@ FaultInjector::~FaultInjector() {
 void FaultInjector::apply_native_modes() {
   layer_dtype_.assign(layers_.size(), config_.dtype);
   layer_native_.assign(layers_.size(), config_.native ? 1 : 0);
+  layer_static_.assign(layers_.size(), 0);
+  layer_static_scale_.assign(layers_.size(), 0.0f);
+  // Stale-calibration refusal: frozen activation scales are only meaningful
+  // for the exact weights they were profiled against — running them on a
+  // different model silently shifts every quantized domain, so fail loudly
+  // before any layer is switched.
+  if (config_.static_act != nullptr) {
+    const std::uint64_t fp = model_weight_fingerprint(*model_);
+    PFI_CHECK(fp == config_.static_act->weight_fingerprint)
+        << "static activation calibration was computed for a different model "
+           "(calibration weights fingerprint "
+        << config_.static_act->weight_fingerprint << ", this model is " << fp
+        << ") — refusing to run stale scales; re-run calibration";
+  }
   for (const LayerResolution& res : config_.per_layer) {
     bool matched = false;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
@@ -143,6 +158,31 @@ void FaultInjector::apply_native_modes() {
       static_cast<nn::Linear*>(layers_[i])
           ->set_native_dtype(lp, std::move(scales));
     }
+    // Frozen activation scales: a covered native-INT8 layer skips the
+    // per-forward absmax pass and re-quantizes its output onto the frozen
+    // grid (the INT8-resident boundary). Uncovered layers stay dynamic.
+    const quant::LayerActScales* act =
+        (lp == kernels::LowPrec::kInt8 && config_.static_act != nullptr)
+            ? config_.static_act->find(layer_paths_[i])
+            : nullptr;
+    if (act != nullptr) {
+      if (layers_[i]->kind() == "Conv2d") {
+        static_cast<nn::Conv2d*>(layers_[i])
+            ->set_static_act(act->in_scale, act->out_scale);
+      } else {
+        static_cast<nn::Linear*>(layers_[i])
+            ->set_static_act(act->in_scale, act->out_scale);
+      }
+      layer_static_[i] = 1;
+      layer_static_scale_[i] = act->out_scale;
+    }
+  }
+  // conv->ReLU fusion rides with static calibration: the rectification runs
+  // on the resident codes inside the GEMM epilogue, making the hook's
+  // injection domain the post-ReLU codes (the masked-fault pruner accounts
+  // for the lost ReLU masking — see relu_adjacent_layers).
+  if (config_.static_act != nullptr) {
+    fused_relu_ = nn::fuse_relu(*model_) > 0;
   }
 }
 
@@ -150,12 +190,18 @@ void FaultInjector::reset_native_modes() {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     if (layer_native_[i] == 0) continue;
     if (layers_[i]->kind() == "Conv2d") {
-      static_cast<nn::Conv2d*>(layers_[i])
-          ->set_native_dtype(kernels::LowPrec::kNone);
+      auto* conv = static_cast<nn::Conv2d*>(layers_[i]);
+      conv->set_native_dtype(kernels::LowPrec::kNone);
+      if (layer_static_[i] != 0) conv->clear_static_act();
     } else {
-      static_cast<nn::Linear*>(layers_[i])
-          ->set_native_dtype(kernels::LowPrec::kNone);
+      auto* linear = static_cast<nn::Linear*>(layers_[i]);
+      linear->set_native_dtype(kernels::LowPrec::kNone);
+      if (layer_static_[i] != 0) linear->clear_static_act();
     }
+  }
+  if (fused_relu_) {
+    nn::unfuse_relu(*model_);
+    fused_relu_ = false;
   }
 }
 
@@ -171,6 +217,13 @@ bool FaultInjector::layer_native(std::int64_t i) const {
       << "layer " << i << " out of range; model has " << num_layers()
       << " instrumented layers";
   return layer_native_[static_cast<std::size_t>(i)] != 0;
+}
+
+bool FaultInjector::layer_static(std::int64_t i) const {
+  PFI_CHECK(i >= 0 && i < num_layers())
+      << "layer " << i << " out of range; model has " << num_layers()
+      << " instrumented layers";
+  return layer_static_[static_cast<std::size_t>(i)] != 0;
 }
 
 const Shape& FaultInjector::layer_shape(std::int64_t layer) const {
@@ -730,16 +783,24 @@ std::size_t FaultInjector::active_neuron_faults() const {
   return n;
 }
 
-void FaultInjector::hook_body(std::int64_t layer_index, Tensor& output) {
+void FaultInjector::hook_body(std::int64_t layer_index, const Tensor& input,
+                              Tensor& output) {
   auto& layer_faults = faults_[static_cast<std::size_t>(layer_index)];
   const DType dt = layer_dtype_[static_cast<std::size_t>(layer_index)];
-  // Fast path — the paper's "only a single check on every layer". With a
-  // profiler attached the hook has observation work even when idle, so the
-  // early-out is skipped (and the cost of that work is itself measured).
-  if (layer_faults.empty() && dt == DType::kFloat32 && profiler_ == nullptr) {
+  const bool is_static = layer_static_[static_cast<std::size_t>(layer_index)] != 0;
+  // Fast path — the paper's "only a single check on every layer". Static
+  // INT8 layers join fp32 here: their output already lies exactly on the
+  // frozen grid, so an idle hook has nothing to emulate (the golden pass
+  // still enters, to capture golden_qp_). With a profiler attached the hook
+  // has observation work even when idle, so the early-out is skipped (and
+  // the cost of that work is itself measured).
+  if (layer_faults.empty() && profiler_ == nullptr &&
+      (dt == DType::kFloat32 || (is_static && !recording_golden_))) {
     return;
   }
   trace::HookTimer hook_timer(profiler_, layer_index);
+  // Input activation range (static calibration's golden-pass source).
+  if (profiler_ != nullptr) profiler_->observe_input(layer_index, input.data());
 
   // Output-grid projection, for native and emulated layers alike: a native
   // layer's raw output (requantized i32 accumulators, or widened 16-bit
@@ -761,6 +822,14 @@ void FaultInjector::hook_body(std::int64_t layer_index, Tensor& output) {
       output.apply_([](float v) { return round_to_bf16(v); });
       break;
     case DType::kInt8:
+      if (is_static) {
+        // The layer's epilogue already re-quantized onto the frozen output
+        // grid (requantize_*_grid stores exact code images), so there is
+        // nothing to emulate — faults simply arm under the frozen scale:
+        // the injection domain IS the resident codes.
+        qp.scale = layer_static_scale_[static_cast<std::size_t>(layer_index)];
+        break;
+      }
       // Emulate INT8 neuron quantization (paper Sec. IV-A): dynamic
       // per-tensor symmetric calibration, applied on golden and faulty runs
       // alike so the bit flip happens in the quantized domain.

@@ -35,6 +35,7 @@
 #include "core/profile.hpp"
 #include "core/trace.hpp"
 #include "nn/nn.hpp"
+#include "quant/static_act.hpp"
 
 namespace pfi::core {
 
@@ -75,6 +76,17 @@ struct FiConfig {
   bool prefix_cache = true;
   /// Snapshot byte budget in MB; -1 reads PFI_PREFIX_CACHE_MB (default 256).
   std::int64_t prefix_cache_mb = -1;
+  /// Frozen per-layer activation scales (core::calibrate_static_act). When
+  /// set, every native-INT8 instrumented layer covered by the calibration
+  /// quantizes its input with the frozen scale (no per-forward absmax pass)
+  /// and re-quantizes its output onto the frozen grid — INT8-resident layer
+  /// boundaries, with conv->ReLU pairs fused onto the codes. The injector
+  /// REFUSES a calibration whose weight fingerprint does not match the
+  /// model (stale calibration), and calibration_fingerprint() must be
+  /// folded into campaign fingerprints by the caller so artifacts written
+  /// under different calibrations can never be merged or resumed together.
+  /// Null (the default) keeps dynamic per-forward calibration.
+  std::shared_ptr<const quant::StaticActQuant> static_act = nullptr;
 };
 
 /// How FaultInjector::forward should interact with the prefix cache.
@@ -278,6 +290,8 @@ class FaultInjector {
 
   // -- Introspection ----------------------------------------------------------------
   std::size_t active_neuron_faults() const;
+  /// Declared weight corruptions currently applied (undone by clear()).
+  std::size_t active_weight_faults() const { return weight_undo_.size(); }
   std::uint64_t injections_performed() const { return injections_; }
 
   /// Human-readable summary of the instrumented model: one line per layer
@@ -290,6 +304,16 @@ class FaultInjector {
   /// these are FiConfig::{dtype, native} for every layer.
   DType layer_dtype(std::int64_t i) const;
   bool layer_native(std::int64_t i) const;
+  /// True when layer i runs under frozen static activation scales.
+  bool layer_static(std::int64_t i) const;
+  /// Identity of the attached static calibration — StaticActQuant::
+  /// fingerprint(), or 0 when running dynamic calibration. Campaign
+  /// drivers fold this into their config fingerprints so CSVs, traces,
+  /// checkpoints, and shards record which calibration produced them.
+  std::uint64_t calibration_fingerprint() const {
+    return config_.static_act == nullptr ? 0
+                                         : config_.static_act->fingerprint();
+  }
   const FiConfig& config() const { return config_; }
   nn::Module& model() { return *model_; }
 
@@ -317,7 +341,8 @@ class FaultInjector {
     int value;
   };
 
-  void hook_body(std::int64_t layer_index, Tensor& output);
+  void hook_body(std::int64_t layer_index, const Tensor& input,
+                 Tensor& output);
 
   /// The fault-application half of hook_body: dtype emulation is assumed
   /// done (qp is the params it produced) and every armed fault on the layer
@@ -399,6 +424,15 @@ class FaultInjector {
   std::vector<std::string> layer_paths_;
   std::vector<DType> layer_dtype_;       // per instrumented layer
   std::vector<std::uint8_t> layer_native_;
+  /// Per-layer static-calibration state: layer_static_[i] != 0 marks a
+  /// native-INT8 layer running under frozen scales, and
+  /// layer_static_scale_[i] is its frozen OUTPUT scale — the quantized
+  /// domain the hook arms faults in (the resident codes' scale).
+  std::vector<std::uint8_t> layer_static_;
+  std::vector<float> layer_static_scale_;
+  /// True when apply_native_modes wired conv->ReLU fusion for the static
+  /// path (so reset_native_modes unwires it).
+  bool fused_relu_ = false;
   std::vector<nn::HookHandle> hook_handles_;
   std::vector<Shape> layer_shapes_;
   std::vector<std::vector<ArmedFault>> faults_;  // per layer

@@ -40,6 +40,11 @@ struct LayerProfile {
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
   double sum = 0.0;           ///< sum of finite activations only
+  /// Largest finite |input| seen across forwards — the layer's INPUT
+  /// activation range. Static calibration (quant::StaticActQuant) freezes
+  /// per-layer INT8 input scales from this, matching the dynamic path's
+  /// finite-only absmax so a calibrated run quantizes the same values.
+  float in_absmax = 0.0f;
   std::uint64_t hook_ns = 0;     ///< total time inside the injection hook
   std::uint64_t hook_calls = 0;  ///< timed hook entries
 
@@ -81,6 +86,19 @@ class Profiler {
       ++finite;
     }
     p.count += finite;
+  }
+
+  /// Fold one forward's INPUT activations into layer `layer`'s input
+  /// absmax. Finite values only (max is order-invariant, so this matches
+  /// kernels::lowp's finite_absmax exactly regardless of traversal order).
+  void observe_input(std::int64_t layer, std::span<const float> input) {
+    LayerProfile& p = layers_[static_cast<std::size_t>(layer)];
+    float m = p.in_absmax;
+    for (const float v : input) {
+      const float a = std::fabs(v);
+      if (std::isfinite(a) && a > m) m = a;
+    }
+    p.in_absmax = m;
   }
 
   void add_hook_time(std::int64_t layer, std::uint64_t ns) {

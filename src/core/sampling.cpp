@@ -674,6 +674,11 @@ std::vector<bool> relu_adjacent_layers(FaultInjector& fi) {
     const std::vector<nn::Module*> children = m->children();
     for (std::size_t i = 0; i + 1 < children.size(); ++i) {
       if (children[i + 1]->kind() != "ReLU") continue;
+      // A fused producer rectifies INSIDE its own epilogue and the ReLU
+      // passes through — the injection domain is the post-ReLU output, so
+      // negative injected values are NOT masked downstream and the
+      // masked-fault pruning argument does not apply.
+      if (children[i]->relu_fused_output()) continue;
       for (std::int64_t l = 0; l < fi.num_layers(); ++l) {
         if (&fi.layer(l) == children[i]) {
           out[static_cast<std::size_t>(l)] = true;

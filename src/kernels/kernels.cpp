@@ -276,11 +276,13 @@ void compute_tile(std::int64_t m, std::int64_t n, std::int64_t k,
               case Epilogue::kAccumulate:
                 break;
               case Epilogue::kZero:
+              case Epilogue::kReluZero:  // callers pass the base; same init
                 for (int r = 0; r < mr; ++r) {
                   std::fill(ct + r * ldc, ct + r * ldc + kNR, 0.0f);
                 }
                 break;
               case Epilogue::kBiasRow:
+              case Epilogue::kReluBiasRow:
                 for (int r = 0; r < mr; ++r) {
                   std::fill(ct + r * ldc, ct + r * ldc + kNR, bias[i + r]);
                 }
@@ -336,11 +338,13 @@ void apply_epilogue_init(std::int64_t m, std::int64_t n, float* c,
     case Epilogue::kAccumulate:
       return;
     case Epilogue::kZero:
+    case Epilogue::kReluZero:  // callers split off relu; same init
       for (std::int64_t i = 0; i < m; ++i) {
         std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
       }
       return;
     case Epilogue::kBiasRow:
+    case Epilogue::kReluBiasRow:
       for (std::int64_t i = 0; i < m; ++i) {
         std::fill(c + i * ldc, c + i * ldc + n, bias[i]);
       }
@@ -484,6 +488,28 @@ void pack_b(std::int64_t k, std::int64_t n, const float* b, std::int64_t ldb,
 namespace {
 
 /// Shared blocked core: fixed tile grid over C, optional intra-op pool.
+/// relu(v) with nn::ReLU's exact semantics: negatives, -0.0, and NaN all
+/// map to +0.0. The fused epilogues must match the unfused conv + ReLU
+/// composition bit for bit.
+float relu_unit(float v) { return v > 0.0f ? v : 0.0f; }
+
+/// Split a (possibly relu-fused) epilogue into its accumulation base and
+/// the rectification flag. compute_tile and apply_epilogue_init only ever
+/// see base epilogues.
+Epilogue epilogue_base(Epilogue e, bool* relu) {
+  switch (e) {
+    case Epilogue::kReluZero:
+      *relu = true;
+      return Epilogue::kZero;
+    case Epilogue::kReluBiasRow:
+      *relu = true;
+      return Epilogue::kBiasRow;
+    default:
+      *relu = false;
+      return e;
+  }
+}
+
 void gemm_core(std::int64_t m, std::int64_t n, std::int64_t k,
                const PackedPanels& a, const BView& bv, float* c,
                std::int64_t ldc, Epilogue epilogue, const float* bias) {
@@ -493,13 +519,22 @@ void gemm_core(std::int64_t m, std::int64_t n, std::int64_t k,
                       << k;
   PFI_CHECK(a.span >= m)
       << "blocked gemm: A pack covers " << a.span << " rows, need " << m;
-  PFI_CHECK((epilogue != Epilogue::kBiasRow &&
-             epilogue != Epilogue::kBiasCol) ||
+  PFI_CHECK((epilogue != Epilogue::kBiasRow && epilogue != Epilogue::kBiasCol &&
+             epilogue != Epilogue::kReluBiasRow) ||
             bias != nullptr)
       << "blocked gemm: bias epilogue without a bias vector";
   if (m == 0 || n == 0) return;
+  bool relu = false;
+  const Epilogue base = epilogue_base(epilogue, &relu);
   if (k == 0) {
-    apply_epilogue_init(m, n, c, ldc, epilogue, bias);
+    apply_epilogue_init(m, n, c, ldc, base, bias);
+    if (relu) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          c[i * ldc + j] = relu_unit(c[i * ldc + j]);
+        }
+      }
+    }
     return;
   }
 
@@ -516,9 +551,18 @@ void gemm_core(std::int64_t m, std::int64_t n, std::int64_t k,
   detail::run_tiles(tiles, [&](std::int64_t t) {
     const std::int64_t row = t / tj;
     const std::int64_t col = t % tj;
-    compute_tile(m, n, k, a, bv, c, ldc, epilogue, bias, cfg.kc, row * mc,
-                 std::min(m, (row + 1) * mc), col * nc,
-                 std::min(n, (col + 1) * nc), micro);
+    const std::int64_t i0 = row * mc, i1 = std::min(m, (row + 1) * mc);
+    const std::int64_t j0 = col * nc, j1 = std::min(n, (col + 1) * nc);
+    compute_tile(m, n, k, a, bv, c, ldc, base, bias, cfg.kc, i0, i1, j0, j1,
+                 micro);
+    if (relu) {
+      // Each C element belongs to exactly one macro tile, so rectifying
+      // here is race-free and ordering-independent.
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* ci = c + i * ldc;
+        for (std::int64_t j = j0; j < j1; ++j) ci[j] = relu_unit(ci[j]);
+      }
+    }
   });
 }
 
@@ -576,11 +620,13 @@ void naive_gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
                 std::int64_t lda, bool trans_a, const float* b,
                 std::int64_t ldb, bool trans_b, float* c, std::int64_t ldc,
                 Epilogue epilogue, const float* bias) {
-  PFI_CHECK((epilogue != Epilogue::kBiasRow &&
-             epilogue != Epilogue::kBiasCol) ||
+  PFI_CHECK((epilogue != Epilogue::kBiasRow && epilogue != Epilogue::kBiasCol &&
+             epilogue != Epilogue::kReluBiasRow) ||
             bias != nullptr)
       << "naive_gemm: bias epilogue without a bias vector";
-  apply_epilogue_init(m, n, c, ldc, epilogue, bias);
+  bool relu = false;
+  const Epilogue base = epilogue_base(epilogue, &relu);
+  apply_epilogue_init(m, n, c, ldc, base, bias);
   // ikj with unit stride on C; every operand participates (no zero-skip),
   // so injected Inf/NaN propagate exactly as IEEE arithmetic dictates.
   for (std::int64_t i = 0; i < m; ++i) {
@@ -593,6 +639,9 @@ void naive_gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
         const float* brow = b + kk * ldb;
         for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
       }
+    }
+    if (relu) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = relu_unit(crow[j]);
     }
   }
 }

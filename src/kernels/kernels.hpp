@@ -96,6 +96,13 @@ enum class Epilogue {
   kAccumulate,  ///< C += A*B (grad accumulation)
   kBiasRow,     ///< C = bias[i] + A*B (conv bias, one value per output row)
   kBiasCol,     ///< C = bias[j] + A*B (linear bias, one value per output col)
+  /// Fused ReLU variants: the base epilogue plus an elementwise
+  /// rectification (v > 0 ? v : 0) over the finished tile — applied AFTER
+  /// the full K sweep, inside the same macro-tile task, so the result is
+  /// bit-identical to the unfused GEMM followed by nn::ReLU (max is
+  /// elementwise; it cannot change any accumulation chain).
+  kReluZero,     ///< C = relu(A*B)
+  kReluBiasRow,  ///< C = relu(bias[i] + A*B) — the conv->ReLU fast path
 };
 
 /// A matrix packed into microkernel panels. A-side packs hold mr-row panels

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -38,6 +39,15 @@ bool vnni_supported() {
 #endif
 }
 
+bool fma_supported() {
+#ifdef PFI_KERNELS_X86
+  static const bool available = __builtin_cpu_supports("fma");
+  return available;
+#else
+  return false;
+#endif
+}
+
 I8Isa resolve(I8Isa isa) {
   if (isa != I8Isa::kAuto) return isa;
   if (vnni_supported()) return I8Isa::kVnni;
@@ -46,6 +56,17 @@ I8Isa resolve(I8Isa isa) {
 }
 
 I8Isa g_i8_isa = I8Isa::kAuto;
+
+/// True when the resolved ISA wants the AVX2 quantize/pack kernels. kMadd
+/// and kVnni both imply AVX2; kScalar keeps every loop scalar so the
+/// cross-ISA bit-identity tests compare genuinely different code paths.
+bool simd_quant_enabled() {
+#ifdef PFI_KERNELS_X86
+  return resolve(g_i8_isa) != I8Isa::kScalar;
+#else
+  return false;
+#endif
+}
 
 // ----------------------------------------------------------- microkernels ----
 
@@ -410,6 +431,173 @@ float finite_absmax(std::int64_t rows, std::int64_t cols, const float* p,
   return absmax;
 }
 
+// ------------------------------------------------- AVX2 quantize kernels ----
+//
+// The vector quantizer is BIT-IDENTICAL to quantize_unit lane for lane:
+//  * vdivps is IEEE correctly rounded, exactly like the scalar `/`;
+//  * vroundps with _MM_FROUND_CUR_DIRECTION matches std::nearbyint (both
+//    honor the live rounding mode, round-nearest-even by default);
+//  * the clamp runs max-then-min in the scalar's operand order — MAXPS/
+//    MINPS return the SECOND source when the first is NaN, so a NaN
+//    quotient lands on -127 exactly like std::max(-127.0f, NaN);
+//  * vcvtps2dq is exact on the clamped integral values.
+// So scalar and AVX2 packs hold the same codes, and the kScalar /
+// kMadd / kVnni campaign byte-identity carries over to the quantize path.
+
+#ifdef PFI_KERNELS_X86
+
+/// 8 floats -> 8 i32 codes in [-127, 127].
+__attribute__((target("avx2"))) inline __m256i quantize8_i32(__m256 v,
+                                                             __m256 vscale) {
+  const __m256 q = _mm256_round_ps(
+      _mm256_div_ps(v, vscale), _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+  const __m256 lo = _mm256_max_ps(q, _mm256_set1_ps(-127.0f));
+  const __m256 clamped = _mm256_min_ps(lo, _mm256_set1_ps(127.0f));
+  return _mm256_cvtps_epi32(clamped);
+}
+
+/// 16 contiguous floats -> one vector of 16 i16 codes in source order
+/// (packs interleaves 128-bit lanes; the qword permute restores order).
+__attribute__((target("avx2"))) inline __m256i quantize16_i16(const float* src,
+                                                              __m256 vscale) {
+  const __m256i x = quantize8_i32(_mm256_loadu_ps(src), vscale);
+  const __m256i y = quantize8_i32(_mm256_loadu_ps(src + 8), vscale);
+  return _mm256_permute4x64_epi64(_mm256_packs_epi32(x, y), 0xD8);
+}
+
+__attribute__((target("avx2"))) void quantize_row_i16_avx2(
+    const float* src, std::int64_t n, float scale, std::int16_t* dst) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        quantize16_i16(src + i, vscale));
+  }
+  for (; i < n; ++i) dst[i] = quantize_unit(src[i], scale);
+}
+
+__attribute__((target("avx2"))) float finite_absmax_avx2(const float* p,
+                                                         std::int64_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  const __m256 inf = _mm256_set1_ps(std::numeric_limits<float>::infinity());
+  __m256 vmax = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 av = _mm256_andnot_ps(sign, _mm256_loadu_ps(p + i));
+    // Ordered < Inf: NaN and +-Inf compare false and mask to 0.0f.
+    const __m256 finite = _mm256_cmp_ps(av, inf, _CMP_LT_OQ);
+    vmax = _mm256_max_ps(vmax, _mm256_and_ps(av, finite));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vmax);
+  float absmax = 0.0f;
+  for (const float l : lanes) absmax = std::max(absmax, l);
+  for (; i < n; ++i) {
+    const float av = std::fabs(p[i]);
+    if (std::isfinite(av) && av > absmax) absmax = av;
+  }
+  return absmax;
+}
+
+/// One full-width (16-column) B panel from a strided source: element
+/// (kk, c) = src[kk * ld + c]. Two rows are quantized to i16 and zipped
+/// into the k-pair layout [b(2q,c), b(2q+1,c)] per column — unpacklo/hi
+/// produce the column-major pair stream per 128-bit lane, the cross-lane
+/// permutes stitch the lanes back into panel order. An odd logical K pairs
+/// its last row with zero codes, exactly like the scalar pack.
+__attribute__((target("avx2"))) void pack_b_panel16_avx2(
+    std::int64_t k, std::int64_t kp, const float* src, std::int64_t ld,
+    float scale, std::int16_t* panel) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  for (std::int64_t kk = 0; kk < kp; kk += 2) {
+    const __m256i v0 = quantize16_i16(src + kk * ld, vscale);
+    const __m256i v1 = kk + 1 < k
+                           ? quantize16_i16(src + (kk + 1) * ld, vscale)
+                           : _mm256_setzero_si256();
+    const __m256i lo = _mm256_unpacklo_epi16(v0, v1);
+    const __m256i hi = _mm256_unpackhi_epi16(v0, v1);
+    std::int16_t* out = panel + (kk / 2) * (kNR * 2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                        _mm256_permute2x128_si256(lo, hi, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 16),
+                        _mm256_permute2x128_si256(lo, hi, 0x31));
+  }
+}
+
+#endif  // PFI_KERNELS_X86
+
+/// Scalar B panel pack from a strided source (edge panels with w < kNR
+/// live columns, and the kScalar ISA). Dead columns and padding k's hold
+/// zero codes.
+void pack_b_panel_scalar(std::int64_t k, std::int64_t kp, const float* src,
+                         std::int64_t ld, int w, float scale,
+                         std::int16_t* panel) {
+  for (int c = 0; c < kNR; ++c) {
+    const bool live = c < w;
+    for (std::int64_t kk = 0; kk < kp; ++kk) {
+      std::int16_t code = 0;
+      if (live && kk < k) code = quantize_unit(src[kk * ld + c], scale);
+      panel[(kk / 2) * (kNR * 2) + c * 2 + (kk & 1)] = code;
+    }
+  }
+}
+
+/// Untransposed fixed-scale B pack over a strided matrix: the SIMD fast
+/// path for full panels, scalar for the edge panel / scalar ISA.
+void pack_b_static_strided(std::int64_t k, std::int64_t n, const float* b,
+                           std::int64_t ldb, float scale, PackedPanelsI8& out) {
+  const std::int64_t kp = round_up_even(k);
+  const std::int64_t panels = (n + kNR - 1) / kNR;
+  out.data.resize(static_cast<std::size_t>(panels * kNR * kp));
+  out.k = k;
+  out.kp = kp;
+  out.span = n;
+  out.panel = kNR;
+  const bool simd = simd_quant_enabled();
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    std::int16_t* panel = out.data.data() + jp * kNR * kp;
+    const std::int64_t col0 = jp * kNR;
+    const int w = static_cast<int>(std::min<std::int64_t>(kNR, n - col0));
+#ifdef PFI_KERNELS_X86
+    if (simd && w == kNR) {
+      pack_b_panel16_avx2(k, kp, b + col0, ldb, scale, panel);
+      continue;
+    }
+#else
+    (void)simd;
+#endif
+    pack_b_panel_scalar(k, kp, b + col0, ldb, w, scale, panel);
+  }
+}
+
+/// Untransposed fixed-scale A pack: SIMD row quantize into an i16 scratch
+/// row, then a cheap scalar i16 interleave into the mr-row k-pair panels.
+void pack_a_static_rows(std::int64_t m, std::int64_t k, const float* a,
+                        std::int64_t lda, int mr, float scale,
+                        PackedPanelsI8& out) {
+  const std::int64_t kp = round_up_even(k);
+  const std::int64_t panels = (m + mr - 1) / mr;
+  // Zero-fill covers dead lanes and k-padding in one memset.
+  out.data.assign(static_cast<std::size_t>(panels * mr * kp), 0);
+  out.k = k;
+  out.kp = kp;
+  out.span = m;
+  out.panel = mr;
+  std::vector<std::int16_t> qrow(static_cast<std::size_t>(k));
+  for (std::int64_t ip = 0; ip < panels; ++ip) {
+    std::int16_t* panel = out.data.data() + ip * mr * kp;
+    const std::int64_t row0 = ip * mr;
+    const int rows = static_cast<int>(std::min<std::int64_t>(mr, m - row0));
+    for (int r = 0; r < rows; ++r) {
+      quantize_row_i16(a + (row0 + r) * lda, k, scale, qrow.data());
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        panel[(kk / 2) * (mr * 2) + r * 2 + (kk & 1)] =
+            qrow[static_cast<std::size_t>(kk)];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- public api ----
@@ -456,15 +644,30 @@ void quantize_pack_a_i8(std::int64_t m, std::int64_t k, const float* a,
                [&](std::int64_t row) { return row_scales[row]; }, out);
 }
 
+void quantize_pack_a_i8_static(std::int64_t m, std::int64_t k, const float* a,
+                               std::int64_t lda, bool trans_a, int mr,
+                               float scale, PackedPanelsI8& out) {
+  out.scale.assign(1, scale);
+  if (!trans_a) {
+    PFI_CHECK(mr == 4 || mr == 6 || mr == 8)
+        << "quantize_pack_a mr must be 4, 6, or 8, got " << mr;
+    pack_a_static_rows(m, k, a, lda, mr, scale, out);
+    return;
+  }
+  pack_a_codes(m, k, a, lda, trans_a, mr,
+               [&](std::int64_t) { return scale; }, out);
+}
+
 void quantize_pack_a_i8_tensor(std::int64_t m, std::int64_t k, const float* a,
                                std::int64_t lda, bool trans_a, int mr,
                                PackedPanelsI8& out) {
-  const float scale =
-      scale_from_absmax(trans_a ? finite_absmax(m, k, a, lda, true)
-                                : finite_absmax(m, k, a, lda, false));
-  out.scale.assign(1, scale);
-  pack_a_codes(m, k, a, lda, trans_a, mr,
-               [&](std::int64_t) { return scale; }, out);
+  // A contiguous untransposed operand is one flat buffer — the SIMD absmax
+  // applies; max is order-invariant so the value matches the strided scan.
+  const float absmax = !trans_a && lda == k
+                           ? finite_absmax_i8(a, m * k)
+                           : finite_absmax(m, k, a, lda, trans_a);
+  quantize_pack_a_i8_static(m, k, a, lda, trans_a, mr,
+                            scale_from_absmax(absmax), out);
 }
 
 void quantize_pack_b_i8(std::int64_t k, std::int64_t n, const float* b,
@@ -475,17 +678,95 @@ void quantize_pack_b_i8(std::int64_t k, std::int64_t n, const float* b,
                [&](std::int64_t col) { return col_scales[col]; }, out);
 }
 
-void quantize_pack_b_i8_tensor(std::int64_t k, std::int64_t n, const float* b,
-                               std::int64_t ldb, bool trans_b,
+void quantize_pack_b_i8_static(std::int64_t k, std::int64_t n, const float* b,
+                               std::int64_t ldb, bool trans_b, float scale,
                                PackedPanelsI8& out) {
-  // finite_absmax walks the logical KxN matrix: rows=k, cols=n for the
-  // untransposed layout; the transposed operand is NxK in memory.
-  const float scale =
-      scale_from_absmax(trans_b ? finite_absmax(n, k, b, ldb, false)
-                                : finite_absmax(k, n, b, ldb, false));
+  if (!trans_b) {
+    pack_b_static_strided(k, n, b, ldb, scale, out);
+    out.scale.assign(1, scale);
+    return;
+  }
   out.scale.assign(1, scale);
   pack_b_codes(k, n, b, ldb, trans_b,
                [&](std::int64_t) { return scale; }, out);
+}
+
+void quantize_pack_b_i8_tensor(std::int64_t k, std::int64_t n, const float* b,
+                               std::int64_t ldb, bool trans_b,
+                               PackedPanelsI8& out) {
+  // The absmax walks the logical KxN matrix: a contiguous layout (either
+  // orientation) collapses to one flat buffer for the SIMD reduction; the
+  // strided transposed operand is NxK in memory.
+  float absmax;
+  if (!trans_b && ldb == n) {
+    absmax = finite_absmax_i8(b, k * n);
+  } else if (trans_b && ldb == k) {
+    absmax = finite_absmax_i8(b, n * k);
+  } else {
+    absmax = trans_b ? finite_absmax(n, k, b, ldb, false)
+                     : finite_absmax(k, n, b, ldb, false);
+  }
+  quantize_pack_b_i8_static(k, n, b, ldb, trans_b, scale_from_absmax(absmax),
+                            out);
+}
+
+void quantize_pack_b_i8_stream(std::int64_t k, std::int64_t n, float scale,
+                               const BTileFn& tile, PackedPanelsI8& out) {
+  const std::int64_t kp = round_up_even(k);
+  const std::int64_t panels = (n + kNR - 1) / kNR;
+  out.data.resize(static_cast<std::size_t>(panels * kNR * kp));
+  out.k = k;
+  out.kp = kp;
+  out.span = n;
+  out.panel = kNR;
+  out.scale.assign(1, scale);
+  std::vector<float> buf(static_cast<std::size_t>(k * kNR));
+  const bool simd = simd_quant_enabled();
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    std::int16_t* panel = out.data.data() + jp * kNR * kp;
+    const std::int64_t col0 = jp * kNR;
+    const int w = static_cast<int>(std::min<std::int64_t>(kNR, n - col0));
+    tile(col0, w, buf.data());
+#ifdef PFI_KERNELS_X86
+    if (simd && w == kNR) {
+      pack_b_panel16_avx2(k, kp, buf.data(), kNR, scale, panel);
+      continue;
+    }
+#else
+    (void)simd;
+#endif
+    pack_b_panel_scalar(k, kp, buf.data(), w, w, scale, panel);
+  }
+}
+
+float finite_absmax_stream(std::int64_t k, std::int64_t n,
+                           const BTileFn& tile) {
+  std::vector<float> buf(static_cast<std::size_t>(k * kNR));
+  float absmax = 0.0f;
+  for (std::int64_t col0 = 0; col0 < n; col0 += kNR) {
+    const int w = static_cast<int>(std::min<std::int64_t>(kNR, n - col0));
+    tile(col0, w, buf.data());
+    absmax = std::max(absmax, finite_absmax_i8(buf.data(), k * w));
+  }
+  return absmax;
+}
+
+void quantize_row_i16(const float* src, std::int64_t n, float scale,
+                      std::int16_t* dst) {
+#ifdef PFI_KERNELS_X86
+  if (simd_quant_enabled()) {
+    quantize_row_i16_avx2(src, n, scale, dst);
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = quantize_unit(src[i], scale);
+}
+
+float finite_absmax_i8(const float* p, std::int64_t n) {
+#ifdef PFI_KERNELS_X86
+  if (simd_quant_enabled()) return finite_absmax_avx2(p, n);
+#endif
+  return finite_absmax(1, n, p, n, false);
 }
 
 void gemm_i8(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -573,6 +854,155 @@ void requantize_cols(std::int64_t m, std::int64_t n, const std::int32_t* acc,
     for (std::int64_t j = 0; j < n; ++j) {
       const float bj = bias != nullptr ? bias[j] : 0.0f;
       oi[j] = std::fma(a_scale * col_scale[j], static_cast<float>(ai[j]), bj);
+    }
+  }
+}
+
+// ------------------------------------------------- grid requantize (fused) ----
+//
+// The scalar epilogue element: dequantize the i32 accumulator (single-
+// rounding fma, like requantize_rows), snap onto the consumer's static grid
+// with the shared quantizer, rectify on the CODE, and store the code's
+// exact fp32 image. The AVX2 version is lane-identical: vcvtdq2ps and the
+// final multiply are the same IEEE ops, vfmadd is the same single-rounding
+// fma, and the quantizer core is quantize8_i32's (see above).
+
+namespace {
+
+inline float grid_unit(float v, float out_scale, bool relu) {
+  int code = quantize_unit(v, out_scale);
+  if (relu && code < 0) code = 0;
+  return static_cast<float>(code) * out_scale;
+}
+
+#ifdef PFI_KERNELS_X86
+
+/// 8 accumulators -> 8 grid-snapped outputs; vs/vb are the broadcast
+/// multiplier and addend, vos the broadcast out_scale.
+__attribute__((target("avx2,fma"))) inline __m256 grid8(__m256i acc, __m256 vs,
+                                                        __m256 vb, __m256 vos,
+                                                        bool relu) {
+  const __m256 v = _mm256_fmadd_ps(vs, _mm256_cvtepi32_ps(acc), vb);
+  const __m256 q = _mm256_round_ps(
+      _mm256_div_ps(v, vos), _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+  __m256 code = _mm256_min_ps(_mm256_max_ps(q, _mm256_set1_ps(-127.0f)),
+                              _mm256_set1_ps(127.0f));
+  if (relu) code = _mm256_max_ps(code, _mm256_setzero_ps());
+  return _mm256_mul_ps(code, vos);
+}
+
+__attribute__((target("avx2,fma"))) void requantize_rows_grid_avx2(
+    std::int64_t m, std::int64_t n, const std::int32_t* acc,
+    std::int64_t ldacc, const float* row_scale, float b_scale,
+    const float* bias, float out_scale, bool relu, float* out,
+    std::int64_t ldout) {
+  const __m256 vos = _mm256_set1_ps(out_scale);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float s = row_scale[i] * b_scale;
+    const float bi = bias != nullptr ? bias[i] : 0.0f;
+    const __m256 vs = _mm256_set1_ps(s);
+    const __m256 vb = _mm256_set1_ps(bi);
+    const std::int32_t* ai = acc + i * ldacc;
+    float* oi = out + i * ldout;
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256i a = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ai + j));
+      _mm256_storeu_ps(oi + j, grid8(a, vs, vb, vos, relu));
+    }
+    for (; j < n; ++j) {
+      oi[j] = grid_unit(std::fma(s, static_cast<float>(ai[j]), bi), out_scale,
+                        relu);
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void requantize_cols_grid_avx2(
+    std::int64_t m, std::int64_t n, const std::int32_t* acc,
+    std::int64_t ldacc, float a_scale, const float* col_scale,
+    const float* bias, float out_scale, bool relu, float* out,
+    std::int64_t ldout) {
+  const __m256 vos = _mm256_set1_ps(out_scale);
+  const __m256 vas = _mm256_set1_ps(a_scale);
+  const __m256 zero = _mm256_setzero_ps();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int32_t* ai = acc + i * ldacc;
+    float* oi = out + i * ldout;
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 vs = _mm256_mul_ps(vas, _mm256_loadu_ps(col_scale + j));
+      const __m256 vb = bias != nullptr ? _mm256_loadu_ps(bias + j) : zero;
+      const __m256i a = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ai + j));
+      _mm256_storeu_ps(oi + j, grid8(a, vs, vb, vos, relu));
+    }
+    for (; j < n; ++j) {
+      const float bj = bias != nullptr ? bias[j] : 0.0f;
+      oi[j] = grid_unit(
+          std::fma(a_scale * col_scale[j], static_cast<float>(ai[j]), bj),
+          out_scale, relu);
+    }
+  }
+}
+
+#endif  // PFI_KERNELS_X86
+
+/// Gate for the AVX2 grid epilogue: the quantize ISA switch plus an FMA
+/// probe (vfmadd must match std::fma's single rounding).
+bool grid_simd_enabled() {
+#ifdef PFI_KERNELS_X86
+  return active_i8_isa() != I8Isa::kScalar && fma_supported();
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void requantize_rows_grid(std::int64_t m, std::int64_t n,
+                          const std::int32_t* acc, std::int64_t ldacc,
+                          const float* row_scale, float b_scale,
+                          const float* bias, float out_scale, bool relu,
+                          float* out, std::int64_t ldout) {
+#ifdef PFI_KERNELS_X86
+  if (grid_simd_enabled()) {
+    requantize_rows_grid_avx2(m, n, acc, ldacc, row_scale, b_scale, bias,
+                              out_scale, relu, out, ldout);
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float s = row_scale[i] * b_scale;
+    const float bi = bias != nullptr ? bias[i] : 0.0f;
+    const std::int32_t* ai = acc + i * ldacc;
+    float* oi = out + i * ldout;
+    for (std::int64_t j = 0; j < n; ++j) {
+      oi[j] = grid_unit(std::fma(s, static_cast<float>(ai[j]), bi), out_scale,
+                        relu);
+    }
+  }
+}
+
+void requantize_cols_grid(std::int64_t m, std::int64_t n,
+                          const std::int32_t* acc, std::int64_t ldacc,
+                          float a_scale, const float* col_scale,
+                          const float* bias, float out_scale, bool relu,
+                          float* out, std::int64_t ldout) {
+#ifdef PFI_KERNELS_X86
+  if (grid_simd_enabled()) {
+    requantize_cols_grid_avx2(m, n, acc, ldacc, a_scale, col_scale, bias,
+                              out_scale, relu, out, ldout);
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int32_t* ai = acc + i * ldacc;
+    float* oi = out + i * ldout;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float bj = bias != nullptr ? bias[j] : 0.0f;
+      oi[j] = grid_unit(
+          std::fma(a_scale * col_scale[j], static_cast<float>(ai[j]), bj),
+          out_scale, relu);
     }
   }
 }

@@ -42,6 +42,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "kernels/kernels.hpp"
@@ -83,6 +84,22 @@ inline std::int8_t quantize_unit(float v, float scale) {
   const float clamped = std::min(127.0f, std::max(-127.0f, q));
   return static_cast<std::int8_t>(clamped);
 }
+
+/// Quantize a contiguous row of n floats onto the symmetric INT8 grid,
+/// widened to the i16 the packed panels hold: dst[i] = quantize_unit(src[i],
+/// scale). AVX2-vectorized when the active INT8 ISA is not kScalar, and
+/// BIT-IDENTICAL to the scalar loop either way: the vector path keeps the
+/// IEEE division, rounds with the current (round-nearest-even) mode, and
+/// clamps in the same NaN-propagation order as quantize_unit, so every
+/// lane equals the scalar quantizer — pinned by the cross-ISA tests.
+void quantize_row_i16(const float* src, std::int64_t n, float scale,
+                      std::int16_t* dst);
+
+/// Finite-only absolute maximum over a contiguous buffer (the dynamic
+/// activation calibration pass). NaN/+-Inf contribute nothing. max() is
+/// order-invariant, so the AVX2 reduction is bit-identical to the scalar
+/// scan by construction.
+float finite_absmax_i8(const float* p, std::int64_t n);
 
 /// A matrix quantized to INT8 codes, pre-widened to i16 and packed into
 /// k-pair microkernel panels. A-side panels hold mr rows (pair layout
@@ -132,6 +149,37 @@ void quantize_pack_b_i8_tensor(std::int64_t k, std::int64_t n, const float* b,
                                std::int64_t ldb, bool trans_b,
                                PackedPanelsI8& out);
 
+/// Quantize + pack logical A(MxK) with a FIXED per-tensor scale (static
+/// activation calibration: the absmax pass is already paid for at
+/// calibration time, so the pack is a single sweep).
+void quantize_pack_a_i8_static(std::int64_t m, std::int64_t k, const float* a,
+                               std::int64_t lda, bool trans_a, int mr,
+                               float scale, PackedPanelsI8& out);
+
+/// Quantize + pack logical B(KxN) with a fixed per-tensor scale.
+void quantize_pack_b_i8_static(std::int64_t k, std::int64_t n, const float* b,
+                               std::int64_t ldb, bool trans_b, float scale,
+                               PackedPanelsI8& out);
+
+/// Produces the logical KxW column block [col0, col0+w) of B into `dst`
+/// with row stride `w`: dst[kk*w + c] = B(kk, col0 + c). The streaming
+/// conv path implements this with a per-tile im2col so the full KxN im2col
+/// buffer is never materialized.
+using BTileFn = std::function<void(std::int64_t col0, int w, float* dst)>;
+
+/// Quantize + pack a tile-streamed logical B(KxN) with a fixed per-tensor
+/// scale. Each kNR-column tile is produced by `tile`, quantized, and
+/// interleaved straight into its k-pair panel; peak extra memory is one
+/// k x kNR tile instead of the whole K x N matrix. The packed bytes are
+/// identical to quantize_pack_b_i8_static over the materialized matrix.
+void quantize_pack_b_i8_stream(std::int64_t k, std::int64_t n, float scale,
+                               const BTileFn& tile, PackedPanelsI8& out);
+
+/// Finite absmax over a tile-streamed logical B(KxN) — the dynamic-scale
+/// first pass of the streaming conv path. Equals finite_absmax_i8 over the
+/// materialized matrix (max is order-invariant).
+float finite_absmax_stream(std::int64_t k, std::int64_t n, const BTileFn& tile);
+
 /// Exact integer GEMM over packed INT8 operands: C(i32, MxN, ldc) =
 /// sum_k a_code(i,k) * b_code(k,j). Fixed tile grid from block_config(),
 /// intra-op threading from threads(); every configuration produces
@@ -153,6 +201,29 @@ void requantize_rows(std::int64_t m, std::int64_t n, const std::int32_t* acc,
 void requantize_cols(std::int64_t m, std::int64_t n, const std::int32_t* acc,
                      std::int64_t ldacc, float a_scale, const float* col_scale,
                      const float* bias, float* out, std::int64_t ldout);
+
+/// Fused requantize-to-grid epilogue (INT8-resident layer boundary): the
+/// fp32 value fma(row_scale[i]*b_scale, acc[i,j], bias[i]) is immediately
+/// re-quantized onto the NEXT consumer's static activation grid
+/// (`out_scale`), optionally rectified ON THE CODES (`relu`: negative codes
+/// clamp to 0), and stored as code * out_scale — the exact fp32 image of
+/// the INT8 code the boundary holds, so the next static layer's pack
+/// recovers the identical code and a conv->ReLU->conv chain never carries
+/// more information than int8. quantize_unit semantics throughout
+/// (round-nearest-even, NaN -> -127 -> relu 0, +-Inf saturate).
+void requantize_rows_grid(std::int64_t m, std::int64_t n,
+                          const std::int32_t* acc, std::int64_t ldacc,
+                          const float* row_scale, float b_scale,
+                          const float* bias, float out_scale, bool relu,
+                          float* out, std::int64_t ldout);
+
+/// Column-scale variant of requantize_rows_grid (the linear epilogue):
+/// value = fma(a_scale*col_scale[j], acc[i,j], bias[j]).
+void requantize_cols_grid(std::int64_t m, std::int64_t n,
+                          const std::int32_t* acc, std::int64_t ldacc,
+                          float a_scale, const float* col_scale,
+                          const float* bias, float out_scale, bool relu,
+                          float* out, std::int64_t ldout);
 
 /// Narrow one float to 16-bit storage codes / widen back (exact).
 inline std::uint16_t narrow16(float v, Storage16 fmt) {

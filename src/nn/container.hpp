@@ -79,4 +79,17 @@ class Concat final : public Module {
   std::vector<std::int64_t> branch_channels_;  // from the last forward
 };
 
+/// Wire every adjacent (Conv2d|Linear, ReLU) pair inside the tree's
+/// Sequential containers for fused rectification: the producer gets
+/// set_fuse_relu(true) and the ReLU learns its producer. Wiring is
+/// structural and cheap — whether a given forward actually fuses is decided
+/// per call by the producer's relu_fused_output() gate (hooks, mode, native
+/// path), and the model computes bit-identical outputs either way. Returns
+/// the number of pairs wired.
+int fuse_relu(Module& root);
+
+/// Undo fuse_relu across the tree (producers unmarked, ReLUs detached).
+/// Returns the number of pairs unwired.
+int unfuse_relu(Module& root);
+
 }  // namespace pfi::nn

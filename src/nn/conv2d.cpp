@@ -56,6 +56,16 @@ void Conv2d::set_native_dtype(kernels::LowPrec native,
   for (auto& p : lowp_packed_) p.invalidate();
 }
 
+void Conv2d::set_static_act(float in_scale, float out_scale) {
+  PFI_CHECK(std::isfinite(in_scale) && in_scale > 0.0f &&
+            std::isfinite(out_scale) && out_scale > 0.0f)
+      << kind() << "::set_static_act: scales in=" << in_scale
+      << " out=" << out_scale << " must be finite and positive";
+  static_act_ = true;
+  static_in_scale_ = in_scale;
+  static_out_scale_ = out_scale;
+}
+
 void Conv2d::im2col(const Tensor& input, std::int64_t n, std::int64_t group,
                     std::int64_t h_out, std::int64_t w_out, Tensor& col) const {
   const auto k = opts_.kernel, s = opts_.stride, p = opts_.padding;
@@ -85,6 +95,37 @@ void Conv2d::im2col(const Tensor& input, std::int64_t n, std::int64_t group,
             dst[oh * w_out + ow] =
                 (iw >= 0 && iw < w_in) ? src_row[iw] : 0.0f;
           }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::im2col_tile(const Tensor& input, std::int64_t n,
+                         std::int64_t group, std::int64_t w_out,
+                         std::int64_t col0, int w, float* dst) const {
+  const auto k = opts_.kernel, s = opts_.stride, p = opts_.padding;
+  const auto h_in = input.size(2), w_in = input.size(3);
+  const auto cin_g = opts_.in_channels / opts_.groups;
+  const auto c0 = group * cin_g;
+  const auto* in = input.data().data();
+  const auto in_plane = h_in * w_in;
+  const auto in_base = (n * input.size(1) + c0) * in_plane;
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < cin_g; ++c) {
+    const float* plane = in + in_base + c * in_plane;
+    for (std::int64_t kh = 0; kh < k; ++kh) {
+      for (std::int64_t kw = 0; kw < k; ++kw, ++row) {
+        float* drow = dst + row * w;
+        for (int cc = 0; cc < w; ++cc) {
+          const std::int64_t j = col0 + cc;
+          const std::int64_t oh = j / w_out, ow = j % w_out;
+          const std::int64_t ih = oh * s - p + kh;
+          const std::int64_t iw = ow * s - p + kw;
+          drow[cc] = (ih >= 0 && ih < h_in && iw >= 0 && iw < w_in)
+                         ? plane[ih * w_in + iw]
+                         : 0.0f;
         }
       }
     }
@@ -153,8 +194,15 @@ Tensor Conv2d::forward(const Tensor& input) {
   // Weight viewed per group as [cout_g, col_rows]: the GEMM's A operand.
   const Tensor w_mat = weight_.value.reshape({opts_.out_channels, col_rows});
   const bool blocked = kernels::active_impl() == kernels::Impl::kBlocked;
-  const auto epilogue = opts_.bias ? kernels::Epilogue::kBiasRow
-                                   : kernels::Epilogue::kZero;
+  // Fused conv->ReLU fast path: when the gate is open (no forward hook
+  // needs the pre-activation, eval mode) the GEMM epilogue rectifies the
+  // finished tiles and the downstream ReLU passes through — bit-identical
+  // to the unfused pair (kernels.hpp, kReluZero).
+  const bool fuse = relu_fused_output();
+  const auto epilogue =
+      opts_.bias
+          ? (fuse ? kernels::Epilogue::kReluBiasRow : kernels::Epilogue::kBiasRow)
+          : (fuse ? kernels::Epilogue::kReluZero : kernels::Epilogue::kZero);
 
   // Group-outer so the packed weight panels are looked up once per group
   // (cache hit: a fingerprint check; miss: one repack) and reused across the
@@ -188,11 +236,17 @@ Tensor Conv2d::forward(const Tensor& input) {
 
 // Native INT8 forward: weights carry frozen per-output-channel symmetric
 // scales (golden-calibrated by the injector, or lazily calibrated here on
-// first use), the im2col matrix is quantized with one dynamic per-tensor
-// scale per (sample, group), and the integer GEMM's exact i32 accumulators
-// are requantized as fma(sw[oc] * sa, acc, bias[oc]). Everything downstream
-// of the quantizers is integer arithmetic, so the output is bit-identical
-// at any thread count, block config, or INT8 ISA.
+// first use); the im2col operand is quantized with either one dynamic
+// per-tensor scale per (sample, group) or the frozen static input scale,
+// and streamed tile-by-tile straight into the packed panels — the full
+// col_rows x spatial column matrix is never materialized. The integer
+// GEMM's exact i32 accumulators are requantized as fma(sw[oc] * sa, acc,
+// bias[oc]); under static calibration the result is immediately re-quantized
+// onto the frozen output grid (optionally rectified on codes — the fused
+// conv->ReLU boundary), so chains of static layers carry exactly int8
+// information. Everything downstream of the quantizers is integer
+// arithmetic, so the output is bit-identical at any thread count, block
+// config, or INT8 ISA.
 Tensor Conv2d::forward_int8(const Tensor& input, std::int64_t h_out,
                             std::int64_t w_out) {
   const auto n_batch = input.size(0);
@@ -203,7 +257,6 @@ Tensor Conv2d::forward_int8(const Tensor& input, std::int64_t h_out,
   const auto spatial = h_out * w_out;
 
   Tensor output({n_batch, opts_.out_channels, h_out, w_out});
-  Tensor col({col_rows, spatial});
   const Tensor w_mat = weight_.value.reshape({opts_.out_channels, col_rows});
   if (lowp_packed_.size() != static_cast<std::size_t>(g)) {
     lowp_packed_.resize(static_cast<std::size_t>(g));
@@ -212,6 +265,7 @@ Tensor Conv2d::forward_int8(const Tensor& input, std::int64_t h_out,
     native_scales_ = kernels::per_row_scales_i8(
         opts_.out_channels, col_rows, w_mat.data().data(), col_rows, false);
   }
+  const bool fuse = relu_fused_output();
 
   std::vector<std::int32_t> acc(static_cast<std::size_t>(cout_g * spatial));
   kernels::PackedPanelsI8 colq;
@@ -224,17 +278,31 @@ Tensor Conv2d::forward_int8(const Tensor& input, std::int64_t h_out,
             cout_g, col_rows, wp, col_rows, false,
             native_scales_.data() + grp * cout_g);
     for (std::int64_t n = 0; n < n_batch; ++n) {
-      im2col(input, n, grp, h_out, w_out, col);
-      kernels::quantize_pack_b_i8_tensor(col_rows, spatial,
-                                         col.data().data(), spatial, false,
+      const kernels::BTileFn tile = [&](std::int64_t col0, int w, float* dst) {
+        im2col_tile(input, n, grp, w_out, col0, w, dst);
+      };
+      // Dynamic calibration pays one extra streaming pass for the absmax;
+      // static calibration skips it entirely — that pass is the cost the
+      // frozen scales exist to eliminate.
+      const float in_scale =
+          static_act_
+              ? static_in_scale_
+              : kernels::scale_from_absmax(
+                    kernels::finite_absmax_stream(col_rows, spatial, tile));
+      kernels::quantize_pack_b_i8_stream(col_rows, spatial, in_scale, tile,
                                          colq);
       kernels::gemm_i8(cout_g, spatial, col_rows, pa, colq, acc.data(),
                        spatial);
       auto* op = output.data().data() +
                  (n * opts_.out_channels + grp * cout_g) * spatial;
-      kernels::requantize_rows(cout_g, spatial, acc.data(), spatial,
-                               pa.scale.data(), colq.scale[0], bp, op,
-                               spatial);
+      if (static_act_) {
+        kernels::requantize_rows_grid(cout_g, spatial, acc.data(), spatial,
+                                      pa.scale.data(), in_scale, bp,
+                                      static_out_scale_, fuse, op, spatial);
+      } else {
+        kernels::requantize_rows(cout_g, spatial, acc.data(), spatial,
+                                 pa.scale.data(), in_scale, bp, op, spatial);
+      }
     }
   }
   return output;

@@ -84,6 +84,36 @@ class Conv2d final : public Module {
   /// set or first lazily-calibrated forward).
   const std::vector<float>& native_scales() const { return native_scales_; }
 
+  /// Freeze the INT8 activation scales (static calibration,
+  /// quant::StaticActQuant): `in_scale` quantizes the im2col operand —
+  /// eliminating the per-forward absmax pass — and `out_scale` is the grid
+  /// the fused epilogue re-quantizes the output onto, so the boundary
+  /// carries exactly int8 information (requantize_rows_grid). Scales must
+  /// be finite and positive; clear_static_act() returns to dynamic
+  /// per-forward calibration.
+  void set_static_act(float in_scale, float out_scale);
+  void clear_static_act() { static_act_ = false; }
+  bool has_static_act() const { return static_act_; }
+  float static_in_scale() const { return static_in_scale_; }
+  float static_out_scale() const { return static_out_scale_; }
+
+  /// nn::fuse_relu marks this conv as immediately followed by a ReLU. The
+  /// rectification then runs inside the GEMM epilogue when the gate in
+  /// relu_fused_output() is open; the downstream ReLU becomes a
+  /// passthrough.
+  void set_fuse_relu(bool on) { fuse_relu_ = on; }
+  bool fuse_relu() const { return fuse_relu_; }
+  /// Gate, re-evaluated per forward: fp32 fuses only when no forward hook
+  /// observes the pre-activation; the static-INT8 path fuses
+  /// unconditionally (the hook's injection domain IS the post-ReLU
+  /// resident codes — see FaultInjector). Dynamic INT8 and fp16/bf16 never
+  /// fuse.
+  bool relu_fused_output() const override {
+    if (!fuse_relu_ || training_) return false;
+    if (native_ == kernels::LowPrec::kInt8) return static_act_;
+    return native_ == kernels::LowPrec::kNone && forward_hook_count() == 0;
+  }
+
  private:
   /// Expand one sample's group-slice of input into a column matrix of shape
   /// [cin_per_group * k * k, h_out * w_out].
@@ -92,6 +122,15 @@ class Conv2d final : public Module {
   /// Scatter-add a column matrix back into one sample's group-slice.
   void col2im(const Tensor& col, std::int64_t n, std::int64_t group,
               std::int64_t h_out, std::int64_t w_out, Tensor& grad_input) const;
+
+  /// Produce the `w`-column block [col0, col0+w) of the im2col matrix into
+  /// `dst` (row stride w): dst[row*w + c] = col(row, col0+c). The INT8 path
+  /// streams these tiles straight into packed panels
+  /// (kernels::quantize_pack_b_i8_stream) so the full col_rows x spatial
+  /// buffer is never materialized.
+  void im2col_tile(const Tensor& input, std::int64_t n, std::int64_t group,
+                   std::int64_t w_out, std::int64_t col0, int w,
+                   float* dst) const;
 
   Tensor forward_int8(const Tensor& input, std::int64_t h_out,
                       std::int64_t w_out);
@@ -109,6 +148,11 @@ class Conv2d final : public Module {
   kernels::LowPrec native_ = kernels::LowPrec::kNone;
   std::vector<float> native_scales_;
   std::vector<kernels::LowPrecPackCache> lowp_packed_;
+  // Static activation calibration + ReLU fusion state.
+  bool static_act_ = false;
+  float static_in_scale_ = 0.0f;
+  float static_out_scale_ = 0.0f;
+  bool fuse_relu_ = false;
 };
 
 }  // namespace pfi::nn

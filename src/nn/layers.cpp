@@ -10,6 +10,11 @@ namespace pfi::nn {
 
 Tensor ReLU::forward(const Tensor& input) {
   cached_input_ = input;
+  // Fused producer: the rectification already ran inside the producer's
+  // GEMM epilogue, so the input IS the ReLU output. backward stays correct
+  // — the cached (rectified) input has v > 0 exactly where the pre-image
+  // did, so the gradient mask is unchanged.
+  if (producer_ != nullptr && producer_->relu_fused_output()) return input;
   Tensor out = input.clone();
   out.apply_([](float v) { return v > 0.0f ? v : 0.0f; });
   return out;

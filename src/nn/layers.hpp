@@ -19,7 +19,17 @@ class ReLU final : public Module {
     return std::make_shared<ReLU>();
   }
 
+  /// nn::fuse_relu wires the immediately-preceding module here. When that
+  /// producer reports relu_fused_output() — its GEMM epilogue already
+  /// applied the rectification — forward passes the input through unchanged
+  /// (Identity-style aliasing). The producer re-evaluates its fusion gate
+  /// every forward, so a hooked or training-mode producer falls back to the
+  /// real rectification automatically.
+  void set_producer(Module* producer) { producer_ = producer; }
+  Module* producer() const { return producer_; }
+
  private:
+  Module* producer_ = nullptr;
   Tensor cached_input_;
 };
 

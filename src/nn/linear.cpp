@@ -45,9 +45,22 @@ void Linear::set_native_dtype(kernels::LowPrec native,
   lowp_packed_.invalidate();
 }
 
+void Linear::set_static_act(float in_scale, float out_scale) {
+  PFI_CHECK(std::isfinite(in_scale) && in_scale > 0.0f &&
+            std::isfinite(out_scale) && out_scale > 0.0f)
+      << "Linear::set_static_act: scales in=" << in_scale
+      << " out=" << out_scale << " must be finite and positive";
+  static_act_ = true;
+  static_in_scale_ = in_scale;
+  static_out_scale_ = out_scale;
+}
+
 // Native INT8 forward: W^T is quantized per-out-feature (frozen scales as
-// in Conv2d), the activation matrix gets one dynamic per-tensor scale, and
-// the exact i32 GEMM is requantized as fma(sa * sw[o], acc, bias[o]).
+// in Conv2d), the activation matrix gets one per-tensor scale — dynamic
+// absmax, or the frozen static input scale (no absmax pass) — and the
+// exact i32 GEMM is requantized as fma(sa * sw[o], acc, bias[o]); under
+// static calibration the result lands directly on the frozen output grid
+// (requantize_cols_grid, optionally rectified on codes).
 Tensor Linear::forward_int8(const Tensor& input) {
   const auto n = input.size(0);
   Tensor output({n, out_});
@@ -59,14 +72,26 @@ Tensor Linear::forward_int8(const Tensor& input) {
   const auto& pb =
       lowp_packed_.packed_b_i8(in_, out_, w, in_, true, native_scales_.data());
   kernels::PackedPanelsI8 xa;
-  kernels::quantize_pack_a_i8_tensor(n, in_, x, in_, false,
-                                     kernels::block_config().mr, xa);
+  if (static_act_) {
+    kernels::quantize_pack_a_i8_static(n, in_, x, in_, false,
+                                       kernels::block_config().mr,
+                                       static_in_scale_, xa);
+  } else {
+    kernels::quantize_pack_a_i8_tensor(n, in_, x, in_, false,
+                                       kernels::block_config().mr, xa);
+  }
   std::vector<std::int32_t> acc(static_cast<std::size_t>(n * out_));
   kernels::gemm_i8(n, out_, in_, xa, pb, acc.data(), out_);
-  kernels::requantize_cols(n, out_, acc.data(), out_, xa.scale[0],
-                           pb.scale.data(),
-                           has_bias_ ? bias_.value.data().data() : nullptr,
-                           output.data().data(), out_);
+  const float* bp = has_bias_ ? bias_.value.data().data() : nullptr;
+  if (static_act_) {
+    kernels::requantize_cols_grid(n, out_, acc.data(), out_, xa.scale[0],
+                                  pb.scale.data(), bp, static_out_scale_,
+                                  relu_fused_output(), output.data().data(),
+                                  out_);
+  } else {
+    kernels::requantize_cols(n, out_, acc.data(), out_, xa.scale[0],
+                             pb.scale.data(), bp, output.data().data(), out_);
+  }
   return output;
 }
 

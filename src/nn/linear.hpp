@@ -48,6 +48,25 @@ class Linear final : public Module {
   kernels::LowPrec native_dtype() const { return native_; }
   const std::vector<float>& native_scales() const { return native_scales_; }
 
+  /// Freeze the INT8 activation scales (see Conv2d::set_static_act):
+  /// `in_scale` quantizes the activation matrix without an absmax pass,
+  /// `out_scale` is the grid the epilogue re-quantizes the output onto.
+  void set_static_act(float in_scale, float out_scale);
+  void clear_static_act() { static_act_ = false; }
+  bool has_static_act() const { return static_act_; }
+  float static_in_scale() const { return static_in_scale_; }
+  float static_out_scale() const { return static_out_scale_; }
+
+  /// ReLU fusion (see Conv2d::set_fuse_relu). Linear only fuses on the
+  /// static-INT8 path — the fp32 epilogue set has no rectified kBiasCol,
+  /// and classifier heads always carry bias.
+  void set_fuse_relu(bool on) { fuse_relu_ = on; }
+  bool fuse_relu() const { return fuse_relu_; }
+  bool relu_fused_output() const override {
+    return fuse_relu_ && !training_ && static_act_ &&
+           native_ == kernels::LowPrec::kInt8;
+  }
+
  private:
   Tensor forward_int8(const Tensor& input);
   Tensor forward_16(const Tensor& input);
@@ -62,6 +81,11 @@ class Linear final : public Module {
   kernels::LowPrec native_ = kernels::LowPrec::kNone;
   std::vector<float> native_scales_;  // frozen per-out-feature INT8 scales
   kernels::LowPrecPackCache lowp_packed_;
+  // Static activation calibration + ReLU fusion state.
+  bool static_act_ = false;
+  float static_in_scale_ = 0.0f;
+  float static_out_scale_ = 0.0f;
+  bool fuse_relu_ = false;
 };
 
 }  // namespace pfi::nn

@@ -112,6 +112,12 @@ class Module {
   /// in training mode, PerturbationLayer) override this; the prefix-reuse
   /// cache refuses to snapshot or short-circuit a non-deterministic module.
   virtual bool deterministic_forward() const { return true; }
+  /// True when this module's forward ALREADY applied the rectification of
+  /// the ReLU that immediately follows it (nn::fuse_relu wired the pair and
+  /// the module's fusion gate is currently open). The downstream ReLU
+  /// consults this per forward and passes its input through unchanged, so
+  /// fused and unfused executions produce bit-identical model outputs.
+  virtual bool relu_fused_output() const { return false; }
   /// Structural deep copy: a freshly-constructed module tree with identical
   /// architecture (hyperparameters, children, wiring) but independent
   /// storage and no hooks. Parameter VALUES are unspecified (layers with

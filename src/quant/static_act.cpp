@@ -1,0 +1,125 @@
+#include "quant/static_act.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/parse.hpp"
+#include "util/strings.hpp"
+
+namespace pfi::quant {
+
+namespace {
+
+/// Extract the integer after `"key":` in the single-line JSON written by
+/// to_json (same needle-scan idiom as core/checkpoint.cpp — fixed keys,
+/// unsigned integer values).
+std::uint64_t json_uint_field(const std::string& text, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = text.find(needle);
+  PFI_CHECK(at != std::string::npos)
+      << "static calibration is missing field '" << key << "': " << text;
+  std::size_t end = at + needle.size();
+  while (end < text.size() && text[end] != ',' && text[end] != '}') ++end;
+  const auto value =
+      util::parse_uint(text.substr(at + needle.size(), end - at - needle.size()));
+  PFI_CHECK(value.has_value())
+      << "static calibration field '" << key << "' is not an integer: " << text;
+  return *value;
+}
+
+/// Extract the JSON string value after `"key":"` starting the search at
+/// `*pos`; advances *pos past the closing quote. All strings to_json writes
+/// are json_escape'd, so the value ends at the first unescaped '"'.
+std::string json_string_field(const std::string& text, const char* key,
+                              std::size_t* pos) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t at = text.find(needle, *pos);
+  PFI_CHECK(at != std::string::npos)
+      << "static calibration layer entry is missing field '" << key
+      << "': " << text;
+  std::size_t end = at + needle.size();
+  while (end < text.size() &&
+         (text[end] != '"' || text[end - 1] == '\\')) {
+    ++end;
+  }
+  PFI_CHECK(end < text.size())
+      << "static calibration field '" << key << "' is unterminated: " << text;
+  const std::string raw = text.substr(at + needle.size(), end - at - needle.size());
+  *pos = end + 1;
+  return util::json_unescape(raw);
+}
+
+}  // namespace
+
+const LayerActScales* StaticActQuant::find(const std::string& path) const {
+  for (const LayerActScales& l : layers) {
+    if (l.path == path) return &l;
+  }
+  return nullptr;
+}
+
+std::uint64_t StaticActQuant::fingerprint() const {
+  return util::fnv1a(to_json());
+}
+
+std::string StaticActQuant::to_json() const {
+  std::ostringstream os;
+  os << "{\"version\":1,\"weight_fp\":" << weight_fingerprint << ",\"layers\":[";
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const LayerActScales& l = layers[i];
+    if (i != 0) os << ',';
+    // Scales are serialized as exact IEEE-754 bit patterns, never decimal:
+    // a loaded calibration must quantize bit-identically to the session
+    // that wrote it.
+    os << "{\"path\":\"" << util::json_escape(l.path) << "\",\"in_bits\":\""
+       << util::float_bits_hex(l.in_scale) << "\",\"out_bits\":\""
+       << util::float_bits_hex(l.out_scale) << "\"}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+StaticActQuant StaticActQuant::from_json(const std::string& text) {
+  StaticActQuant out;
+  const std::uint64_t version = json_uint_field(text, "version");
+  PFI_CHECK(version == 1) << "unsupported static calibration version "
+                          << version;
+  out.weight_fingerprint = json_uint_field(text, "weight_fp");
+  const std::string needle = "\"layers\":[";
+  const std::size_t at = text.find(needle);
+  PFI_CHECK(at != std::string::npos)
+      << "static calibration is missing the layers array: " << text;
+  std::size_t pos = at + needle.size();
+  while (pos < text.size() && text[pos] != ']') {
+    if (text[pos] == ',' || text[pos] == '{') {
+      ++pos;
+      continue;
+    }
+    LayerActScales l;
+    l.path = json_string_field(text, "path", &pos);
+    l.in_scale = util::float_from_bits_hex(json_string_field(text, "in_bits", &pos));
+    l.out_scale =
+        util::float_from_bits_hex(json_string_field(text, "out_bits", &pos));
+    while (pos < text.size() && text[pos] != '}') ++pos;
+    PFI_CHECK(pos < text.size())
+        << "static calibration layer entry is unterminated: " << text;
+    ++pos;
+    out.layers.push_back(std::move(l));
+  }
+  PFI_CHECK(pos < text.size())
+      << "static calibration layers array is unterminated: " << text;
+  return out;
+}
+
+void StaticActQuant::save(const std::string& path) const {
+  util::atomic_write_file(path, to_json());
+}
+
+StaticActQuant StaticActQuant::load(const std::string& path) {
+  PFI_CHECK(util::file_exists(path))
+      << "static calibration file '" << path << "' does not exist";
+  return from_json(util::read_file(path));
+}
+
+}  // namespace pfi::quant

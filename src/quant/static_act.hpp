@@ -1,0 +1,67 @@
+// quant::StaticActQuant — frozen per-layer activation scales for the
+// native INT8 fast path.
+//
+// The dynamic native-INT8 path calibrates a fresh per-tensor activation
+// scale from a finite-only absmax on EVERY forward — an O(input) sweep per
+// layer per inference that dominates the end-to-end cost at campaign
+// shapes (EXPERIMENTS.md's 0.20x `int8-path` entry). Static calibration
+// does what deployed INT8 runtimes do: run the golden fp32 model once over
+// representative inputs (core::calibrate_static_act drives trace::Profiler
+// for the ranges), freeze one input scale and one output scale per
+// instrumented layer, and reuse them for every subsequent inference. The
+// absmax pass disappears, layer boundaries can stay INT8-resident
+// (kernels::requantize_*_grid snaps outputs straight onto the consumer's
+// frozen grid), and — like golden_qparams for weights — the frozen scales
+// become part of the campaign's identity: the calibration fingerprint is
+// folded into campaign fingerprints so a checkpoint or shard written under
+// one calibration can never silently resume under another.
+//
+// Persistence is a single-line JSON file with every scale encoded as its
+// exact IEEE-754 bit pattern (util::float_bits_hex): a save/load round
+// trip is bit-faithful, so resumed campaigns quantize identically. The
+// file also records a fingerprint of the model's weights at calibration
+// time; FaultInjector refuses a calibration computed for different weights
+// (stale-calibration refusal, tested in tests/test_native_quant.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfi::quant {
+
+/// Frozen symmetric activation scales of one instrumented layer.
+struct LayerActScales {
+  std::string path;       ///< dotted module path, e.g. "features.0"
+  float in_scale = 0.0f;  ///< scale of the layer's INPUT activations
+  float out_scale = 0.0f; ///< scale of the layer's OUTPUT activations
+};
+
+/// A complete static activation calibration: one LayerActScales per
+/// instrumented layer, plus the fingerprint of the weights it was computed
+/// against.
+struct StaticActQuant {
+  /// kernels::fingerprint folded over every model parameter, in
+  /// named_parameters order, at calibration time.
+  std::uint64_t weight_fingerprint = 0;
+  std::vector<LayerActScales> layers;
+
+  /// Scales for the layer at `path`, or nullptr when the calibration does
+  /// not cover it (the layer then falls back to dynamic calibration).
+  const LayerActScales* find(const std::string& path) const;
+
+  /// FNV-1a over the exact serialized form — two calibrations agree on
+  /// identity iff every scale bit and the weight fingerprint agree. Folded
+  /// into campaign fingerprints (never 0 for a real calibration).
+  std::uint64_t fingerprint() const;
+
+  /// Single-line JSON with hex-encoded float bits; inverse pair.
+  std::string to_json() const;
+  static StaticActQuant from_json(const std::string& text);
+
+  /// Atomic write / whole-file read of to_json()/from_json().
+  void save(const std::string& path) const;
+  static StaticActQuant load(const std::string& path);
+};
+
+}  // namespace pfi::quant

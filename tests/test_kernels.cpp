@@ -80,11 +80,13 @@ void oracle(std::int64_t m, std::int64_t n, std::int64_t k,
     for (std::int64_t j = 0; j < n; ++j) {
       double acc = 0.0, mag = 0.0;
       switch (ep) {
-        case Epilogue::kZero: break;
+        case Epilogue::kZero:
+        case Epilogue::kReluZero: break;
         case Epilogue::kAccumulate:
           acc = c0[static_cast<std::size_t>(i * n + j)];
           break;
-        case Epilogue::kBiasRow: acc = bias[i]; break;
+        case Epilogue::kBiasRow:
+        case Epilogue::kReluBiasRow: acc = bias[i]; break;
         case Epilogue::kBiasCol: acc = bias[j]; break;
       }
       mag = std::abs(acc);
